@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace anor::bench {
+
+inline void print_header(const std::string& figure, const std::string& description) {
+  std::cout << "==================================================================\n"
+            << figure << " — " << description << "\n"
+            << "==================================================================\n";
+}
+
+inline void print_table(const util::TextTable& table) { table.print(std::cout); }
+
+inline void print_csv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows) {
+  std::cout << "\n[csv]\n";
+  util::CsvWriter writer(std::cout);
+  writer.write_header(header);
+  for (const auto& row : rows) writer.write_row_values(row);
+  std::cout << "[/csv]\n\n";
+}
+
+inline void print_note(const std::string& note) { std::cout << note << "\n"; }
+
+}  // namespace anor::bench

@@ -1,0 +1,85 @@
+// Figure 3: execution time of each job type under varied node power caps,
+// relative to the 280 W cap, with error bars over 10 runs.
+//
+// Paper shape: curves span 1.0 at 280 W up to ~1.8 at 140 W; EP/BT/LU are
+// the most power-sensitive, IS/SP the least.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "workload/job_type.hpp"
+#include "workload/synthetic_kernel.hpp"
+
+namespace {
+
+using namespace anor;
+
+/// Measured execution time of one seeded run at a fixed node cap.
+double measure_run(const workload::JobType& type, double cap_w, std::uint64_t seed) {
+  workload::KernelConfig config;
+  config.setup_s = 0.0;
+  config.teardown_s = 0.0;
+  workload::SyntheticKernel kernel(type, util::Rng(seed), config);
+  double elapsed = 0.0;
+  const double dt = 0.25;
+  while (!kernel.complete()) {
+    kernel.advance(dt, cap_w);
+    elapsed += dt;
+    if (elapsed > 3600.0 * 4) break;  // safety
+  }
+  return kernel.elapsed_s();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 3",
+                      "relative execution time vs node power cap (10 runs, mean±sd)");
+
+  constexpr int kRuns = 10;
+  std::vector<double> caps;
+  for (double cap = 140.0; cap <= 280.0 + 1e-9; cap += 20.0) caps.push_back(cap);
+
+  std::vector<std::string> header = {"cap_w"};
+  for (const auto& type : workload::nas_job_types()) {
+    header.push_back(type.name);
+    header.push_back(type.name + "_sd");
+  }
+
+  // Reference time per type: mean at the 280 W cap.
+  std::map<std::string, double> reference;
+  for (const auto& type : workload::nas_job_types()) {
+    util::RunningStats stats;
+    for (int run = 0; run < kRuns; ++run) {
+      stats.add(measure_run(type, 280.0, 1000 + run));
+    }
+    reference[type.name] = stats.mean();
+  }
+
+  util::TextTable table(header);
+  std::vector<std::vector<double>> csv_rows;
+  for (double cap : caps) {
+    std::vector<double> row_values = {cap};
+    for (const auto& type : workload::nas_job_types()) {
+      util::RunningStats stats;
+      for (int run = 0; run < kRuns; ++run) {
+        stats.add(measure_run(type, cap, 1000 + run) / reference[type.name]);
+      }
+      row_values.push_back(stats.mean());
+      row_values.push_back(stats.stddev());
+    }
+    csv_rows.push_back(row_values);
+    std::vector<std::string> fields = {util::TextTable::format_double(cap, 0)};
+    for (std::size_t i = 1; i < row_values.size(); ++i) {
+      fields.push_back(util::TextTable::format_double(row_values[i], 3));
+    }
+    table.add_row(fields);
+  }
+  bench::print_table(table);
+  bench::print_csv(header, csv_rows);
+  bench::print_note(
+      "Expected (paper): all curves 1.0 at 280 W rising to 1.1-1.8 at 140 W;\n"
+      "sensitivity order EP > BT > LU > FT > CG > MG > SP > IS.");
+  return 0;
+}

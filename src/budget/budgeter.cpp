@@ -1,0 +1,36 @@
+#include "budget/budgeter.hpp"
+
+#include "budget/even_power.hpp"
+#include "budget/even_slowdown.hpp"
+
+namespace anor::budget {
+
+std::string to_string(BudgeterKind kind) {
+  switch (kind) {
+    case BudgeterKind::kEvenPower: return "even-power";
+    case BudgeterKind::kEvenSlowdown: return "even-slowdown";
+  }
+  return "?";
+}
+
+std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind) {
+  switch (kind) {
+    case BudgeterKind::kEvenPower: return std::make_unique<EvenPowerBudgeter>();
+    case BudgeterKind::kEvenSlowdown: return std::make_unique<EvenSlowdownBudgeter>();
+  }
+  return nullptr;
+}
+
+double total_min_power_w(const std::vector<JobPowerProfile>& jobs) {
+  double total = 0.0;
+  for (const JobPowerProfile& j : jobs) total += j.nodes * j.model.p_min_w();
+  return total;
+}
+
+double total_max_power_w(const std::vector<JobPowerProfile>& jobs) {
+  double total = 0.0;
+  for (const JobPowerProfile& j : jobs) total += j.nodes * j.model.p_max_w();
+  return total;
+}
+
+}  // namespace anor::budget

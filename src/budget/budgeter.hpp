@@ -1,0 +1,59 @@
+// Cluster power budgeters (paper Sec. 4.1, 4.4.3).
+//
+// A budgeter distributes a cluster power budget across running jobs as
+// per-node power caps.  Two policies are evaluated:
+//   * EvenPowerBudgeter   — the performance-unaware AQA rule: every job's
+//     cap sits at the same fraction gamma of its achievable power range.
+//   * EvenSlowdownBudgeter — the performance-aware rule: every job is
+//     capped to the same *expected slowdown* s, using its
+//     power-performance model.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/perf_model.hpp"
+
+namespace anor::budget {
+
+/// What the cluster tier knows about one running job when budgeting.
+struct JobPowerProfile {
+  int job_id = 0;
+  int nodes = 1;
+  model::PowerPerfModel model;
+};
+
+/// Budgeting outcome: per-node cap for each job, plus diagnostics.
+struct BudgetResult {
+  std::map<int, double> node_cap_w;  // job_id -> cap per node
+  /// Total power the caps admit (sum of nodes * cap).
+  double allocated_w = 0.0;
+  /// The balancing variable the policy solved for (gamma or s).
+  double balance_point = 0.0;
+};
+
+class Budgeter {
+ public:
+  virtual ~Budgeter() = default;
+  virtual std::string name() const = 0;
+
+  /// Distribute `budget_w` watts across the jobs.  The budget covers only
+  /// the jobs' nodes (idle-node power is the caller's concern).  Caps are
+  /// clamped to each job's [p_min, p_max]; the allocation therefore
+  /// saturates when the budget leaves that envelope.
+  virtual BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
+                                  double budget_w) const = 0;
+};
+
+enum class BudgeterKind { kEvenPower, kEvenSlowdown };
+
+std::string to_string(BudgeterKind kind);
+std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind);
+
+/// Feasible total-power envelope of a job set.
+double total_min_power_w(const std::vector<JobPowerProfile>& jobs);
+double total_max_power_w(const std::vector<JobPowerProfile>& jobs);
+
+}  // namespace anor::budget

@@ -1,0 +1,21 @@
+// Performance-unaware power balancer (paper Sec. 4.4.3, first policy).
+//
+//   p_cap_j = gamma * (p_max_j - p_min_j) + p_min_j
+//
+// with one gamma chosen so total power equals the budget.  Every job sits
+// at the same fraction of its achievable power range; the performance
+// impact differs per job.
+#pragma once
+
+#include "budget/budgeter.hpp"
+
+namespace anor::budget {
+
+class EvenPowerBudgeter final : public Budgeter {
+ public:
+  std::string name() const override { return "even-power"; }
+  BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
+                          double budget_w) const override;
+};
+
+}  // namespace anor::budget

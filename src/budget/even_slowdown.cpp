@@ -1,0 +1,66 @@
+#include "budget/even_slowdown.hpp"
+
+#include <algorithm>
+
+namespace anor::budget {
+
+namespace {
+
+double total_power_at_slowdown(const std::vector<JobPowerProfile>& jobs, double slowdown) {
+  double total = 0.0;
+  for (const JobPowerProfile& j : jobs) {
+    total += j.nodes * j.model.cap_for_slowdown(slowdown);
+  }
+  return total;
+}
+
+}  // namespace
+
+BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>& jobs,
+                                              double budget_w) const {
+  BudgetResult result;
+  if (jobs.empty()) return result;
+
+  const double max_total = total_max_power_w(jobs);
+  const double min_total = total_min_power_w(jobs);
+
+  double s = 0.0;
+  if (budget_w >= max_total) {
+    s = 0.0;
+  } else if (budget_w <= min_total) {
+    // Even the deepest common slowdown cannot get under the budget: every
+    // job pins to its floor cap.
+    s = 0.0;
+    for (const JobPowerProfile& j : jobs) s = std::max(s, j.model.max_slowdown());
+  } else {
+    // Total power is monotone non-increasing in s; bisect.
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const JobPowerProfile& j : jobs) hi = std::max(hi, j.model.max_slowdown());
+    hi = std::max(hi, 1e-6);
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double total = total_power_at_slowdown(jobs, mid);
+      if (std::abs(total - budget_w) <= tolerance_w_) {
+        lo = hi = mid;
+        break;
+      }
+      if (total > budget_w) {
+        lo = mid;  // need more slowdown to shed power
+      } else {
+        hi = mid;
+      }
+    }
+    s = 0.5 * (lo + hi);
+  }
+
+  result.balance_point = s;
+  for (const JobPowerProfile& j : jobs) {
+    const double cap = j.model.cap_for_slowdown(s);
+    result.node_cap_w[j.job_id] = cap;
+    result.allocated_w += j.nodes * cap;
+  }
+  return result;
+}
+
+}  // namespace anor::budget

@@ -1,0 +1,28 @@
+// Performance-aware power balancer (paper Sec. 4.4.3, second policy).
+//
+//   p_cap_j = P_j( s * T_j(p_max_j) )
+//
+// One expected-slowdown limit s is chosen so the caps use the full budget;
+// each job's model maps that slowdown back to a cap.  Jobs whose models
+// are flat level off at the platform's minimum cap, which is what lets
+// sensitive jobs keep more power (paper Fig. 4).
+#pragma once
+
+#include "budget/budgeter.hpp"
+
+namespace anor::budget {
+
+class EvenSlowdownBudgeter final : public Budgeter {
+ public:
+  /// Bisection tolerance on total watts.
+  explicit EvenSlowdownBudgeter(double tolerance_w = 0.5) : tolerance_w_(tolerance_w) {}
+
+  std::string name() const override { return "even-slowdown"; }
+  BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
+                          double budget_w) const override;
+
+ private:
+  double tolerance_w_;
+};
+
+}  // namespace anor::budget

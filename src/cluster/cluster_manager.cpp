@@ -1,0 +1,173 @@
+#include "cluster/cluster_manager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "workload/job_type.hpp"
+
+namespace anor::cluster {
+
+ClusterManager::ClusterManager(ClusterManagerConfig config) : config_(config) {
+  budgeter_ = budget::make_budgeter(config_.budgeter);
+}
+
+void ClusterManager::load_power_targets(const std::string& path) {
+  targets_ = power_targets_from_json(util::load_json_file(path));
+}
+
+void ClusterManager::attach_channel(std::unique_ptr<MessageChannel> channel) {
+  channels_.push_back(std::move(channel));
+}
+
+std::optional<double> ClusterManager::target_at(double now_s) const {
+  if (targets_.empty()) return std::nullopt;
+  return targets_.sample_at(now_s);
+}
+
+model::PowerPerfModel ClusterManager::initial_model_for(const std::string& classified_as) const {
+  if (workload::try_find_job_type(classified_as)) {
+    return model::model_for_class(classified_as);
+  }
+  return model::default_model(config_.default_model);
+}
+
+bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
+  if (const auto* hello = std::get_if<JobHelloMsg>(&message)) {
+    ManagedJob job;
+    job.job_name = hello->job_name;
+    job.classified_as = hello->classified_as;
+    job.nodes = hello->nodes;
+    job.model = initial_model_for(hello->classified_as);
+    job.channel = &channel;
+    jobs_[hello->job_id] = std::move(job);
+    // Budget the newcomer right away instead of waiting out the period.
+    next_control_s_ = 0.0;
+    util::log_debug("cluster-manager", "registered job " + hello->job_name + " as " +
+                                           hello->classified_as);
+  } else if (const auto* update = std::get_if<ModelUpdateMsg>(&message)) {
+    if (!config_.accept_model_updates) return false;
+    const auto it = jobs_.find(update->job_id);
+    if (it == jobs_.end()) return false;
+    it->second.model = model::PowerPerfModel(update->a, update->b, update->c,
+                                             update->p_min_w, update->p_max_w);
+    it->second.model_from_feedback = update->from_feedback;
+    // Force a cap refresh on the next control step.
+    it->second.last_sent_cap_w = -1.0;
+  } else if (const auto* bye = std::get_if<JobGoodbyeMsg>(&message)) {
+    jobs_.erase(bye->job_id);
+    return true;  // channel lifecycle complete
+  }
+  // PowerBudgetMsg is outbound-only; ignore if echoed.
+  return false;
+}
+
+void ClusterManager::step(double now_s) {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    MessageChannel* channel = it->get();
+    bool done = false;
+    while (auto message = channel->receive()) {
+      done = handle(*message, *channel) || done;
+    }
+    // Drop channels whose job said goodbye or whose peer vanished; any
+    // job still referencing the channel loses its send path.
+    if (done || !channel->connected()) {
+      for (auto& [id, job] : jobs_) {
+        if (job.channel == channel) job.channel = nullptr;
+      }
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (now_s + 1e-12 >= next_control_s_) {
+    rebudget(now_s);
+    next_control_s_ = now_s + config_.control_period_s;
+  }
+}
+
+void ClusterManager::report_measured_power(double now_s, double measured_w) {
+  if (!config_.closed_loop) return;
+  const std::optional<double> target = target_at(now_s);
+  if (!target) return;
+  if (last_measurement_s_ >= 0.0 && now_s > last_measurement_s_) {
+    const double dt = std::min(now_s - last_measurement_s_, 5.0);
+    correction_w_ += config_.integral_gain_per_s * (*target - measured_w) * dt;
+    correction_w_ = std::clamp(correction_w_, -config_.correction_limit_w,
+                               config_.correction_limit_w);
+  }
+  last_measurement_s_ = now_s;
+}
+
+double ClusterManager::job_budget_at(double target_w) const {
+  int busy_nodes = 0;
+  for (const auto& [id, job] : jobs_) busy_nodes += job.nodes;
+  const int idle_nodes = std::max(0, config_.cluster_nodes - busy_nodes);
+  return target_w - idle_nodes * config_.idle_node_power_w;
+}
+
+void ClusterManager::rebudget(double now_s) {
+  if (jobs_.empty()) return;
+  const std::optional<double> target = target_at(now_s);
+
+  std::map<int, double> caps;
+  if (!target) {
+    // No power objective: everyone runs uncapped.
+    for (const auto& [id, job] : jobs_) caps[id] = job.model.p_max_w();
+  } else {
+    std::vector<budget::JobPowerProfile> profiles;
+    profiles.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) {
+      budget::JobPowerProfile profile;
+      profile.job_id = id;
+      profile.nodes = job.nodes;
+      profile.model = job.model;
+      profiles.push_back(std::move(profile));
+    }
+    const budget::BudgetResult result = budgeter_->distribute(
+        profiles, std::max(job_budget_at(*target) + correction_w_, 0.0));
+    caps = result.node_cap_w;
+  }
+
+  for (auto& [id, job] : jobs_) {
+    const auto it = caps.find(id);
+    if (it == caps.end()) continue;
+    if (job.last_sent_cap_w >= 0.0 && std::abs(it->second - job.last_sent_cap_w) < 0.25) {
+      continue;  // suppress no-op chatter
+    }
+    PowerBudgetMsg msg;
+    msg.job_id = id;
+    msg.node_cap_w = it->second;
+    msg.timestamp_s = now_s;
+    if (job.channel != nullptr && job.channel->send(msg)) {
+      job.last_sent_cap_w = it->second;
+    }
+  }
+}
+
+util::Json power_targets_to_json(const util::TimeSeries& targets) {
+  util::JsonArray t;
+  util::JsonArray p;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    t.push_back(util::Json(targets.times()[i]));
+    p.push_back(util::Json(targets.values()[i]));
+  }
+  util::JsonObject obj;
+  obj["t_s"] = util::Json(std::move(t));
+  obj["power_w"] = util::Json(std::move(p));
+  return util::Json(std::move(obj));
+}
+
+util::TimeSeries power_targets_from_json(const util::Json& json) {
+  const util::JsonArray& t = json.at("t_s").as_array();
+  const util::JsonArray& p = json.at("power_w").as_array();
+  if (t.size() != p.size()) throw util::ConfigError("power targets: array size mismatch");
+  util::TimeSeries series;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    series.add(t[i].as_number(), p[i].as_number());
+  }
+  return series;
+}
+
+}  // namespace anor::cluster

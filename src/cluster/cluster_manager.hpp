@@ -1,0 +1,117 @@
+// Cluster-tier power manager (paper Fig. 2: "Cluster Power Budgeter",
+// 1 per cluster, on the head node).
+//
+// "The cluster-tier manager periodically reads cluster power targets from
+// a file, receives messages from nodes running jobs, calculates how to
+// distribute available power to jobs, and sends messages to inform each
+// job-tier endpoint of the job's new power cap." (Sec. 4)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "budget/budgeter.hpp"
+#include "cluster/messages.hpp"
+#include "cluster/transport.hpp"
+#include "model/default_models.hpp"
+#include "util/time_series.hpp"
+
+namespace anor::cluster {
+
+struct ClusterManagerConfig {
+  /// Budget recompute / target refresh cadence, seconds.
+  double control_period_s = 2.0;
+  budget::BudgeterKind budgeter = budget::BudgeterKind::kEvenSlowdown;
+  /// Initial model for jobs whose classified type is unknown.
+  model::DefaultModelPolicy default_model = model::DefaultModelPolicy::kLeastSensitive;
+  /// Accept model updates from the job tier (the feedback path).  When
+  /// false, updates are ignored — the "misclassified, no feedback" case.
+  bool accept_model_updates = true;
+  /// Total cluster nodes and per-idle-node power, for headroom accounting
+  /// (matches the platform's 2 x 18 W package idle draw).
+  int cluster_nodes = 16;
+  double idle_node_power_w = 36.0;
+
+  /// Closed-loop tracking (paper Fig. 1: "Measured Power" flows up to the
+  /// cluster tier): an integral term on (target - measured) compensates
+  /// for allocation the open-loop budget cannot see — idle nodes, jobs in
+  /// low-power setup/teardown, cap-vs-draw gaps.
+  bool closed_loop = true;
+  double integral_gain_per_s = 0.05;
+  double correction_limit_w = 400.0;
+};
+
+/// Per-job state the manager tracks.
+struct ManagedJob {
+  std::string job_name;
+  std::string classified_as;
+  int nodes = 1;
+  model::PowerPerfModel model;
+  bool model_from_feedback = false;
+  double last_sent_cap_w = -1.0;
+  MessageChannel* channel = nullptr;
+};
+
+class ClusterManager {
+ public:
+  explicit ClusterManager(ClusterManagerConfig config);
+
+  /// Power targets over time (watts); replaces any previous series.
+  /// An empty optional clears tracking (budget = unconstrained).
+  void set_power_targets(util::TimeSeries targets) { targets_ = std::move(targets); }
+  /// Load targets from a JSON file of {"t_s": [...], "power_w": [...]}.
+  void load_power_targets(const std::string& path);
+
+  /// Attach (and take ownership of) the manager side of a job's channel.
+  /// The manager releases it after the job's goodbye or when the peer
+  /// disconnects.  Registration completes when the JobHello arrives.
+  void attach_channel(std::unique_ptr<MessageChannel> channel);
+
+  /// One manager iteration: drain job messages, and at the control
+  /// cadence recompute budgets and push caps.
+  void step(double now_s);
+
+  /// Feed the facility's cluster power measurement (paper Sec. 5.4: the
+  /// manager "periodically receives CPU power measurements").  Drives the
+  /// closed-loop correction; a no-op when closed_loop is off or no target
+  /// is set.
+  void report_measured_power(double now_s, double measured_w);
+
+  /// Current closed-loop correction, watts (diagnostic).
+  double correction_w() const { return correction_w_; }
+
+  /// Current target (zero-order hold); nullopt when no targets are set.
+  std::optional<double> target_at(double now_s) const;
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+  const std::map<int, ManagedJob>& jobs() const { return jobs_; }
+  const ClusterManagerConfig& config() const { return config_; }
+
+  /// Exposed for tests: compute the budget available to jobs at a target,
+  /// after reserving idle-node power.
+  double job_budget_at(double target_w) const;
+
+ private:
+  /// Returns true when the channel finished its lifecycle (job goodbye)
+  /// and should be detached.
+  bool handle(const Message& message, MessageChannel& channel);
+  void rebudget(double now_s);
+  model::PowerPerfModel initial_model_for(const std::string& classified_as) const;
+
+  ClusterManagerConfig config_;
+  std::unique_ptr<budget::Budgeter> budgeter_;
+  util::TimeSeries targets_;
+  std::vector<std::unique_ptr<MessageChannel>> channels_;
+  std::map<int, ManagedJob> jobs_;
+  double next_control_s_ = 0.0;
+  double correction_w_ = 0.0;
+  double last_measurement_s_ = -1.0;
+};
+
+/// Serialize/parse the power-target file format.
+util::Json power_targets_to_json(const util::TimeSeries& targets);
+util::TimeSeries power_targets_from_json(const util::Json& json);
+
+}  // namespace anor::cluster

@@ -1,0 +1,264 @@
+#include "cluster/emulation.hpp"
+
+#include <algorithm>
+
+#include "model/default_models.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace anor::cluster {
+
+std::map<std::string, util::RunningStats> EmulationResult::slowdown_by_type() const {
+  std::map<std::string, util::RunningStats> by_type;
+  for (const CompletedJob& job : completed) {
+    by_type[job.request.type_name].add(job.slowdown());
+  }
+  return by_type;
+}
+
+double uncapped_runtime_s(const workload::JobType& type,
+                          const workload::KernelConfig& kernel) {
+  return kernel.setup_s + kernel.teardown_s +
+         type.min_exec_time_s() * kernel.perf_multiplier;
+}
+
+EmulatedCluster::EmulatedCluster(EmulationConfig config, workload::Schedule schedule)
+    : config_(config),
+      schedule_(std::move(schedule)),
+      rng_(config.seed),
+      scheduler_([&] {
+        sched::SchedulerConfig sc = config.scheduler;
+        sc.cluster_nodes = config.node_count;
+        if (sc.backfill && !sc.runtime_estimate) {
+          const workload::KernelConfig kernel = config.controller.kernel;
+          sc.runtime_estimate = [kernel](const std::string& name) {
+            if (const auto type = workload::try_find_job_type(name)) {
+              return uncapped_runtime_s(*type, kernel);
+            }
+            return 600.0;
+          };
+        }
+        return sc;
+      }()),
+      manager_([&] {
+        ClusterManagerConfig mc = config.manager;
+        mc.cluster_nodes = config.node_count;
+        return mc;
+      }()) {
+  platform::ClusterHwConfig hw_config;
+  hw_config.node_count = config_.node_count;
+  hw_config.node = config_.node;
+  hw_config.perf_variation_sigma = config_.perf_variation_sigma;
+  hw_ = std::make_unique<platform::ClusterHw>(hw_config, rng_.child("hw"));
+  for (int n = 0; n < config_.node_count; ++n) free_nodes_.insert(n);
+
+  std::sort(schedule_.jobs.begin(), schedule_.jobs.end(),
+            [](const workload::JobRequest& a, const workload::JobRequest& b) {
+              return a.submit_time_s < b.submit_time_s;
+            });
+  result_.qos = sched::QosEvaluator(config_.qos);
+}
+
+void EmulatedCluster::set_power_targets(util::TimeSeries targets) {
+  manager_.set_power_targets(std::move(targets));
+}
+
+double EmulatedCluster::min_feasible_power_w() const {
+  double total = static_cast<double>(free_nodes_.size()) * config_.manager.idle_node_power_w;
+  for (const auto& job : running_) {
+    total += job->request.nodes * hw_->node(0).min_cap_w();
+  }
+  return total;
+}
+
+double EmulatedCluster::max_feasible_power_w() const {
+  double total = static_cast<double>(free_nodes_.size()) * config_.manager.idle_node_power_w;
+  for (const auto& job : running_) {
+    const workload::JobType& type = workload::find_job_type(job->request.type_name);
+    total += job->request.nodes * type.max_power_w;
+  }
+  return total;
+}
+
+sched::SchedulerView EmulatedCluster::make_view() const {
+  sched::SchedulerView view;
+  view.free_nodes = static_cast<int>(free_nodes_.size());
+  const auto target = manager_.target_at(clock_.now());
+  view.power_target_w = target.value_or(0.0);
+  const double floor_cap = hw_->node(0).min_cap_w();
+  const double idle_power = config_.manager.idle_node_power_w;
+  const int busy = config_.node_count - view.free_nodes;
+  view.min_feasible_power_w = busy * floor_cap + view.free_nodes * idle_power;
+  view.per_node_floor_increase_w = floor_cap - idle_power;
+  view.now_s = clock_.now();
+  if (config_.scheduler.backfill) {
+    for (const auto& job : running_) {
+      const workload::JobType& type = workload::find_job_type(job->request.type_name);
+      // Project the release from the exec time the current cap implies.
+      const double projected_end =
+          job->controller->start_time_s() +
+          uncapped_runtime_s(type, config_.controller.kernel) *
+              type.relative_time(job->controller->current_cap_w());
+      view.projected_releases.emplace_back(std::max(projected_end, clock_.now()),
+                                           job->request.nodes);
+    }
+  }
+  return view;
+}
+
+void EmulatedCluster::admit_arrivals() {
+  const double now = clock_.now();
+  while (next_arrival_ < schedule_.jobs.size() &&
+         schedule_.jobs[next_arrival_].submit_time_s <= now) {
+    workload::JobRequest request = schedule_.jobs[next_arrival_];
+    if (request.nodes <= 0) {
+      request.nodes = workload::find_job_type(request.type_name).nodes;
+    }
+    queued_[request.job_id] = request;
+    scheduler_.submit(request, now);
+    ++next_arrival_;
+  }
+}
+
+void EmulatedCluster::start_jobs() {
+  const std::vector<workload::JobRequest> to_start = scheduler_.schedule(make_view());
+  for (const workload::JobRequest& request : to_start) {
+    queued_.erase(request.job_id);
+    auto job = std::make_unique<RunningJob>();
+    job->request = request;
+
+    std::vector<platform::Node*> nodes;
+    for (int k = 0; k < request.nodes; ++k) {
+      if (free_nodes_.empty()) {
+        throw util::ConfigError("EmulatedCluster: scheduler oversubscribed nodes");
+      }
+      const int node_id = *free_nodes_.begin();
+      free_nodes_.erase(free_nodes_.begin());
+      job->node_ids.push_back(node_id);
+      nodes.push_back(&hw_->node(node_id));
+    }
+
+    const workload::JobType& true_type = workload::find_job_type(request.type_name);
+    geopm::ControllerConfig controller_config = config_.controller;
+    const auto phases_it = config_.phase_overrides.find(request.type_name);
+    if (phases_it != config_.phase_overrides.end()) {
+      controller_config.phases = phases_it->second;
+    }
+    job->controller = std::make_unique<geopm::JobController>(
+        request.type_name + "#" + std::to_string(request.job_id), true_type,
+        std::move(nodes), clock_,
+        rng_.child(static_cast<std::uint64_t>(request.job_id) + 1000), controller_config);
+
+    job->channels = make_inproc_pair(clock_, config_.inproc_latency_s);
+    manager_.attach_channel(std::move(job->channels.a));
+
+    // The endpoint process starts from the *classified* model — what the
+    // batch system believes the job is.
+    const std::string& classified = request.effective_class();
+    model::PowerPerfModel initial_model;
+    if (workload::try_find_job_type(classified)) {
+      initial_model = model::model_for_class(classified);
+    } else {
+      initial_model = model::default_model(config_.manager.default_model);
+    }
+    job->endpoint = std::make_unique<JobEndpointProcess>(
+        request.job_id, request.type_name + "#" + std::to_string(request.job_id), classified,
+        request.nodes, std::move(initial_model), job->controller->endpoint(),
+        *job->channels.b, clock_.now(), config_.endpoint,
+        job->controller->current_cap_w());
+
+    running_.push_back(std::move(job));
+  }
+}
+
+void EmulatedCluster::finish_completed_jobs() {
+  const double now = clock_.now();
+  for (auto it = running_.begin(); it != running_.end();) {
+    RunningJob& job = **it;
+    if (!job.controller->complete()) {
+      ++it;
+      continue;
+    }
+    job.controller->teardown(now);
+    // The goodbye survives the endpoint's destruction: the channel pipes
+    // are shared, so the manager drains it on a later step.
+    job.endpoint->finish(now);
+
+    CompletedJob record;
+    record.request = job.request;
+    record.report = job.controller->report();
+    record.submit_s = job.request.submit_time_s;
+    record.start_s = job.controller->start_time_s();
+    record.end_s = now;
+    const workload::JobType& type = workload::find_job_type(job.request.type_name);
+    record.reference_runtime_s = uncapped_runtime_s(type, config_.controller.kernel);
+    result_.completed.push_back(record);
+
+    sched::JobQosRecord qos_record;
+    qos_record.job_id = job.request.job_id;
+    qos_record.type_name = job.request.type_name;
+    qos_record.submit_s = record.submit_s;
+    qos_record.start_s = record.start_s;
+    qos_record.end_s = record.end_s;
+    qos_record.t_min_s = record.reference_runtime_s;
+    result_.qos.add(std::move(qos_record));
+
+    scheduler_.job_finished(job.request.type_name, job.request.nodes);
+    for (int node_id : job.node_ids) free_nodes_.insert(node_id);
+    it = running_.erase(it);
+  }
+}
+
+bool EmulatedCluster::step() {
+  if (done_) return false;
+  const double dt = config_.step_s;
+  clock_.advance(dt);
+  hw_->step(dt);
+  const double now = clock_.now();
+
+  admit_arrivals();
+  finish_completed_jobs();
+  start_jobs();
+
+  for (auto& job : running_) {
+    job->controller->control_step(now);
+    job->endpoint->step(now);
+  }
+  // Facility metering: the head node sees the cluster's CPU power.
+  manager_.report_measured_power(now, hw_->total_power_w());
+  manager_.step(now);
+
+  if (now + 1e-9 >= next_log_s_) {
+    result_.power_w.add(now, hw_->total_power_w());
+    if (const auto target = manager_.target_at(now)) {
+      result_.target_w.add(now, *target);
+    }
+    next_log_s_ = now + config_.log_period_s;
+  }
+
+  const bool drained = next_arrival_ >= schedule_.jobs.size() && running_.empty() &&
+                       !scheduler_.has_pending();
+  if (drained || now >= config_.max_duration_s) done_ = true;
+  return !done_;
+}
+
+EmulationResult EmulatedCluster::run() {
+  while (step()) {
+  }
+  result_.end_time_s = clock_.now();
+  if (!result_.target_w.empty() && !result_.power_w.empty()) {
+    // Reserve for error normalization: half the observed target span, or
+    // the manager-known reserve if the caller tracks it externally.
+    double lo = result_.target_w.values().front();
+    double hi = lo;
+    for (double v : result_.target_w.values()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double reserve = std::max((hi - lo) / 2.0, 1.0);
+    result_.tracking = util::tracking_error(result_.power_w, result_.target_w, reserve);
+  }
+  return result_;
+}
+
+}  // namespace anor::cluster

@@ -1,0 +1,88 @@
+#include "cluster/facility.hpp"
+
+#include <algorithm>
+
+namespace anor::cluster {
+
+ClusterEnvelope FacilityCoordinator::envelope_of(const EmulatedCluster& cluster) {
+  ClusterEnvelope envelope;
+  envelope.floor_w = cluster.min_feasible_power_w();
+  envelope.ceiling_w = std::max(cluster.max_feasible_power_w(), envelope.floor_w);
+  return envelope;
+}
+
+std::vector<double> FacilityCoordinator::split(
+    double facility_target_w, const std::vector<ClusterEnvelope>& envelopes) {
+  std::vector<double> shares(envelopes.size(), 0.0);
+  if (envelopes.empty()) return shares;
+
+  // Every cluster gets its floor unconditionally (power it cannot shed).
+  double remaining = facility_target_w;
+  for (std::size_t i = 0; i < envelopes.size(); ++i) {
+    shares[i] = envelopes[i].floor_w;
+    remaining -= envelopes[i].floor_w;
+  }
+  if (remaining <= 0.0) return shares;  // over-constrained: floors only
+
+  // Distribute headroom proportionally to upward flexibility, re-running
+  // after clamping at ceilings so no headroom is stranded.
+  std::vector<bool> saturated(envelopes.size(), false);
+  for (int pass = 0; pass < 8 && remaining > 1e-6; ++pass) {
+    double flex_total = 0.0;
+    for (std::size_t i = 0; i < envelopes.size(); ++i) {
+      if (!saturated[i]) flex_total += envelopes[i].ceiling_w - shares[i];
+    }
+    if (flex_total <= 1e-9) break;
+    double distributed = 0.0;
+    for (std::size_t i = 0; i < envelopes.size(); ++i) {
+      if (saturated[i]) continue;
+      const double flex = envelopes[i].ceiling_w - shares[i];
+      double grant = remaining * flex / flex_total;
+      if (grant >= flex) {
+        grant = flex;
+        saturated[i] = true;
+      }
+      shares[i] += grant;
+      distributed += grant;
+    }
+    remaining -= distributed;
+  }
+  return shares;
+}
+
+bool FacilityCoordinator::step(double facility_target_w, double dt_s) {
+  now_s_ += dt_s;
+  if (now_s_ + 1e-9 >= next_split_s_) {
+    std::vector<ClusterEnvelope> envelopes;
+    envelopes.reserve(clusters_.size());
+    for (const EmulatedCluster* cluster : clusters_) {
+      envelopes.push_back(envelope_of(*cluster));
+    }
+    const std::vector<double> shares = split(facility_target_w, envelopes);
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      util::TimeSeries target;
+      target.add(0.0, shares[i]);
+      clusters_[i]->manager().set_power_targets(std::move(target));
+    }
+    next_split_s_ = now_s_ + config_.period_s;
+  }
+
+  bool any_active = false;
+  for (EmulatedCluster* cluster : clusters_) {
+    while (!cluster->finished() && cluster->clock().now() < now_s_) {
+      cluster->step();
+    }
+    any_active = any_active || !cluster->finished();
+  }
+  return any_active;
+}
+
+double FacilityCoordinator::total_power_w() const {
+  double total = 0.0;
+  for (const EmulatedCluster* cluster : clusters_) {
+    total += cluster->hardware().total_power_w();
+  }
+  return total;
+}
+
+}  // namespace anor::cluster

@@ -1,0 +1,66 @@
+// Facility-level power coordination across clusters (paper Sec. 8:
+// "a facility with multiple clusters may wish to coordinate power demand
+// across those clusters ... by treating the facility as a power provider
+// to each member of the cluster tier").
+//
+// The coordinator owns a facility power target and splits it across its
+// member clusters each period: every cluster first receives its floor
+// (what it cannot go below), and the remaining headroom is divided in
+// proportion to each cluster's upward flexibility.  The split therefore
+// adapts as jobs start and finish on each cluster — a cluster bringing up
+// new load automatically pulls power away from a draining one, the exact
+// scenario the paper sketches for next-generation cluster bring-up.
+#pragma once
+
+#include <vector>
+
+#include "cluster/emulation.hpp"
+
+namespace anor::cluster {
+
+struct FacilityConfig {
+  /// How often the facility recomputes the split, virtual seconds.
+  double period_s = 4.0;
+};
+
+/// A member cluster's current feasible power envelope.
+struct ClusterEnvelope {
+  double floor_w = 0.0;    // busy nodes at min caps + idle nodes at idle power
+  double ceiling_w = 0.0;  // busy nodes at their jobs' max draw + idle power
+};
+
+class FacilityCoordinator {
+ public:
+  explicit FacilityCoordinator(FacilityConfig config = {}) : config_(config) {}
+
+  /// Member clusters must outlive the coordinator.
+  void add_cluster(EmulatedCluster& cluster) { clusters_.push_back(&cluster); }
+  std::size_t cluster_count() const { return clusters_.size(); }
+
+  /// Feasible envelope of one member right now.
+  static ClusterEnvelope envelope_of(const EmulatedCluster& cluster);
+
+  /// Pure split function (exposed for tests): floors first, then headroom
+  /// proportional to upward flexibility, clamped to each ceiling.
+  static std::vector<double> split(double facility_target_w,
+                                   const std::vector<ClusterEnvelope>& envelopes);
+
+  /// Advance the whole facility by dt: recompute the split at the
+  /// coordination period and push each cluster's share as its power
+  /// target, then step every member.  Returns false when every member has
+  /// finished its schedule.
+  bool step(double facility_target_w, double dt_s);
+
+  /// Total measured power across members.
+  double total_power_w() const;
+
+  double now_s() const { return now_s_; }
+
+ private:
+  FacilityConfig config_;
+  std::vector<EmulatedCluster*> clusters_;
+  double now_s_ = 0.0;
+  double next_split_s_ = 0.0;
+};
+
+}  // namespace anor::cluster

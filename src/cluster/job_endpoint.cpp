@@ -1,0 +1,188 @@
+#include "cluster/job_endpoint.hpp"
+
+#include <algorithm>
+
+#include "geopm/signals.hpp"
+#include "util/logging.hpp"
+
+namespace anor::cluster {
+
+JobEndpointProcess::JobEndpointProcess(int job_id, std::string job_name,
+                                       std::string classified_as, int nodes,
+                                       model::PowerPerfModel initial_model,
+                                       geopm::Endpoint& endpoint, MessageChannel& channel,
+                                       double start_time_s, JobEndpointConfig config,
+                                       double initial_cap_w)
+    : job_id_(job_id),
+      job_name_(std::move(job_name)),
+      classified_as_(std::move(classified_as)),
+      nodes_(nodes),
+      endpoint_(&endpoint),
+      channel_(&channel),
+      config_(config),
+      modeler_(initial_model),
+      reclassifier_(model::standard_candidates(), config.reclassifier),
+      served_model_(std::move(initial_model)) {
+  JobHelloMsg hello;
+  hello.job_id = job_id_;
+  hello.job_name = job_name_;
+  hello.classified_as = classified_as_;
+  hello.nodes = nodes_;
+  channel_->send(hello);
+  next_step_s_ = start_time_s;
+  // Record the cap the nodes already carry so the first epoch
+  // observations attribute to the right power level.  No policy write is
+  // needed until the cap changes.
+  current_cap_w_ = initial_cap_w;
+  applied_cap_w_ = initial_cap_w;
+  modeler_.record_cap(start_time_s, initial_cap_w);
+}
+
+void JobEndpointProcess::publish_model(double now_s, const model::PowerPerfModel& model,
+                                       bool from_feedback) {
+  ModelUpdateMsg msg;
+  msg.job_id = job_id_;
+  msg.a = model.a();
+  msg.b = model.b();
+  msg.c = model.c();
+  msg.p_min_w = model.p_min_w();
+  msg.p_max_w = model.p_max_w();
+  msg.r2 = model.r2();
+  msg.from_feedback = from_feedback;
+  msg.timestamp_s = now_s;
+  channel_->send(msg);
+  if (from_feedback) published_feedback_ = true;
+}
+
+void JobEndpointProcess::apply_cap(double now_s) {
+  double cap = current_cap_w_;
+  if (probing_) {
+    if (now_s + 1e-9 >= probe_next_flip_s_) {
+      probe_level_ = (probe_level_ + 1) % 3;  // 0 -> +1 -> -1 -> 0 ...
+      probe_next_flip_s_ = now_s + config_.probe_dwell_s;
+    }
+    const int sign = probe_level_ == 1 ? 1 : (probe_level_ == 2 ? -1 : 0);
+    cap += sign * config_.probe_delta_w;
+  }
+  if (cap != applied_cap_w_) {
+    applied_cap_w_ = cap;
+    modeler_.record_cap(now_s, cap);
+    endpoint_->write_policy(now_s, {cap});
+  }
+}
+
+void JobEndpointProcess::step(double now_s) {
+  if (now_s + 1e-12 < next_step_s_) return;
+  next_step_s_ = now_s + config_.period_s;
+
+  // 1. Budgets from the cluster manager -> agent policy + cap history.
+  while (auto message = channel_->receive()) {
+    if (const auto* budget = std::get_if<PowerBudgetMsg>(&*message)) {
+      current_cap_w_ = budget->node_cap_w;
+    }
+  }
+  apply_cap(now_s);
+
+  // 2. Agent samples -> modeler observations.  Spans use the precise
+  // epoch-completion timestamps GEOPM reports, not the coarser sample
+  // times — the difference is the sampling-grid quantization that
+  // otherwise blurs seconds-per-epoch (paper Sec. 7.2).
+  for (const geopm::TimedSample& sample : endpoint_->read_samples()) {
+    if (sample.sample.size() < geopm::kSampleSize) continue;
+    const auto epoch_count = static_cast<long>(sample.sample[geopm::kSampleEpochCount]);
+    const double epoch_time = sample.sample[geopm::kSampleEpochTime];
+    modeler_.add_epoch_sample(epoch_time > 0.0 ? epoch_time : sample.timestamp_s,
+                              epoch_count);
+  }
+
+  // 3. Feedback upward.
+  if (config_.feedback_enabled) run_feedback(now_s);
+}
+
+void JobEndpointProcess::run_feedback(double now_s) {
+  // Candidates compete on prediction error against the clean (single-cap)
+  // observations: the online quadratic refit (when cap diversity allowed
+  // one) and the precharacterized curves.  A swap is published only when
+  // the winner beats BOTH the served model (improvement_factor) and the
+  // runner-up candidate (ambiguity_factor) — several curves cross near
+  // any single cap, so without the latter check a near-tie could install
+  // a model with the wrong slope.  While the decision is ambiguous, cap
+  // probing dithers the applied cap to expose the slope.
+  const std::vector<model::EpochObservation> clean = modeler_.clean_observations();
+  if (clean.empty()) return;
+  const double served_error = model::Reclassifier::mean_relative_error(served_model_, clean);
+  if (served_error <= config_.reclassifier.divergence_threshold) {
+    probing_ = false;
+    return;
+  }
+
+  long epochs_seen = 0;
+  for (const auto& obs : clean) epochs_seen += obs.epochs;
+  if (epochs_seen < config_.reclassifier.min_epochs) return;
+
+  // Rank the precharacterized candidates; the online refit competes
+  // separately.  A named curve comparable in error to the refit wins the
+  // tie: library curves are trustworthy over the whole cap range, while a
+  // refit is only supported where it was observed.
+  std::vector<std::pair<double, model::NamedModel>> candidates =
+      reclassifier_.ranked(clean);
+  if (candidates.empty()) return;
+  double best_error = candidates.front().first;
+  model::NamedModel winner = candidates.front().second;
+  double runner_up_error = candidates.size() > 1 ? candidates[1].first : best_error + 10.0;
+  std::string runner_up_name =
+      candidates.size() > 1 ? candidates[1].second.name : "(none)";
+  if (modeler_.has_fitted_model()) {
+    const double refit_error =
+        model::Reclassifier::mean_relative_error(modeler_.model(), clean);
+    if (refit_error + 0.5 * config_.decision_margin < best_error) {
+      // The refit is decisively better than every library curve: the job
+      // genuinely matches no precharacterized type.
+      winner = model::NamedModel{"online-refit", modeler_.model()};
+      runner_up_error = best_error;
+      runner_up_name = candidates.front().second.name;
+      best_error = refit_error;
+    }
+  }
+
+  const bool improves =
+      best_error <= served_error * config_.reclassifier.improvement_factor;
+  const bool decisive = runner_up_error - best_error >= config_.decision_margin;
+
+  if (improves && decisive) {
+    probing_ = false;
+    served_model_ = winner.model;
+    reclassified_to_ = winner.name;
+    publish_model(now_s, served_model_, true);
+    util::log_debug("job-endpoint",
+                    job_name_ + ": feedback model '" + winner.name + "' replaces " +
+                        classified_as_ + " (error " + std::to_string(best_error) +
+                        " vs served " + std::to_string(served_error) + ")");
+    return;
+  }
+  if (improves && config_.probe_enabled && !probing_) {
+    probing_ = true;
+    probe_level_ = 0;
+    probe_next_flip_s_ = now_s;  // start dithering immediately
+    util::log_debug("job-endpoint",
+                    job_name_ + ": candidates ambiguous (best " +
+                        std::to_string(best_error) + ", runner-up " +
+                        std::to_string(runner_up_error) + "); probing caps");
+  } else if (probing_ && now_s >= probe_log_next_s_) {
+    probe_log_next_s_ = now_s + 15.0;
+    util::log_debug("job-endpoint",
+                    job_name_ + ": probing... best='" + winner.name + "' " +
+                        std::to_string(best_error) + ", runner-up '" + runner_up_name +
+                        "' " + std::to_string(runner_up_error) + ", clean_obs " +
+                        std::to_string(clean.size()));
+  }
+}
+
+void JobEndpointProcess::finish(double now_s) {
+  JobGoodbyeMsg bye;
+  bye.job_id = job_id_;
+  bye.timestamp_s = now_s;
+  channel_->send(bye);
+}
+
+}  // namespace anor::cluster

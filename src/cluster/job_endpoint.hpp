@@ -1,0 +1,113 @@
+// Job-tier endpoint process (paper Fig. 2: "Power Modeler", 1 per job).
+//
+// Runs on (one of) a job's compute nodes, bridging the GEOPM endpoint to
+// the cluster tier: it reads epoch samples out of the endpoint's shared
+// memory, feeds the online modeler, forwards power budgets from the
+// cluster manager into the endpoint as agent policies, and — when
+// feedback is enabled — publishes improved models upward.  Two feedback
+// mechanisms mirror the paper: a quadratic refit once observations span
+// enough caps (Sec. 4.2), and misclassification detection against the
+// precharacterized curves (Sec. 6.1.2) for the static-cap regime.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/messages.hpp"
+#include "cluster/transport.hpp"
+#include "geopm/endpoint.hpp"
+#include "model/modeler.hpp"
+#include "model/reclassify.hpp"
+
+namespace anor::cluster {
+
+struct JobEndpointConfig {
+  /// How often the endpoint process runs its loop, seconds.
+  double period_s = 1.0;
+  /// Feedback off = never publish model updates (the "misclassified"
+  /// policy); on = publish refits/reclassifications (the "adjusted" one).
+  bool feedback_enabled = true;
+  model::ReclassifierConfig reclassifier;
+
+  /// Cap probing: when the served model has diverged but no candidate is
+  /// *decisively* better (several precharacterized curves cross near the
+  /// current cap, so absolute epoch times cannot separate them), the
+  /// endpoint dithers the applied cap through {-delta, 0, +delta} around
+  /// the budget.  Observations at distinct caps expose the curve's slope,
+  /// disambiguating the candidates — and giving the quadratic refit the
+  /// cap diversity it needs.  Mean applied power is budget-neutral.
+  bool probe_enabled = true;
+  double probe_delta_w = 20.0;
+  double probe_dwell_s = 6.0;
+  /// Commit a model swap only when the best candidate's error undercuts
+  /// the runner-up's by at least this margin (absolute, on mean relative
+  /// error).  Epoch rates resolve to well under 1 % per cap level, so
+  /// near-ties are within measurement noise — probing separates them.
+  double decision_margin = 0.015;
+};
+
+class JobEndpointProcess {
+ public:
+  /// `endpoint` is the GEOPM endpoint of the job's controller; `channel`
+  /// connects to the cluster manager.  Both must outlive this object.
+  /// `start_time_s` is the virtual time the job started (its initial
+  /// uncapped power level is recorded from then).  Sends JobHello
+  /// immediately.
+  /// `initial_cap_w` is the cap the job's nodes carry at start (fresh
+  /// nodes power up at TDP; recycled nodes keep their last cap).
+  JobEndpointProcess(int job_id, std::string job_name, std::string classified_as, int nodes,
+                     model::PowerPerfModel initial_model, geopm::Endpoint& endpoint,
+                     MessageChannel& channel, double start_time_s = 0.0,
+                     JobEndpointConfig config = {},
+                     double initial_cap_w = workload::kNodeMaxCapW);
+
+  int job_id() const { return job_id_; }
+  double next_due_s() const { return next_step_s_; }
+  const model::OnlineModeler& modeler() const { return modeler_; }
+  bool published_feedback() const { return published_feedback_; }
+  double current_cap_w() const { return current_cap_w_; }
+  bool probing() const { return probing_; }
+
+  /// One iteration of the endpoint loop at virtual time `now_s`:
+  /// 1. apply any budget messages from the manager to the agent,
+  /// 2. drain agent samples into the modeler,
+  /// 3. if feedback produced a better model, publish it.
+  void step(double now_s);
+
+  /// Send JobGoodbye (call at job completion).
+  void finish(double now_s);
+
+ private:
+  void publish_model(double now_s, const model::PowerPerfModel& model, bool from_feedback);
+  /// Push cap (+ probe dither when active) into the agent policy.
+  void apply_cap(double now_s);
+  void run_feedback(double now_s);
+
+  int job_id_;
+  std::string job_name_;
+  std::string classified_as_;
+  int nodes_;
+  geopm::Endpoint* endpoint_;
+  MessageChannel* channel_;
+  JobEndpointConfig config_;
+
+  model::OnlineModeler modeler_;
+  model::Reclassifier reclassifier_;
+  /// What the cluster tier currently budgets this job with (initially the
+  /// classified model; replaced by published feedback).
+  model::PowerPerfModel served_model_;
+  double next_step_s_ = 0.0;
+  double current_cap_w_ = 0.0;
+  bool published_feedback_ = false;
+  std::optional<std::string> reclassified_to_;
+
+  // Probe state.
+  bool probing_ = false;
+  int probe_level_ = 0;           // cycles 0, +1, -1
+  double probe_next_flip_s_ = 0.0;
+  double probe_log_next_s_ = 0.0;
+  double applied_cap_w_ = -1.0;   // last cap actually written to the agent
+};
+
+}  // namespace anor::cluster

@@ -1,0 +1,93 @@
+#include "cluster/messages.hpp"
+
+#include "util/error.hpp"
+
+namespace anor::cluster {
+
+util::Json encode(const Message& message) {
+  util::JsonObject obj;
+  std::visit(
+      [&obj](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, JobHelloMsg>) {
+          obj["type"] = util::Json("hello");
+          obj["job_id"] = util::Json(msg.job_id);
+          obj["job_name"] = util::Json(msg.job_name);
+          obj["classified_as"] = util::Json(msg.classified_as);
+          obj["nodes"] = util::Json(msg.nodes);
+          obj["t"] = util::Json(msg.timestamp_s);
+        } else if constexpr (std::is_same_v<T, PowerBudgetMsg>) {
+          obj["type"] = util::Json("budget");
+          obj["job_id"] = util::Json(msg.job_id);
+          obj["node_cap_w"] = util::Json(msg.node_cap_w);
+          obj["t"] = util::Json(msg.timestamp_s);
+        } else if constexpr (std::is_same_v<T, ModelUpdateMsg>) {
+          obj["type"] = util::Json("model");
+          obj["job_id"] = util::Json(msg.job_id);
+          obj["a"] = util::Json(msg.a);
+          obj["b"] = util::Json(msg.b);
+          obj["c"] = util::Json(msg.c);
+          obj["p_min_w"] = util::Json(msg.p_min_w);
+          obj["p_max_w"] = util::Json(msg.p_max_w);
+          obj["r2"] = util::Json(msg.r2);
+          obj["from_feedback"] = util::Json(msg.from_feedback);
+          obj["t"] = util::Json(msg.timestamp_s);
+        } else if constexpr (std::is_same_v<T, JobGoodbyeMsg>) {
+          obj["type"] = util::Json("goodbye");
+          obj["job_id"] = util::Json(msg.job_id);
+          obj["t"] = util::Json(msg.timestamp_s);
+        }
+      },
+      message);
+  return util::Json(std::move(obj));
+}
+
+Message decode(const util::Json& json) {
+  const std::string& type = json.at("type").as_string();
+  if (type == "hello") {
+    JobHelloMsg msg;
+    msg.job_id = static_cast<int>(json.at("job_id").as_int());
+    msg.job_name = json.at("job_name").as_string();
+    msg.classified_as = json.at("classified_as").as_string();
+    msg.nodes = static_cast<int>(json.at("nodes").as_int());
+    msg.timestamp_s = json.at("t").as_number();
+    return msg;
+  }
+  if (type == "budget") {
+    PowerBudgetMsg msg;
+    msg.job_id = static_cast<int>(json.at("job_id").as_int());
+    msg.node_cap_w = json.at("node_cap_w").as_number();
+    msg.timestamp_s = json.at("t").as_number();
+    return msg;
+  }
+  if (type == "model") {
+    ModelUpdateMsg msg;
+    msg.job_id = static_cast<int>(json.at("job_id").as_int());
+    msg.a = json.at("a").as_number();
+    msg.b = json.at("b").as_number();
+    msg.c = json.at("c").as_number();
+    msg.p_min_w = json.at("p_min_w").as_number();
+    msg.p_max_w = json.at("p_max_w").as_number();
+    msg.r2 = json.at("r2").as_number();
+    msg.from_feedback = json.bool_or("from_feedback", false);
+    msg.timestamp_s = json.at("t").as_number();
+    return msg;
+  }
+  if (type == "goodbye") {
+    JobGoodbyeMsg msg;
+    msg.job_id = static_cast<int>(json.at("job_id").as_int());
+    msg.timestamp_s = json.at("t").as_number();
+    return msg;
+  }
+  throw util::ConfigError("decode: unknown message type '" + type + "'");
+}
+
+std::string encode_text(const Message& message) { return encode(message).dump(); }
+
+Message decode_text(const std::string& text) { return decode(util::Json::parse(text)); }
+
+int job_id_of(const Message& message) {
+  return std::visit([](const auto& msg) { return msg.job_id; }, message);
+}
+
+}  // namespace anor::cluster

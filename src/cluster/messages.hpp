@@ -1,0 +1,64 @@
+// Wire protocol between the cluster-tier manager and per-job endpoints.
+//
+// Paper Fig. 2: the cluster power budgeter and the job-tier power modeler
+// exchange messages over TCP — budgets flow down, models flow up.  Frames
+// are JSON texts (length-prefixed on stream transports) so both the
+// deterministic in-process channel and the real TCP loopback speak the
+// same encoding.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "util/json.hpp"
+
+namespace anor::cluster {
+
+/// Job announces itself to the cluster manager when it starts.
+struct JobHelloMsg {
+  int job_id = 0;
+  std::string job_name;
+  std::string classified_as;  // job type the batch system classified this as
+  int nodes = 1;
+  double timestamp_s = 0.0;
+};
+
+/// Cluster manager assigns a per-node power cap to a job.
+struct PowerBudgetMsg {
+  int job_id = 0;
+  double node_cap_w = 0.0;
+  double timestamp_s = 0.0;
+};
+
+/// Job tier publishes its current power-performance model.
+struct ModelUpdateMsg {
+  int job_id = 0;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double p_min_w = 0.0;
+  double p_max_w = 0.0;
+  double r2 = 0.0;
+  bool from_feedback = false;  // fitted/reclassified online vs precharacterized
+  double timestamp_s = 0.0;
+};
+
+/// Job finished; the manager drops it from budgeting.
+struct JobGoodbyeMsg {
+  int job_id = 0;
+  double timestamp_s = 0.0;
+};
+
+using Message = std::variant<JobHelloMsg, PowerBudgetMsg, ModelUpdateMsg, JobGoodbyeMsg>;
+
+/// JSON encoding (a {"type": ..., ...} object).
+util::Json encode(const Message& message);
+Message decode(const util::Json& json);
+
+std::string encode_text(const Message& message);
+Message decode_text(const std::string& text);
+
+/// The job id of any message.
+int job_id_of(const Message& message);
+
+}  // namespace anor::cluster

@@ -1,0 +1,150 @@
+#include "cluster/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace anor::cluster {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+  set_nonblocking(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpChannel::~TcpChannel() { close_socket(); }
+
+void TcpChannel::close_socket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpChannel::send(const Message& message) {
+  if (fd_ < 0) return false;
+  const std::string payload = encode_text(message);
+  std::vector<std::uint8_t> frame(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame[0] = static_cast<std::uint8_t>(len >> 24);
+  frame[1] = static_cast<std::uint8_t>(len >> 16);
+  frame[2] = static_cast<std::uint8_t>(len >> 8);
+  frame[3] = static_cast<std::uint8_t>(len);
+  std::memcpy(frame.data() + 4, payload.data(), payload.size());
+
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Loopback control traffic is tiny; spin briefly rather than
+      // maintaining an output queue.
+      continue;
+    }
+    close_socket();
+    return false;
+  }
+  return true;
+}
+
+void TcpChannel::pump_input() {
+  if (fd_ < 0) return;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      in_buffer_.insert(in_buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      close_socket();  // peer closed
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_socket();
+    return;
+  }
+}
+
+std::optional<Message> TcpChannel::receive() {
+  pump_input();
+  if (in_buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t len = (static_cast<std::uint32_t>(in_buffer_[0]) << 24) |
+                            (static_cast<std::uint32_t>(in_buffer_[1]) << 16) |
+                            (static_cast<std::uint32_t>(in_buffer_[2]) << 8) |
+                            static_cast<std::uint32_t>(in_buffer_[3]);
+  if (in_buffer_.size() < 4 + len) return std::nullopt;
+  const std::string payload(in_buffer_.begin() + 4, in_buffer_.begin() + 4 + len);
+  in_buffer_.erase(in_buffer_.begin(), in_buffer_.begin() + 4 + len);
+  return decode_text(payload);
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw util::TransportError("TcpListener: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    throw util::TransportError("TcpListener: bind() failed");
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    throw util::TransportError("TcpListener: listen() failed");
+  }
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpChannel> TcpListener::accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_unique<TcpChannel>(client);
+}
+
+std::unique_ptr<TcpChannel> tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw util::TransportError("tcp_connect: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw util::TransportError("tcp_connect: connect() failed");
+  }
+  return std::make_unique<TcpChannel>(fd);
+}
+
+}  // namespace anor::cluster

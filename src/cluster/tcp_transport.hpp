@@ -1,0 +1,68 @@
+// Real TCP transport (POSIX sockets) for the tier link.
+//
+// The paper's implementation connects the head-node power budgeter to one
+// compute-node process per job over TCP (Sec. 3/4).  This transport frames
+// the same JSON messages with a 4-byte big-endian length prefix over a
+// non-blocking loopback socket.  The deterministic experiments use the
+// in-process transport; this one backs the integration tests and the
+// examples/tcp_demo binary to show the protocol survives a real socket.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/transport.hpp"
+
+namespace anor::cluster {
+
+/// Channel over a connected TCP socket.  Non-blocking: receive() returns
+/// nullopt until a complete frame is buffered.
+class TcpChannel final : public MessageChannel {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpChannel(int fd);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  bool send(const Message& message) override;
+  std::optional<Message> receive() override;
+  bool connected() const override { return fd_ >= 0; }
+
+  int fd() const { return fd_; }
+
+ private:
+  void pump_input();
+  void close_socket();
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> in_buffer_;
+};
+
+/// Listening endpoint on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens on the given port; port 0 picks a free port.
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Non-blocking accept; nullptr when no client is waiting.
+  std::unique_ptr<TcpChannel> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a local listener.  Throws TransportError on failure.
+std::unique_ptr<TcpChannel> tcp_connect(std::uint16_t port);
+
+}  // namespace anor::cluster

@@ -1,0 +1,77 @@
+#include "cluster/transport.hpp"
+
+namespace anor::cluster {
+
+namespace {
+
+struct TimedMessage {
+  double deliver_at_s = 0.0;
+  Message message;
+};
+
+/// Shared state of one direction of the in-process link.
+struct Pipe {
+  std::mutex mutex;
+  std::deque<TimedMessage> queue;
+  bool open = true;
+};
+
+class InprocChannel final : public MessageChannel {
+ public:
+  InprocChannel(const util::VirtualClock& clock, double latency_s, std::shared_ptr<Pipe> out,
+                std::shared_ptr<Pipe> in)
+      : clock_(&clock), latency_s_(latency_s), out_(std::move(out)), in_(std::move(in)) {}
+
+  ~InprocChannel() override {
+    // Closing one end tears down the link in both directions, as a socket
+    // close would.
+    {
+      std::lock_guard<std::mutex> lock(out_->mutex);
+      out_->open = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(in_->mutex);
+      in_->open = false;
+    }
+  }
+
+  bool send(const Message& message) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (!out_->open) return false;
+    out_->queue.push_back(TimedMessage{clock_->now() + latency_s_, message});
+    return true;
+  }
+
+  std::optional<Message> receive() override {
+    std::lock_guard<std::mutex> lock(in_->mutex);
+    if (in_->queue.empty()) return std::nullopt;
+    if (in_->queue.front().deliver_at_s > clock_->now()) return std::nullopt;
+    Message message = std::move(in_->queue.front().message);
+    in_->queue.pop_front();
+    return message;
+  }
+
+  bool connected() const override {
+    std::lock_guard<std::mutex> lock(in_->mutex);
+    return in_->open || !in_->queue.empty();
+  }
+
+ private:
+  const util::VirtualClock* clock_;
+  double latency_s_;
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+};
+
+}  // namespace
+
+InprocPair make_inproc_pair(const util::VirtualClock& clock, double latency_s) {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  InprocPair pair;
+  pair.a = std::make_unique<InprocChannel>(clock, latency_s, a_to_b, b_to_a);
+  pair.b = std::make_unique<InprocChannel>(clock, latency_s, b_to_a, a_to_b);
+  return pair;
+}
+
+}  // namespace anor::cluster

@@ -1,0 +1,41 @@
+// Umbrella header: include <core/anor.hpp> (or link anor::anor) to get the
+// whole framework.
+//
+// Layer map (bottom up):
+//   util/      — RNG, stats, fitting, JSON, time series, thread pool
+//   platform/  — emulated RAPL hardware (MSRs, packages, nodes)
+//   workload/  — calibrated NPB-like job types, kernels, schedules,
+//                regulation signals
+//   geopm/     — GEOPM-like runtime: PlatformIO, agents, comm tree,
+//                endpoint, reports
+//   model/     — online power-performance modeling + misclassification
+//                detection
+//   budget/    — even-power and even-slowdown cluster budgeters
+//   sched/     — AQA scheduler, QoS accounting, DR bidder, weight trainer
+//   sim/       — tabular 1000-node cluster simulator
+//   cluster/   — tier messaging (in-process + TCP), cluster manager,
+//                job endpoints, end-to-end emulation
+//   core/      — policies and the experiment facade
+#pragma once
+
+#include "budget/budgeter.hpp"
+#include "cluster/emulation.hpp"
+#include "cluster/facility.hpp"
+#include "core/framework.hpp"
+#include "core/policies.hpp"
+#include "geopm/controller.hpp"
+#include "model/modeler.hpp"
+#include "model/reclassify.hpp"
+#include "platform/cluster_hw.hpp"
+#include "sched/aqa_scheduler.hpp"
+#include "sched/bidder.hpp"
+#include "sched/qos.hpp"
+#include "sched/weight_trainer.hpp"
+#include "sim/evaluators.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/job_type.hpp"
+#include "workload/queue_trace.hpp"
+#include "workload/regulation.hpp"
+#include "workload/schedule.hpp"

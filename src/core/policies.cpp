@@ -1,0 +1,44 @@
+#include "core/policies.hpp"
+
+namespace anor::core {
+
+std::string to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kUniform: return "uniform";
+    case PolicyKind::kCharacterized: return "characterized";
+    case PolicyKind::kMisclassified: return "misclassified";
+    case PolicyKind::kAdjusted: return "adjusted";
+  }
+  return "?";
+}
+
+void apply_policy(cluster::EmulationConfig& config, PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kUniform:
+      config.manager.budgeter = budget::BudgeterKind::kEvenPower;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kCharacterized:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kMisclassified:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kAdjusted:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = true;
+      config.endpoint.feedback_enabled = true;
+      break;
+  }
+}
+
+bool expects_misclassification(PolicyKind policy) {
+  return policy == PolicyKind::kMisclassified || policy == PolicyKind::kAdjusted;
+}
+
+}  // namespace anor::core

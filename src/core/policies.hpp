@@ -1,0 +1,32 @@
+// The four cluster power-management policies the paper evaluates
+// (Fig. 6-10 legends).
+//
+//   Uniform        — performance-agnostic even-power budgeter.
+//   Characterized  — performance-aware even-slowdown budgeter with correct
+//                    precharacterized models.
+//   Misclassified  — even-slowdown, but (some) jobs carry a wrong
+//                    classification and feedback is disabled.
+//   Adjusted       — misclassified, with the job-tier feedback loop
+//                    enabled so the cluster tier recovers.
+#pragma once
+
+#include <string>
+
+#include "cluster/emulation.hpp"
+
+namespace anor::core {
+
+enum class PolicyKind { kUniform, kCharacterized, kMisclassified, kAdjusted };
+
+std::string to_string(PolicyKind policy);
+
+/// Configure an emulation for a policy.  The schedule is responsible for
+/// carrying the misclassification labels (workload::misclassify); this
+/// sets the budgeter kind and the feedback switches.
+void apply_policy(cluster::EmulationConfig& config, PolicyKind policy);
+
+/// Whether the policy expects the schedule to carry misclassification
+/// labels.
+bool expects_misclassification(PolicyKind policy);
+
+}  // namespace anor::core

@@ -1,0 +1,51 @@
+// Agent interface of the GEOPM-like runtime.
+//
+// Agents periodically read signals and write controls in response
+// (paper Sec. 4).  A multi-node job runs one agent instance per node; the
+// instances form a communication tree (comm_tree.hpp).  Policies flow down
+// the tree, samples aggregate up; the root's samples are visible through
+// the endpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geopm/platform_io.hpp"
+
+namespace anor::geopm {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Sanity-check a policy vector; throw ConfigError on bad values.
+  virtual void validate_policy(const std::vector<double>& policy) const = 0;
+
+  /// Apply a policy to this node through PlatformIO (leaf level).
+  virtual void adjust_platform(const std::vector<double>& policy) = 0;
+
+  /// Read this node's signals into a sample vector (leaf level).
+  virtual std::vector<double> sample_platform() = 0;
+
+  /// Split a policy received from the parent across `child_count`
+  /// children.  The default broadcasts unchanged.
+  virtual std::vector<std::vector<double>> split_policy(const std::vector<double>& policy,
+                                                        int child_count) const;
+
+  /// Called during the reduce with this tree node's child samples (its own
+  /// sample first, then one aggregate per child subtree, in child order).
+  /// Balancing agents remember these to steer the next policy split; the
+  /// default ignores them.
+  virtual void observe_child_samples(const std::vector<std::vector<double>>& samples);
+
+  /// Aggregate child samples into one sample for the parent.
+  virtual std::vector<double> aggregate_samples(
+      const std::vector<std::vector<double>>& child_samples) const = 0;
+
+  /// Control-loop period in seconds.
+  virtual double period_s() const { return 0.5; }
+};
+
+}  // namespace anor::geopm

@@ -1,0 +1,72 @@
+#include "geopm/comm_tree.hpp"
+
+#include <stdexcept>
+
+namespace anor::geopm {
+
+std::vector<int> TreeTopology::children_of(int index) const {
+  std::vector<int> children;
+  for (int c = index * fanout + 1; c <= index * fanout + fanout && c < node_count; ++c) {
+    children.push_back(c);
+  }
+  return children;
+}
+
+int TreeTopology::parent_of(int index) const {
+  if (index <= 0) return -1;
+  return (index - 1) / fanout;
+}
+
+int TreeTopology::depth() const {
+  int max_depth = 0;
+  for (int i = 0; i < node_count; ++i) {
+    int depth = 0;
+    for (int p = i; p > 0; p = parent_of(p)) ++depth;
+    if (depth > max_depth) max_depth = depth;
+  }
+  return max_depth;
+}
+
+AgentTree::AgentTree(TreeTopology topology, std::vector<Agent*> agents)
+    : topology_(topology), agents_(std::move(agents)) {
+  if (topology_.node_count < 1) throw std::invalid_argument("AgentTree: empty topology");
+  if (topology_.fanout < 1) throw std::invalid_argument("AgentTree: fanout < 1");
+  if (agents_.size() != static_cast<std::size_t>(topology_.node_count)) {
+    throw std::invalid_argument("AgentTree: agent count != node count");
+  }
+  for (Agent* a : agents_) {
+    if (a == nullptr) throw std::invalid_argument("AgentTree: null agent");
+  }
+}
+
+void AgentTree::distribute_from(int index, const std::vector<double>& policy) {
+  Agent& agent = *agents_[static_cast<std::size_t>(index)];
+  agent.adjust_platform(policy);
+  const std::vector<int> children = topology_.children_of(index);
+  if (children.empty()) return;
+  const std::vector<std::vector<double>> split =
+      agent.split_policy(policy, static_cast<int>(children.size()));
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    distribute_from(children[c], split[c]);
+  }
+}
+
+void AgentTree::distribute_policy(const std::vector<double>& policy) {
+  agents_.front()->validate_policy(policy);
+  distribute_from(0, policy);
+}
+
+std::vector<double> AgentTree::reduce_from(int index) {
+  Agent& agent = *agents_[static_cast<std::size_t>(index)];
+  std::vector<std::vector<double>> samples;
+  samples.push_back(agent.sample_platform());
+  for (int child : topology_.children_of(index)) {
+    samples.push_back(reduce_from(child));
+  }
+  agent.observe_child_samples(samples);
+  return agent.aggregate_samples(samples);
+}
+
+std::vector<double> AgentTree::reduce_samples() { return reduce_from(0); }
+
+}  // namespace anor::geopm

@@ -1,0 +1,38 @@
+#include "geopm/endpoint.hpp"
+
+namespace anor::geopm {
+
+bool Endpoint::write_policy(double timestamp_s, std::vector<double> policy) {
+  return policies_.push(TimedPolicy{timestamp_s, std::move(policy)});
+}
+
+std::vector<TimedSample> Endpoint::read_samples() {
+  std::vector<TimedSample> drained;
+  while (auto sample = samples_.pop()) {
+    drained.push_back(std::move(*sample));
+  }
+  if (!drained.empty()) {
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    latest_sample_ = drained.back();
+  }
+  return drained;
+}
+
+std::optional<TimedSample> Endpoint::latest_sample() const {
+  std::lock_guard<std::mutex> lock(latest_mutex_);
+  return latest_sample_;
+}
+
+std::optional<TimedPolicy> Endpoint::read_policy() {
+  std::optional<TimedPolicy> newest;
+  while (auto policy = policies_.pop()) {
+    newest = std::move(*policy);
+  }
+  return newest;
+}
+
+bool Endpoint::write_sample(double timestamp_s, std::vector<double> sample) {
+  return samples_.push(TimedSample{timestamp_s, std::move(sample)});
+}
+
+}  // namespace anor::geopm

@@ -1,0 +1,140 @@
+#include "geopm/platform_io.hpp"
+
+#include <algorithm>
+
+#include "geopm/signals.hpp"
+#include "platform/msr.hpp"
+#include "util/error.hpp"
+
+namespace anor::geopm {
+
+namespace {
+
+bool known_signal(std::string_view name) {
+  return name == kSignalCpuEnergy || name == kSignalCpuPower || name == kSignalEpochCount ||
+         name == kSignalEpochLastTime || name == kSignalTime;
+}
+
+bool known_control(std::string_view name) { return name == kControlCpuPowerLimit; }
+
+}  // namespace
+
+PlatformIO::PlatformIO(platform::Node& node, const util::VirtualClock& clock)
+    : node_(&node), clock_(&clock) {
+  const auto package_count = static_cast<std::size_t>(node.package_count());
+  last_raw_energy_.assign(package_count, 0);
+  accumulated_energy_j_.assign(package_count, 0.0);
+}
+
+int PlatformIO::push_signal(std::string_view name) {
+  if (!known_signal(name)) {
+    throw util::ConfigError("PlatformIO: unknown signal '" + std::string(name) + "'");
+  }
+  pushed_signals_.emplace_back(name);
+  signal_values_.push_back(0.0);
+  return static_cast<int>(pushed_signals_.size()) - 1;
+}
+
+int PlatformIO::push_control(std::string_view name) {
+  if (!known_control(name)) {
+    throw util::ConfigError("PlatformIO: unknown control '" + std::string(name) + "'");
+  }
+  pushed_controls_.emplace_back(name);
+  control_values_.push_back(0.0);
+  control_dirty_.push_back(false);
+  return static_cast<int>(pushed_controls_.size()) - 1;
+}
+
+double PlatformIO::unwrapped_energy_j() {
+  // PKG_ENERGY_STATUS is a 32-bit counter in RAPL energy units; unwrap it
+  // per package and convert to joules.
+  double total = 0.0;
+  for (int p = 0; p < node_->package_count(); ++p) {
+    auto& pkg = node_->package(p);
+    const std::uint64_t raw = pkg.msr().read(platform::kMsrPkgEnergyStatus) & 0xFFFFFFFFULL;
+    const auto idx = static_cast<std::size_t>(p);
+    std::uint64_t delta;
+    if (!energy_initialized_) {
+      delta = 0;
+    } else if (raw >= last_raw_energy_[idx]) {
+      delta = raw - last_raw_energy_[idx];
+    } else {
+      delta = raw + 0x100000000ULL - last_raw_energy_[idx];  // wrapped
+    }
+    last_raw_energy_[idx] = raw;
+    accumulated_energy_j_[idx] += static_cast<double>(delta) * pkg.units().energy_unit_j();
+    total += accumulated_energy_j_[idx];
+  }
+  energy_initialized_ = true;
+  return total;
+}
+
+void PlatformIO::read_batch() {
+  const double now = clock_->now();
+  const double energy = unwrapped_energy_j();
+  if (power_initialized_ && now > last_energy_time_s_) {
+    derived_power_w_ = (energy - last_energy_j_) / (now - last_energy_time_s_);
+  }
+  last_energy_j_ = energy;
+  last_energy_time_s_ = now;
+  power_initialized_ = true;
+
+  for (std::size_t i = 0; i < pushed_signals_.size(); ++i) {
+    const std::string& name = pushed_signals_[i];
+    if (name == kSignalCpuEnergy) {
+      signal_values_[i] = energy;
+    } else if (name == kSignalCpuPower) {
+      signal_values_[i] = derived_power_w_;
+    } else if (name == kSignalEpochCount) {
+      signal_values_[i] = kernel_ != nullptr ? static_cast<double>(kernel_->epoch_count()) : 0.0;
+    } else if (name == kSignalEpochLastTime) {
+      signal_values_[i] = kernel_ != nullptr ? now - kernel_->time_since_last_epoch_s() : 0.0;
+    } else if (name == kSignalTime) {
+      signal_values_[i] = now;
+    }
+  }
+}
+
+double PlatformIO::sample(int signal_index) const {
+  return signal_values_.at(static_cast<std::size_t>(signal_index));
+}
+
+void PlatformIO::adjust(int control_index, double value) {
+  const auto idx = static_cast<std::size_t>(control_index);
+  control_values_.at(idx) = value;
+  control_dirty_.at(idx) = true;
+}
+
+void PlatformIO::write_batch() {
+  for (std::size_t i = 0; i < pushed_controls_.size(); ++i) {
+    if (!control_dirty_[i]) continue;
+    control_dirty_[i] = false;
+    if (pushed_controls_[i] == kControlCpuPowerLimit) {
+      node_->set_power_cap(control_values_[i]);
+    }
+  }
+}
+
+double PlatformIO::read_signal(std::string_view name) {
+  if (!known_signal(name)) {
+    throw util::ConfigError("PlatformIO: unknown signal '" + std::string(name) + "'");
+  }
+  if (name == kSignalCpuEnergy) return unwrapped_energy_j();
+  if (name == kSignalCpuPower) return derived_power_w_;
+  if (name == kSignalEpochCount) {
+    return kernel_ != nullptr ? static_cast<double>(kernel_->epoch_count()) : 0.0;
+  }
+  if (name == kSignalEpochLastTime) {
+    return kernel_ != nullptr ? clock_->now() - kernel_->time_since_last_epoch_s() : 0.0;
+  }
+  return clock_->now();
+}
+
+void PlatformIO::write_control(std::string_view name, double value) {
+  if (!known_control(name)) {
+    throw util::ConfigError("PlatformIO: unknown control '" + std::string(name) + "'");
+  }
+  node_->set_power_cap(value);
+}
+
+}  // namespace anor::geopm

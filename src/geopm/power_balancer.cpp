@@ -1,0 +1,74 @@
+#include "geopm/power_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anor::geopm {
+
+PowerBalancerAgent::PowerBalancerAgent(PlatformIO& pio, BalancerConfig config)
+    : PowerGovernorAgent(pio), config_(config) {}
+
+void PowerBalancerAgent::observe_child_samples(
+    const std::vector<std::vector<double>>& samples) {
+  if (samples.size() < 2) return;  // leaf: nothing to balance
+
+  // Mean epoch count across the child subtrees (excluding this node's own
+  // sample at index 0 — the incoming policy already fixes its cap).
+  double mean_epoch = 0.0;
+  int children = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    mean_epoch += samples[i][kSampleEpochCount];
+    ++children;
+  }
+  if (children == 0) return;
+  mean_epoch /= children;
+
+  if (child_lag_.size() != static_cast<std::size_t>(children)) {
+    child_lag_.assign(static_cast<std::size_t>(children), 0.0);
+    child_nodes_.assign(static_cast<std::size_t>(children), 1.0);
+  }
+  const double denom = std::max(mean_epoch, 1.0);
+  for (int c = 0; c < children; ++c) {
+    const auto& sample = samples[static_cast<std::size_t>(c) + 1];
+    // Positive lag = this subtree is behind the others.
+    const double lag = (mean_epoch - sample[kSampleEpochCount]) / denom;
+    child_lag_[static_cast<std::size_t>(c)] =
+        (1.0 - config_.lag_smoothing) * child_lag_[static_cast<std::size_t>(c)] +
+        config_.lag_smoothing * lag;
+    child_nodes_[static_cast<std::size_t>(c)] = std::max(sample[kSampleNodeCount], 1.0);
+  }
+}
+
+std::vector<std::vector<double>> PowerBalancerAgent::split_policy(
+    const std::vector<double>& policy, int child_count) const {
+  const auto count = static_cast<std::size_t>(child_count);
+  std::vector<std::vector<double>> split(count, policy);
+  if (policy.empty() || child_lag_.size() != count) return split;
+
+  const double avg_cap = policy[kPolicyPowerCap];
+  std::vector<double> caps(count);
+  double target_watts = 0.0;
+  double actual_watts = 0.0;
+  for (std::size_t c = 0; c < count; ++c) {
+    caps[c] = std::clamp(avg_cap * (1.0 + config_.gain * child_lag_[c]),
+                         config_.cap_floor_w, config_.cap_ceiling_w);
+    target_watts += child_nodes_[c] * avg_cap;
+    actual_watts += child_nodes_[c] * caps[c];
+  }
+  // Conserve the subtree's power budget after clamping: rescale the
+  // unclamped caps repeatedly (clamping after a rescale can break the sum
+  // again, so iterate; this converges in a few passes).
+  for (int pass = 0; pass < 8 && actual_watts > 1e-9; ++pass) {
+    const double scale = target_watts / actual_watts;
+    if (std::abs(scale - 1.0) < 1e-6) break;
+    actual_watts = 0.0;
+    for (std::size_t c = 0; c < count; ++c) {
+      caps[c] = std::clamp(caps[c] * scale, config_.cap_floor_w, config_.cap_ceiling_w);
+      actual_watts += child_nodes_[c] * caps[c];
+    }
+  }
+  for (std::size_t c = 0; c < count; ++c) split[c][kPolicyPowerCap] = caps[c];
+  return split;
+}
+
+}  // namespace anor::geopm

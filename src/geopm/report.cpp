@@ -1,0 +1,55 @@
+#include "geopm/report.hpp"
+
+#include <sstream>
+
+namespace anor::geopm {
+
+std::string JobReport::to_text() const {
+  std::ostringstream out;
+  out << "##### geopm-like report #####\n"
+      << "Job: " << job_name << '\n'
+      << "Agent: " << agent_name << '\n'
+      << "Nodes: " << node_count << '\n'
+      << "Application Totals:\n"
+      << "    runtime (s): " << runtime_s << '\n'
+      << "    compute runtime (s): " << compute_runtime_s << '\n'
+      << "    package-energy (J): " << package_energy_j << '\n'
+      << "    power (W): " << average_power_w << '\n'
+      << "    epoch-count: " << epoch_count << '\n'
+      << "    average-cap (W): " << average_cap_w << '\n';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const JobReport& report) {
+  return out << report.to_text();
+}
+
+util::Json JobReport::to_json() const {
+  util::JsonObject obj;
+  obj["job"] = util::Json(job_name);
+  obj["agent"] = util::Json(agent_name);
+  obj["nodes"] = util::Json(node_count);
+  obj["runtime_s"] = util::Json(runtime_s);
+  obj["compute_runtime_s"] = util::Json(compute_runtime_s);
+  obj["package_energy_j"] = util::Json(package_energy_j);
+  obj["average_power_w"] = util::Json(average_power_w);
+  obj["epoch_count"] = util::Json(static_cast<double>(epoch_count));
+  obj["average_cap_w"] = util::Json(average_cap_w);
+  return util::Json(std::move(obj));
+}
+
+JobReport JobReport::from_json(const util::Json& json) {
+  JobReport report;
+  report.job_name = json.at("job").as_string();
+  report.agent_name = json.string_or("agent", "power_governor");
+  report.node_count = static_cast<int>(json.at("nodes").as_int());
+  report.runtime_s = json.at("runtime_s").as_number();
+  report.compute_runtime_s = json.number_or("compute_runtime_s", 0.0);
+  report.package_energy_j = json.at("package_energy_j").as_number();
+  report.average_power_w = json.number_or("average_power_w", 0.0);
+  report.epoch_count = json.at("epoch_count").as_int();
+  report.average_cap_w = json.number_or("average_cap_w", 0.0);
+  return report;
+}
+
+}  // namespace anor::geopm

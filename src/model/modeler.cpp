@@ -1,0 +1,244 @@
+#include "model/modeler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace anor::model {
+
+std::vector<CapAggregate> aggregate_by_cap(const std::vector<EpochObservation>& observations,
+                                           double bucket_w) {
+  struct Bucket {
+    double span_s = 0.0;
+    double cap_weighted = 0.0;
+    long epochs = 0;
+  };
+  std::map<long, Bucket> buckets;
+  for (const EpochObservation& obs : observations) {
+    if (obs.epochs <= 0) continue;
+    Bucket& bucket = buckets[std::lround(obs.avg_cap_w / bucket_w)];
+    bucket.span_s += obs.t_end_s - obs.t_start_s;
+    bucket.cap_weighted += obs.avg_cap_w * static_cast<double>(obs.epochs);
+    bucket.epochs += obs.epochs;
+  }
+  std::vector<CapAggregate> aggregates;
+  aggregates.reserve(buckets.size());
+  for (const auto& [key, bucket] : buckets) {
+    CapAggregate aggregate;
+    aggregate.cap_w = bucket.cap_weighted / static_cast<double>(bucket.epochs);
+    aggregate.sec_per_epoch = bucket.span_s / static_cast<double>(bucket.epochs);
+    aggregate.epochs = bucket.epochs;
+    aggregates.push_back(aggregate);
+  }
+  return aggregates;
+}
+
+OnlineModeler::OnlineModeler(PowerPerfModel initial_model, ModelerConfig config)
+    : model_(std::move(initial_model)), config_(config) {}
+
+void OnlineModeler::record_cap(double t_s, double cap_w) {
+  if (!cap_change_times_.empty() && t_s < cap_change_times_.back()) {
+    // Late-arriving cap records are clamped forward; the tiers are
+    // asynchronous and minor reordering is expected.
+    t_s = cap_change_times_.back();
+  }
+  if (!cap_values_.empty() && cap_values_.back() == cap_w) return;
+  cap_change_times_.push_back(t_s);
+  cap_values_.push_back(cap_w);
+}
+
+double OnlineModeler::average_cap_over(double t0_s, double t1_s) const {
+  if (cap_change_times_.empty() || t1_s <= t0_s) {
+    return cap_values_.empty() ? workload::kNodeMaxCapW : cap_values_.back();
+  }
+  double integral = 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 0; i < cap_change_times_.size(); ++i) {
+    const double seg_start = std::max(cap_change_times_[i], t0_s);
+    const double seg_end =
+        std::min(i + 1 < cap_change_times_.size() ? cap_change_times_[i + 1] : t1_s, t1_s);
+    if (seg_end <= seg_start) continue;
+    integral += cap_values_[i] * (seg_end - seg_start);
+    covered += seg_end - seg_start;
+  }
+  if (covered <= 0.0) return cap_values_.back();
+  // Time before the first cap record is treated as running at the first
+  // recorded cap (jobs start uncapped and the start is recorded).
+  return integral / covered;
+}
+
+std::optional<EpochObservation> OnlineModeler::add_epoch_sample(double t_s, long epoch_count) {
+  if (last_epoch_count_ < 0) {
+    last_epoch_count_ = epoch_count;
+    last_epoch_time_s_ = t_s;
+    return std::nullopt;
+  }
+  if (epoch_count <= last_epoch_count_) return std::nullopt;
+
+  const long delta_epochs = epoch_count - last_epoch_count_;
+  const double span = t_s - last_epoch_time_s_;
+  if (span < config_.min_span_s) {
+    // Too fine-grained to attribute; wait for more epochs to accumulate.
+    return std::nullopt;
+  }
+  EpochObservation obs;
+  obs.t_start_s = last_epoch_time_s_;
+  obs.t_end_s = t_s;
+  obs.epochs = delta_epochs;
+  obs.sec_per_epoch = span / static_cast<double>(delta_epochs);
+  obs.avg_cap_w = average_cap_over(last_epoch_time_s_, t_s);
+  const auto [cap_lo, cap_hi] = cap_range_over(last_epoch_time_s_, t_s);
+  obs.cap_min_w = cap_lo;
+  obs.cap_max_w = cap_hi;
+  obs.mixed_cap = cap_hi - cap_lo > config_.max_cap_spread_w;
+
+  last_epoch_count_ = epoch_count;
+  last_epoch_time_s_ = t_s;
+
+  if (observations_seen_ < config_.skip_observations) {
+    ++observations_seen_;
+    return std::nullopt;
+  }
+  ++observations_seen_;
+  observations_.push_back(obs);
+  if (observations_.size() > config_.max_observations) {
+    observations_.erase(observations_.begin(),
+                        observations_.begin() +
+                            static_cast<long>(observations_.size() - config_.max_observations));
+  }
+  epochs_since_train_ += delta_epochs;
+  maybe_detect_phase_change();
+  maybe_retrain();
+  return obs;
+}
+
+void OnlineModeler::maybe_detect_phase_change() {
+  if (config_.phase_shift_threshold <= 0.0) return;
+  if (observations_.size() < config_.phase_window * 3) return;
+
+  // Split clean observations into "recent" (the newest phase_window) and
+  // "older"; compare pooled rates per cap bucket that appears in both.
+  std::vector<EpochObservation> clean = clean_observations();
+  if (clean.size() < config_.phase_window * 3) return;
+  std::vector<EpochObservation> recent(clean.end() - static_cast<long>(config_.phase_window),
+                                       clean.end());
+  clean.resize(clean.size() - config_.phase_window);
+  const std::vector<CapAggregate> older = aggregate_by_cap(clean);
+  const std::vector<CapAggregate> newer = aggregate_by_cap(recent);
+
+  for (const CapAggregate& n : newer) {
+    for (const CapAggregate& o : older) {
+      if (std::abs(n.cap_w - o.cap_w) > 5.0) continue;
+      if (o.sec_per_epoch <= 0.0) continue;
+      const double shift = std::abs(n.sec_per_epoch - o.sec_per_epoch) / o.sec_per_epoch;
+      if (shift > config_.phase_shift_threshold) {
+        // The job changed behavior: everything before the recent window
+        // describes a previous phase.  Keep only the recent evidence.
+        observations_.assign(recent.begin(), recent.end());
+        fitted_ = false;  // any previous refit described the old phase
+        epochs_since_train_ = 0;
+        ++phase_changes_;
+        return;
+      }
+    }
+  }
+}
+
+void OnlineModeler::maybe_retrain() {
+  if (epochs_since_train_ < config_.retrain_epochs) return;
+  if (retrain()) epochs_since_train_ = 0;
+}
+
+std::pair<double, double> OnlineModeler::cap_range_over(double t0_s, double t1_s) const {
+  if (cap_values_.empty()) return {workload::kNodeMaxCapW, workload::kNodeMaxCapW};
+  double lo = 0.0;
+  double hi = 0.0;
+  bool found = false;
+  for (std::size_t i = 0; i < cap_change_times_.size(); ++i) {
+    // Segment i covers [change_time[i], change_time[i+1]).
+    const double seg_start = cap_change_times_[i];
+    const double seg_end =
+        i + 1 < cap_change_times_.size() ? cap_change_times_[i + 1] : t1_s + 1.0;
+    const bool overlaps = seg_start < t1_s && seg_end > t0_s;
+    // The segment active at t0 also counts even if it began earlier.
+    const bool active_at_start = seg_start <= t0_s && seg_end > t0_s;
+    if (!overlaps && !active_at_start) continue;
+    if (!found) {
+      lo = hi = cap_values_[i];
+      found = true;
+    } else {
+      lo = std::min(lo, cap_values_[i]);
+      hi = std::max(hi, cap_values_[i]);
+    }
+  }
+  if (!found) {
+    const double last = cap_values_.back();
+    return {last, last};
+  }
+  return {lo, hi};
+}
+
+std::vector<EpochObservation> OnlineModeler::clean_observations() const {
+  std::vector<EpochObservation> clean;
+  clean.reserve(observations_.size());
+  for (const EpochObservation& obs : observations_) {
+    if (!obs.mixed_cap) clean.push_back(obs);
+  }
+  return clean;
+}
+
+bool OnlineModeler::retrain() {
+  const std::vector<EpochObservation> clean = clean_observations();
+  if (clean.size() < config_.min_fit_observations) return false;
+  // Fit against cap-pooled rates (quantization-free), weighting each cap
+  // level by the epochs observed there.
+  const std::vector<CapAggregate> aggregates = aggregate_by_cap(clean);
+  std::vector<double> caps;
+  std::vector<double> times;
+  caps.reserve(aggregates.size());
+  times.reserve(aggregates.size());
+  for (const CapAggregate& aggregate : aggregates) {
+    caps.push_back(aggregate.cap_w);
+    times.push_back(aggregate.sec_per_epoch);
+  }
+  try {
+    PowerPerfModel refit =
+        PowerPerfModel::fit(caps, times, config_.fit_p_min_w, config_.fit_p_max_w);
+    // Reject non-physical fits (time increasing with power) — noise at
+    // nearly identical caps can produce them.
+    if (refit.time_at(refit.p_min_w()) + 1e-12 < refit.time_at(refit.p_max_w())) {
+      return false;
+    }
+    // Reject poorly conditioned fits: observations clustered at one or
+    // two caps produce wild quadratics with near-zero R².
+    if (refit.r2() < config_.min_r2) {
+      return false;
+    }
+    // Reject fits that do not actually explain the raw observations —
+    // per-cap pooling can average mutually contradictory spans into
+    // innocuous-looking points.
+    double raw_error = 0.0;
+    std::size_t counted = 0;
+    for (const EpochObservation& obs : clean) {
+      if (obs.sec_per_epoch <= 0.0) continue;
+      raw_error += std::abs(refit.time_at(obs.avg_cap_w) - obs.sec_per_epoch) /
+                   obs.sec_per_epoch;
+      ++counted;
+    }
+    if (counted == 0 || raw_error / static_cast<double>(counted) > config_.max_refit_error) {
+      return false;
+    }
+    model_ = refit;
+    fitted_ = true;
+    return true;
+  } catch (const util::NumericalError&) {
+    // Not enough cap diversity yet (e.g. the job has run under a single
+    // cap so far); keep serving the current model.
+    return false;
+  }
+}
+
+}  // namespace anor::model

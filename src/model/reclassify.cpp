@@ -1,0 +1,91 @@
+#include "model/reclassify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "workload/job_type.hpp"
+
+namespace anor::model {
+
+Reclassifier::Reclassifier(std::vector<NamedModel> candidates, ReclassifierConfig config)
+    : candidates_(std::move(candidates)), config_(config) {}
+
+double Reclassifier::mean_relative_error(const PowerPerfModel& model,
+                                         const std::vector<EpochObservation>& observations) {
+  // Compare against cap-pooled rates: individual spans carry sampling
+  // quantization (2-vs-3 epochs per span), but total-time-over-total-
+  // epochs per cap level converges to the true rate.  Buckets weigh in by
+  // their epoch counts.
+  const std::vector<CapAggregate> aggregates = aggregate_by_cap(observations);
+  double total = 0.0;
+  double weight = 0.0;
+  for (const CapAggregate& aggregate : aggregates) {
+    if (aggregate.sec_per_epoch <= 0.0) continue;
+    const double predicted = model.time_at(aggregate.cap_w);
+    const double w = static_cast<double>(aggregate.epochs);
+    total += w * std::abs(predicted - aggregate.sec_per_epoch) / aggregate.sec_per_epoch;
+    weight += w;
+  }
+  return weight > 0.0 ? total / weight : 0.0;
+}
+
+std::vector<std::pair<double, NamedModel>> Reclassifier::ranked(
+    const std::vector<EpochObservation>& observations) const {
+  std::vector<std::pair<double, NamedModel>> result;
+  result.reserve(candidates_.size());
+  for (const NamedModel& candidate : candidates_) {
+    result.emplace_back(mean_relative_error(candidate.model, observations), candidate);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return result;
+}
+
+std::optional<NamedModel> Reclassifier::suggest(
+    const std::vector<EpochObservation>& observations, const PowerPerfModel& current) const {
+  long epochs = 0;
+  for (const EpochObservation& obs : observations) epochs += obs.epochs;
+  if (epochs < config_.min_epochs) return std::nullopt;
+
+  const double current_error = mean_relative_error(current, observations);
+  if (current_error <= config_.divergence_threshold) return std::nullopt;
+
+  const NamedModel* best = nullptr;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const NamedModel& candidate : candidates_) {
+    const double error = mean_relative_error(candidate.model, observations);
+    if (error < best_error) {
+      best_error = error;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  if (best_error > current_error * config_.improvement_factor) return std::nullopt;
+  return *best;
+}
+
+double model_prediction_distance(const PowerPerfModel& a, const PowerPerfModel& b,
+                                 const std::vector<EpochObservation>& observations) {
+  const std::vector<CapAggregate> aggregates = aggregate_by_cap(observations);
+  double total = 0.0;
+  double weight = 0.0;
+  for (const CapAggregate& aggregate : aggregates) {
+    const double pb = b.time_at(aggregate.cap_w);
+    if (pb <= 0.0) continue;
+    const double w = static_cast<double>(aggregate.epochs);
+    total += w * std::abs(a.time_at(aggregate.cap_w) - pb) / pb;
+    weight += w;
+  }
+  return weight > 0.0 ? total / weight : 0.0;
+}
+
+std::vector<NamedModel> standard_candidates() {
+  std::vector<NamedModel> candidates;
+  for (const workload::JobType& type : workload::nas_job_types()) {
+    candidates.push_back(NamedModel{type.name, PowerPerfModel::from_job_type(type)});
+  }
+  return candidates;
+}
+
+}  // namespace anor::model

@@ -1,0 +1,31 @@
+// Interface between the hardware model and whatever is executing on a node.
+//
+// A ComputeLoad is one node's share of a job: it tells the node how much
+// CPU power it wants to draw under the current cap and advances its own
+// progress when the node steps.  The synthetic NPB-like kernels in
+// src/workload implement this interface; the platform never needs to know
+// what a "job" is.
+#pragma once
+
+namespace anor::platform {
+
+class ComputeLoad {
+ public:
+  virtual ~ComputeLoad() = default;
+
+  /// CPU power (watts, whole node) this load draws when the node-level
+  /// effective power cap is `cap_w`.  Must not exceed cap_w.
+  virtual double power_demand_w(double cap_w) const = 0;
+
+  /// Advance execution by dt_s seconds of node time under the given
+  /// node-level cap.  Implementations update epoch counters / progress.
+  virtual void advance(double dt_s, double cap_w) = 0;
+
+  /// True once the load has finished all of its work.
+  virtual bool complete() const = 0;
+
+  /// Fraction of total work finished, in [0, 1].
+  virtual double progress() const = 0;
+};
+
+}  // namespace anor::platform

@@ -1,0 +1,98 @@
+// Model-specific register (MSR) emulation with RAPL semantics.
+//
+// The paper's GEOPM deployment reads PKG_ENERGY_STATUS and writes
+// PKG_POWER_LIMIT through the msr-safe kernel module (Sec. 5.4).  We
+// reproduce that interface: a per-package register file with an
+// allowlist-gated accessor, RAPL fixed-point unit encoding, and a 32-bit
+// wrapping energy counter.  The GEOPM-like runtime in src/geopm talks to
+// hardware exclusively through this layer, so the same read/decode/
+// accumulate logic a real deployment needs is exercised here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace anor::platform {
+
+/// Architectural MSR addresses (Intel SDM names).
+enum MsrAddress : std::uint32_t {
+  kMsrRaplPowerUnit = 0x606,   // unit definitions for power/energy/time
+  kMsrPkgPowerLimit = 0x610,   // package RAPL limit (PL1 fields modeled)
+  kMsrPkgEnergyStatus = 0x611, // 32-bit wrapping energy counter
+  kMsrPkgPowerInfo = 0x614,    // TDP / min / max power
+};
+
+/// Fixed-point RAPL units as encoded in MSR_RAPL_POWER_UNIT.
+/// power unit = 1/2^pu W, energy unit = 1/2^esu J, time unit = 1/2^tu s.
+struct RaplUnits {
+  unsigned power_unit_bits = 3;    // 1/8 W
+  unsigned energy_unit_bits = 14;  // ~61 uJ
+  unsigned time_unit_bits = 10;    // ~977 us
+
+  double power_unit_w() const { return 1.0 / static_cast<double>(1u << power_unit_bits); }
+  double energy_unit_j() const { return 1.0 / static_cast<double>(1u << energy_unit_bits); }
+  double time_unit_s() const { return 1.0 / static_cast<double>(1u << time_unit_bits); }
+
+  std::uint64_t encode() const;
+  static RaplUnits decode(std::uint64_t raw);
+};
+
+/// Encode/decode helpers for the PL1 fields of PKG_POWER_LIMIT.
+struct PkgPowerLimit {
+  double power_limit_w = 0.0;
+  double time_window_s = 1.0;
+  bool enabled = true;
+  bool clamp = true;
+
+  std::uint64_t encode(const RaplUnits& units) const;
+  static PkgPowerLimit decode(std::uint64_t raw, const RaplUnits& units);
+};
+
+/// Encode/decode for PKG_POWER_INFO (TDP and the allowed cap range).
+struct PkgPowerInfo {
+  double tdp_w = 140.0;
+  double min_power_w = 70.0;
+  double max_power_w = 140.0;
+
+  std::uint64_t encode(const RaplUnits& units) const;
+  static PkgPowerInfo decode(std::uint64_t raw, const RaplUnits& units);
+};
+
+/// Per-package register file gated by an msr-safe-style allowlist.
+///
+/// Reads/writes of unlisted registers throw MsrAccessError, as msr-safe
+/// would reject them.  The hardware model (CpuPackage) bypasses the
+/// allowlist via raw_* accessors, exactly as silicon updates registers
+/// regardless of the kernel's access policy.
+class MsrFile {
+ public:
+  /// Constructs with the default allowlist (the four RAPL registers above;
+  /// PKG_POWER_LIMIT is the only writable one, matching the paper's use).
+  MsrFile();
+
+  /// Gated accessors used by system software.
+  std::uint64_t read(std::uint32_t address) const;
+  void write(std::uint32_t address, std::uint64_t value);
+
+  /// Ungated accessors used by the hardware model itself.
+  std::uint64_t raw_read(std::uint32_t address) const;
+  void raw_write(std::uint32_t address, std::uint64_t value);
+
+  /// Allowlist management (tests exercise denial paths).
+  void allow_read(std::uint32_t address) { readable_.insert(address); }
+  void allow_write(std::uint32_t address) { writable_.insert(address); }
+  void deny_all();
+  bool read_allowed(std::uint32_t address) const { return readable_.count(address) != 0; }
+  bool write_allowed(std::uint32_t address) const { return writable_.count(address) != 0; }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> registers_;
+  std::set<std::uint32_t> readable_;
+  std::set<std::uint32_t> writable_;
+};
+
+}  // namespace anor::platform

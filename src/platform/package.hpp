@@ -1,0 +1,64 @@
+// CPU package (socket) RAPL model.
+//
+// Mirrors the evaluation platform: Xeon Gold 6152, 140 W TDP per socket,
+// RAPL caps settable between 70 W and 140 W.  The package integrates energy
+// into a 32-bit wrapping counter (as PKG_ENERGY_STATUS does) and applies a
+// first-order lag between a cap change and the settled power level, which
+// is what the running-average power limiting of RAPL looks like from
+// software.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/msr.hpp"
+
+namespace anor::platform {
+
+struct PackageConfig {
+  double tdp_w = 140.0;
+  double min_cap_w = 70.0;
+  double max_cap_w = 140.0;
+  double idle_power_w = 18.0;
+  /// Time constant of the power response to cap/demand changes (seconds).
+  double response_tau_s = 0.5;
+};
+
+class CpuPackage {
+ public:
+  explicit CpuPackage(const PackageConfig& config = {});
+
+  /// System-software view of the registers (allowlist-gated).
+  MsrFile& msr() { return msr_; }
+  const MsrFile& msr() const { return msr_; }
+
+  const PackageConfig& config() const { return config_; }
+
+  /// Cap currently programmed in PKG_POWER_LIMIT, clamped by hardware to
+  /// the [min_cap, max_cap] range (RAPL ignores out-of-range requests by
+  /// clamping, it does not fault).
+  double effective_cap_w() const;
+
+  /// Instantaneous power draw (after the first-order response), watts.
+  double power_w() const { return power_w_; }
+
+  /// Lifetime energy in joules (unwrapped, for tests/diagnostics).
+  double total_energy_j() const { return total_energy_j_; }
+
+  /// Advance the hardware model: settle power toward min(demand, cap) and
+  /// integrate energy into the wrapping counter.  `demand_w` is the power
+  /// the load would draw on this package if uncapped.
+  void step(double dt_s, double demand_w);
+
+  /// Decoded RAPL units for this package.
+  const RaplUnits& units() const { return units_; }
+
+ private:
+  PackageConfig config_;
+  RaplUnits units_;
+  MsrFile msr_;
+  double power_w_;
+  double total_energy_j_ = 0.0;
+  double energy_accum_j_ = 0.0;  // sub-counter-unit remainder
+};
+
+}  // namespace anor::platform

@@ -1,0 +1,144 @@
+#include "sched/aqa_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace anor::sched {
+
+AqaScheduler::AqaScheduler(SchedulerConfig config) : config_(std::move(config)) {}
+
+double AqaScheduler::weight_of(const std::string& type_name) const {
+  const auto it = config_.queue_weights.find(type_name);
+  return it != config_.queue_weights.end() ? it->second : 1.0;
+}
+
+std::string AqaScheduler::queue_key(const std::string& type_name) const {
+  return config_.single_queue ? std::string("__fcfs__") : type_name;
+}
+
+void AqaScheduler::submit(const workload::JobRequest& request, double now_s) {
+  queues_[queue_key(request.type_name)].push_back(PendingJob{request, now_s});
+}
+
+void AqaScheduler::job_finished(const std::string& type_name, int nodes) {
+  auto it = running_nodes_.find(queue_key(type_name));
+  if (it != running_nodes_.end()) {
+    it->second = std::max(0, it->second - nodes);
+  }
+}
+
+std::size_t AqaScheduler::pending_count() const {
+  std::size_t total = 0;
+  for (const auto& [type, queue] : queues_) total += queue.size();
+  return total;
+}
+
+bool AqaScheduler::admission_ok(const SchedulerView& view, double min_feasible,
+                                int nodes) const {
+  if (!config_.power_aware_admission || view.power_target_w <= 0.0) return true;
+  const double floor_after = min_feasible + nodes * view.per_node_floor_increase_w;
+  return floor_after <= view.power_target_w + config_.admission_headroom_w;
+}
+
+double AqaScheduler::shadow_time(const SchedulerView& view, int free_now, int nodes) {
+  if (nodes <= free_now) return view.now_s;
+  std::vector<std::pair<double, int>> releases = view.projected_releases;
+  std::sort(releases.begin(), releases.end());
+  int free_nodes = free_now;
+  for (const auto& [t, released] : releases) {
+    free_nodes += released;
+    if (free_nodes >= nodes) return std::max(t, view.now_s);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::vector<workload::JobRequest> AqaScheduler::backfill_pass(
+    const SchedulerView& view, int free_nodes, double min_feasible,
+    const std::string& blocked_type) {
+  std::vector<workload::JobRequest> started;
+  if (!config_.backfill || !config_.runtime_estimate) return started;
+
+  const PendingJob& head = queues_.at(blocked_type).front();
+  const double head_start_s = shadow_time(view, free_nodes, head.request.nodes);
+  if (!std::isfinite(head_start_s)) return started;
+
+  // Nodes the head will claim at its shadow time: backfilled jobs must
+  // either finish by then or fit beside the head's reservation.  We use
+  // the simpler (conservative) EASY rule: finish by the shadow time.
+  for (auto& [type, queue] : queues_) {
+    for (std::size_t i = type == blocked_type ? 1 : 0; i < queue.size(); ++i) {
+      const workload::JobRequest& candidate = queue[i].request;
+      if (candidate.nodes > free_nodes) continue;
+      const double estimate = candidate.walltime_hint_s > 0.0
+                                  ? candidate.walltime_hint_s
+                                  : config_.runtime_estimate(candidate.type_name);
+      if (view.now_s + estimate > head_start_s) continue;
+      if (!admission_ok(view, min_feasible, candidate.nodes)) continue;
+      free_nodes -= candidate.nodes;
+      min_feasible += candidate.nodes * view.per_node_floor_increase_w;
+      running_nodes_[type] += candidate.nodes;
+      ++backfilled_count_;
+      started.push_back(candidate);
+      queue.erase(queue.begin() + static_cast<long>(i));
+      --i;
+    }
+  }
+  return started;
+}
+
+std::vector<workload::JobRequest> AqaScheduler::schedule(const SchedulerView& view) {
+  std::vector<workload::JobRequest> started;
+  int free_nodes = view.free_nodes;
+  double min_feasible = view.min_feasible_power_w;
+  std::string blocked_type;  // fair-share head that could not start
+
+  for (;;) {
+    // Among queues whose head job fits, pick the queue furthest below its
+    // weighted share of running nodes.
+    std::string best_type;
+    double best_score = std::numeric_limits<double>::infinity();
+    double blocked_score = std::numeric_limits<double>::infinity();
+    for (const auto& [type, queue] : queues_) {
+      if (queue.empty()) continue;
+      const PendingJob& head = queue.front();
+      const bool fits =
+          head.request.nodes <= free_nodes &&
+          admission_ok(view, min_feasible, head.request.nodes);
+      const auto running_it = running_nodes_.find(type);
+      const int running = running_it != running_nodes_.end() ? running_it->second : 0;
+      const double score = static_cast<double>(running) / weight_of(type);
+      if (!fits) {
+        // Remember the fair-share frontrunner that is node-blocked (not
+        // power-blocked): it anchors the backfill reservation.
+        if (head.request.nodes > free_nodes && score < blocked_score) {
+          blocked_score = score;
+          blocked_type = type;
+        }
+        continue;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_type = type;
+      }
+    }
+    if (best_type.empty()) break;
+
+    auto& queue = queues_[best_type];
+    PendingJob job = std::move(queue.front());
+    queue.pop_front();
+    free_nodes -= job.request.nodes;
+    min_feasible += job.request.nodes * view.per_node_floor_increase_w;
+    running_nodes_[best_type] += job.request.nodes;
+    started.push_back(std::move(job.request));
+    blocked_type.clear();  // re-evaluate blockage after each start
+  }
+
+  if (!blocked_type.empty() && !queues_[blocked_type].empty()) {
+    auto backfilled = backfill_pass(view, free_nodes, min_feasible, blocked_type);
+    started.insert(started.end(), backfilled.begin(), backfilled.end());
+  }
+  return started;
+}
+
+}  // namespace anor::sched

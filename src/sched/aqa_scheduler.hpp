@@ -1,0 +1,117 @@
+// AQA-style job scheduler (paper Sec. 4.4.2, after Zhang et al. 2022).
+//
+// AQA models job types as work queues with trained node-allocation
+// weights: queues with greater weight get more nodes.  We implement it as
+// weighted fair sharing — among queues whose head job fits in the free
+// nodes, start the job of the queue that is furthest below its weighted
+// share — plus the power-aware admission rule the paper leans on in
+// Sec. 6.4: when the current power target is low, AQA sheds power
+// primarily "by refraining from scheduling jobs to idle nodes".
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/schedule.hpp"
+
+namespace anor::sched {
+
+struct PendingJob {
+  workload::JobRequest request;
+  double enqueue_s = 0.0;
+};
+
+struct SchedulerConfig {
+  int cluster_nodes = 16;
+  /// Per-type node-allocation weights (type name -> weight).  Types not
+  /// listed get weight 1.
+  std::map<std::string, double> queue_weights;
+  /// Power-aware admission: only start a job if the cluster's minimum
+  /// feasible power afterwards stays below target + headroom.  Disabled
+  /// when false (jobs start whenever nodes are free).
+  bool power_aware_admission = true;
+  double admission_headroom_w = 0.0;
+
+  /// EASY backfill (as RMAP [Patki et al.] builds on): when the
+  /// fair-share head job does not fit, later jobs may start in the gap
+  /// provided they are projected to finish before the head's earliest
+  /// possible start (its "shadow time").  Requires `runtime_estimate`
+  /// and the view's `projected_releases`.
+  bool backfill = false;
+
+  /// Collapse all job types into one FCFS queue (the traditional batch
+  /// discipline, useful as a baseline: AQA's per-type queues are
+  /// naturally work-conserving; FCFS is where head-of-line blocking — and
+  /// therefore backfill — matters most).
+  bool single_queue = false;
+  /// Estimated unconstrained runtime of one job of the given type,
+  /// seconds.  Estimates need not be exact; EASY only uses them to bound
+  /// backfill candidates.
+  std::function<double(const std::string&)> runtime_estimate;
+};
+
+/// Cluster state the scheduler needs each tick.
+struct SchedulerView {
+  int free_nodes = 0;
+  /// Minimum feasible cluster power right now (busy nodes at floor caps +
+  /// idle nodes at idle power), watts.
+  double min_feasible_power_w = 0.0;
+  /// Current cluster power target, watts.  <= 0 disables admission gating.
+  double power_target_w = 0.0;
+  /// Floor power one node adds when it becomes busy (floor cap minus the
+  /// idle power it previously drew).
+  double per_node_floor_increase_w = 0.0;
+
+  /// Backfill inputs: current time and the projected (release time,
+  /// node count) of each running job.  Ignored unless backfill is on.
+  double now_s = 0.0;
+  std::vector<std::pair<double, int>> projected_releases;
+};
+
+class AqaScheduler {
+ public:
+  explicit AqaScheduler(SchedulerConfig config);
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Add a submitted job to its type queue.
+  void submit(const workload::JobRequest& request, double now_s);
+
+  /// Notify that a started job finished (frees its queue's node count).
+  void job_finished(const std::string& type_name, int nodes);
+
+  /// Pick the next jobs to start given the current view.  Returns started
+  /// requests; the caller allocates nodes and launches them.
+  std::vector<workload::JobRequest> schedule(const SchedulerView& view);
+
+  std::size_t pending_count() const;
+  bool has_pending() const { return pending_count() != 0; }
+
+  /// Running node count per queue (diagnostic).
+  const std::map<std::string, int>& running_nodes() const { return running_nodes_; }
+
+  /// Jobs started out of order by the backfill pass (diagnostic).
+  long backfilled_count() const { return backfilled_count_; }
+
+ private:
+  double weight_of(const std::string& type_name) const;
+  std::string queue_key(const std::string& type_name) const;
+  bool admission_ok(const SchedulerView& view, double min_feasible, int nodes) const;
+  /// Earliest time `nodes` become free given the current free count and
+  /// the projected releases (the blocked head's shadow time).
+  static double shadow_time(const SchedulerView& view, int free_now, int nodes);
+  std::vector<workload::JobRequest> backfill_pass(const SchedulerView& view, int free_nodes,
+                                                  double min_feasible,
+                                                  const std::string& blocked_type);
+
+  SchedulerConfig config_;
+  std::map<std::string, std::deque<PendingJob>> queues_;
+  std::map<std::string, int> running_nodes_;
+  long backfilled_count_ = 0;
+};
+
+}  // namespace anor::sched

@@ -1,0 +1,61 @@
+#include "sched/bidder.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace anor::sched {
+
+std::optional<BidSearchResult> DemandResponseBidder::search(const BidEvaluator& evaluate) const {
+  std::optional<BidSearchResult> best;
+  int tried = 0;
+  int feasible = 0;
+  const double mean_lo = config_.min_mean_w;
+  const double mean_hi = std::max(config_.max_mean_w, mean_lo);
+  for (int mi = 0; mi < config_.mean_steps; ++mi) {
+    const double mean =
+        config_.mean_steps > 1
+            ? mean_lo + (mean_hi - mean_lo) * mi / (config_.mean_steps - 1)
+            : 0.5 * (mean_lo + mean_hi);
+    // Reserve can never exceed the distance to either end of the mean
+    // search range (targets P̄ ± R must stay feasible).
+    const double max_reserve = std::min(mean - mean_lo, mean_hi - mean);
+    for (int ri = 1; ri <= config_.reserve_steps; ++ri) {
+      const double reserve = max_reserve * ri / config_.reserve_steps;
+      if (reserve <= 0.0) continue;
+      workload::DemandResponseBid bid{mean, reserve};
+      ++tried;
+      const BidEvaluation eval = evaluate(bid);
+      if (!eval.qos_ok || !eval.tracking_ok) continue;
+      ++feasible;
+      if (!best || eval.net_cost() < best->evaluation.net_cost()) {
+        best = BidSearchResult{bid, eval, 0, 0};
+      }
+    }
+  }
+  if (best) {
+    best->candidates_tried = tried;
+    best->candidates_feasible = feasible;
+  }
+  return best;
+}
+
+workload::DemandResponseBid DemandResponseBidder::heuristic_bid(double idle_power_w,
+                                                                double min_cap_w,
+                                                                double max_cap_w,
+                                                                int node_count,
+                                                                double utilization) {
+  const double busy = utilization * node_count;
+  const double idle = (1.0 - utilization) * node_count;
+  // Expected power with busy nodes mid-range and idle nodes at idle draw.
+  const double mean = busy * 0.5 * (min_cap_w + max_cap_w) + idle * idle_power_w;
+  // Down-flex: busy nodes can drop to the floor cap.  Up-flex: busy nodes
+  // can rise to the max cap.  Offer the smaller, with a safety margin for
+  // schedule variance.
+  const double down = busy * (0.5 * (min_cap_w + max_cap_w) - min_cap_w);
+  const double up = busy * (max_cap_w - 0.5 * (min_cap_w + max_cap_w));
+  const double reserve = 0.8 * std::min(down, up);
+  return workload::DemandResponseBid{mean, std::max(reserve, 0.0)};
+}
+
+}  // namespace anor::sched

@@ -1,0 +1,70 @@
+// Demand-response bidder (paper Sec. 4.4.1, after AQA).
+//
+// Once per hour the cluster bids an average power P̄ and a symmetric
+// reserve R; the grid then sends targets within P̄ ± R.  AQA searches for
+// the bid that minimizes electricity cost under QoS and power-tracking
+// constraints.  The search evaluates candidate bids through a
+// caller-supplied evaluator (the tabular simulator provides one), keeping
+// this module free of a dependency on the simulator.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "workload/regulation.hpp"
+
+namespace anor::sched {
+
+/// Outcome of simulating one candidate bid.
+struct BidEvaluation {
+  bool qos_ok = false;
+  bool tracking_ok = false;
+  double energy_cost = 0.0;     // $ for the hour at the bid's mean power
+  double reserve_credit = 0.0;  // $ earned by offering the reserve
+  double net_cost() const { return energy_cost - reserve_credit; }
+};
+
+using BidEvaluator = std::function<BidEvaluation(const workload::DemandResponseBid&)>;
+
+struct BidderConfig {
+  double energy_price_per_kwh = 0.12;
+  double reserve_credit_per_kw = 0.05;  // $/kW-hour of offered reserve
+  /// Candidate grid resolution.
+  int mean_steps = 8;
+  int reserve_steps = 8;
+  /// Feasible mean-power range to search, watts.
+  double min_mean_w = 0.0;
+  double max_mean_w = 0.0;
+};
+
+struct BidSearchResult {
+  workload::DemandResponseBid bid;
+  BidEvaluation evaluation;
+  int candidates_tried = 0;
+  int candidates_feasible = 0;
+};
+
+class DemandResponseBidder {
+ public:
+  explicit DemandResponseBidder(BidderConfig config) : config_(config) {}
+
+  /// Grid search over (P̄, R): keep candidates whose evaluation satisfies
+  /// both constraints, return the cheapest.  Returns nullopt when no
+  /// candidate is feasible.
+  std::optional<BidSearchResult> search(const BidEvaluator& evaluate) const;
+
+  /// Fast analytic starting point: expected busy power at the target
+  /// utilization, with reserve limited by the smaller of the up/down
+  /// flexibility.
+  static workload::DemandResponseBid heuristic_bid(double idle_power_w, double min_cap_w,
+                                                   double max_cap_w, int node_count,
+                                                   double utilization);
+
+  const BidderConfig& config() const { return config_; }
+
+ private:
+  BidderConfig config_;
+};
+
+}  // namespace anor::sched

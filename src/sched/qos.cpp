@@ -1,0 +1,41 @@
+#include "sched/qos.hpp"
+
+#include "util/stats.hpp"
+
+namespace anor::sched {
+
+void QosEvaluator::add(JobQosRecord record) { records_.push_back(std::move(record)); }
+
+std::map<std::string, std::vector<double>> QosEvaluator::degradation_by_type() const {
+  std::map<std::string, std::vector<double>> by_type;
+  for (const JobQosRecord& r : records_) {
+    by_type[r.type_name].push_back(r.qos_degradation());
+  }
+  return by_type;
+}
+
+std::map<std::string, double> QosEvaluator::percentile_by_type(double p) const {
+  std::map<std::string, double> result;
+  for (auto& [type, values] : degradation_by_type()) {
+    result[type] = util::percentile(values, p);
+  }
+  return result;
+}
+
+bool QosEvaluator::satisfied() const {
+  const auto quantiles = percentile_by_type(constraint_.probability * 100.0);
+  for (const auto& [type, q] : quantiles) {
+    if (q > constraint_.limit) return false;
+  }
+  return true;
+}
+
+double QosEvaluator::worst_quantile() const {
+  double worst = 0.0;
+  for (const auto& [type, q] : percentile_by_type(constraint_.probability * 100.0)) {
+    if (q > worst) worst = q;
+  }
+  return worst;
+}
+
+}  // namespace anor::sched

@@ -1,0 +1,74 @@
+#include "sched/weight_trainer.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace anor::sched {
+
+TrainingJobType synthesize_unknown_type(const std::string& name, double min_exec_time_s,
+                                        int nodes,
+                                        const std::vector<workload::JobType>& known_types,
+                                        util::Rng& rng) {
+  if (known_types.empty()) {
+    throw std::invalid_argument("synthesize_unknown_type: no known types to sample from");
+  }
+  // Sample the power-demand range and the sensitivity (max slowdown) from
+  // independently chosen known types.
+  const auto& power_donor =
+      known_types[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(known_types.size()) - 1))];
+  const auto& sensitivity_donor =
+      known_types[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(known_types.size()) - 1))];
+
+  TrainingJobType result;
+  result.synthesized = true;
+  workload::JobType& t = result.type;
+  t.name = name;
+  t.nodes = nodes;
+  t.k1 = sensitivity_donor.k1;
+  t.k2 = sensitivity_donor.k2;
+  t.max_power_w = power_donor.max_power_w;
+  t.min_power_w = power_donor.min_power_w;
+  // Honor the provided minimum execution time: pick an epoch structure
+  // with ~100 epochs.
+  t.epochs = 100;
+  t.base_epoch_s = min_exec_time_s / t.epochs;
+  return result;
+}
+
+WeightTrainingResult train_queue_weights(const std::vector<std::string>& type_names,
+                                         const WeightEvaluator& evaluate,
+                                         const WeightTrainerConfig& config, util::Rng rng) {
+  if (type_names.empty()) {
+    throw std::invalid_argument("train_queue_weights: no types");
+  }
+  WeightTrainingResult best;
+  for (const std::string& name : type_names) best.weights[name] = 1.0;
+  best.score = evaluate(best.weights);
+  best.evaluations = 1;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    std::map<std::string, double> candidate;
+    if (iter % 2 == 0) {
+      // Exploration: fresh random weights.
+      for (const std::string& name : type_names) {
+        candidate[name] = rng.uniform(config.min_weight, config.max_weight);
+      }
+    } else {
+      // Exploitation: perturb the incumbent.
+      for (const auto& [name, w] : best.weights) {
+        const double perturbed = w * rng.uniform(0.8, 1.25);
+        candidate[name] =
+            std::min(std::max(perturbed, config.min_weight), config.max_weight);
+      }
+    }
+    const double score = evaluate(candidate);
+    ++best.evaluations;
+    if (score > best.score) {
+      best.weights = std::move(candidate);
+      best.score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace anor::sched

@@ -1,0 +1,61 @@
+// Queue-weight training with support for unknown job types
+// (paper Sec. 4.4.2).
+//
+// AQA tunes per-queue node-allocation weights over simulations of expected
+// power-constraint and job-submission scenarios.  When the user queue
+// contains a job type that is *not* precharacterized, the trainer
+// simulates it with a known minimum execution time (as a user-provided
+// hint) and samples its power range and maximum slowdown from the known
+// types — exactly the mechanism the paper adds on top of AQA.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/job_type.hpp"
+
+namespace anor::sched {
+
+/// A job type as the trainer sees it: possibly synthesized for an unknown
+/// type.
+struct TrainingJobType {
+  workload::JobType type;
+  bool synthesized = false;  // true when power properties were sampled
+};
+
+/// Synthesize a stand-in for an unknown type: keep the provided minimum
+/// execution time and node count, sample the power-demand range and
+/// maximum slowdown from the known types (paper Sec. 4.4.2).
+TrainingJobType synthesize_unknown_type(const std::string& name, double min_exec_time_s,
+                                        int nodes,
+                                        const std::vector<workload::JobType>& known_types,
+                                        util::Rng& rng);
+
+/// Score of one candidate weight assignment, as produced by the
+/// caller-supplied evaluator (higher is better; -inf for infeasible).
+using WeightEvaluator =
+    std::function<double(const std::map<std::string, double>& weights)>;
+
+struct WeightTrainerConfig {
+  int iterations = 64;
+  double min_weight = 0.25;
+  double max_weight = 4.0;
+};
+
+struct WeightTrainingResult {
+  std::map<std::string, double> weights;
+  double score = 0.0;
+  int evaluations = 0;
+};
+
+/// Random search over weight vectors (AQA's original training also treats
+/// the simulator as a black box).  Starts from uniform weights; keeps the
+/// best-scoring assignment.  Deterministic in the rng seed.
+WeightTrainingResult train_queue_weights(const std::vector<std::string>& type_names,
+                                         const WeightEvaluator& evaluate,
+                                         const WeightTrainerConfig& config, util::Rng rng);
+
+}  // namespace anor::sched

@@ -1,0 +1,149 @@
+#include "sim/sim_config.hpp"
+
+#include <algorithm>
+
+namespace anor::sim {
+
+SimJobType SimJobType::from_job_type(const workload::JobType& type, int node_scale) {
+  SimJobType sim_type;
+  sim_type.name = type.name;
+  sim_type.nodes = type.nodes * node_scale;
+  sim_type.p_max_w = type.max_power_w;
+  sim_type.p_min_w = std::max(type.min_power_w, workload::kNodeMinCapW);
+  sim_type.time_at_pmax_s = type.min_exec_time_s();
+  sim_type.time_at_pmin_s = type.exec_time_s(workload::kNodeMinCapW);
+  return sim_type;
+}
+
+double SimJobType::progress_rate(double cap_w) const {
+  const double rate_max = 1.0 / time_at_pmax_s;
+  const double rate_min = 1.0 / time_at_pmin_s;
+  if (p_max_w <= p_min_w) return rate_max;
+  const double cap = std::clamp(cap_w, p_min_w, p_max_w);
+  const double frac = (cap - p_min_w) / (p_max_w - p_min_w);
+  return rate_min + frac * (rate_max - rate_min);
+}
+
+double SimJobType::power_at(double cap_w) const {
+  return std::clamp(cap_w, p_min_w, p_max_w);
+}
+
+model::PowerPerfModel SimJobType::budget_model() const {
+  // Sample T(P) = 1/rate(P) and fit the quadratic family the budgeters
+  // consume.  The fit is near-exact over the narrow cap range.
+  std::vector<double> caps;
+  std::vector<double> times;
+  const int samples = 15;
+  for (int i = 0; i < samples; ++i) {
+    const double cap = p_min_w + (p_max_w - p_min_w) * i / (samples - 1);
+    caps.push_back(cap);
+    times.push_back(1.0 / progress_rate(cap));
+  }
+  return model::PowerPerfModel::fit(caps, times, p_min_w, p_max_w);
+}
+
+util::Json sim_config_to_json(const SimConfig& config) {
+  util::JsonObject obj;
+  obj["node_count"] = util::Json(config.node_count);
+  obj["idle_power_w"] = util::Json(config.idle_power_w);
+  obj["duration_s"] = util::Json(config.duration_s);
+  obj["step_s"] = util::Json(config.step_s);
+  obj["perf_variation_sigma"] = util::Json(config.perf_variation_sigma);
+  obj["budgeter"] = util::Json(budget::to_string(config.budgeter));
+  obj["power_aware_admission"] = util::Json(config.power_aware_admission);
+  obj["backfill"] = util::Json(config.backfill);
+  obj["single_queue"] = util::Json(config.single_queue);
+  obj["protect_at_risk_jobs"] = util::Json(config.protect_at_risk_jobs);
+  obj["at_risk_fraction"] = util::Json(config.at_risk_fraction);
+  obj["bid_mean_w"] = util::Json(config.bid.average_power_w);
+  obj["bid_reserve_w"] = util::Json(config.bid.reserve_w);
+  obj["regulation_step_s"] = util::Json(config.regulation_step_s);
+  obj["regulation_volatility"] = util::Json(config.regulation_volatility);
+  obj["control_period_s"] = util::Json(config.control_period_s);
+  obj["tracking_warmup_s"] = util::Json(config.tracking_warmup_s);
+
+  util::JsonArray types;
+  for (const SimJobType& t : config.job_types) {
+    util::JsonObject type_obj;
+    type_obj["name"] = util::Json(t.name);
+    type_obj["nodes"] = util::Json(t.nodes);
+    type_obj["p_max_w"] = util::Json(t.p_max_w);
+    type_obj["p_min_w"] = util::Json(t.p_min_w);
+    type_obj["time_at_pmax_s"] = util::Json(t.time_at_pmax_s);
+    type_obj["time_at_pmin_s"] = util::Json(t.time_at_pmin_s);
+    type_obj["qos_limit"] = util::Json(t.qos_limit);
+    types.push_back(util::Json(std::move(type_obj)));
+  }
+  obj["job_types"] = util::Json(std::move(types));
+
+  if (!config.queue_weights.empty()) {
+    util::JsonObject weights;
+    for (const auto& [name, weight] : config.queue_weights) {
+      weights[name] = util::Json(weight);
+    }
+    obj["queue_weights"] = util::Json(std::move(weights));
+  }
+  return util::Json(std::move(obj));
+}
+
+SimConfig sim_config_from_json(const util::Json& json) {
+  SimConfig config;
+  config.node_count = static_cast<int>(json.number_or("node_count", config.node_count));
+  config.idle_power_w = json.number_or("idle_power_w", config.idle_power_w);
+  config.duration_s = json.number_or("duration_s", config.duration_s);
+  config.step_s = json.number_or("step_s", config.step_s);
+  config.perf_variation_sigma =
+      json.number_or("perf_variation_sigma", config.perf_variation_sigma);
+  const std::string budgeter = json.string_or("budgeter", "even-slowdown");
+  config.budgeter = budgeter == "even-power" ? budget::BudgeterKind::kEvenPower
+                                             : budget::BudgeterKind::kEvenSlowdown;
+  config.power_aware_admission =
+      json.bool_or("power_aware_admission", config.power_aware_admission);
+  config.backfill = json.bool_or("backfill", config.backfill);
+  config.single_queue = json.bool_or("single_queue", config.single_queue);
+  config.protect_at_risk_jobs =
+      json.bool_or("protect_at_risk_jobs", config.protect_at_risk_jobs);
+  config.at_risk_fraction = json.number_or("at_risk_fraction", config.at_risk_fraction);
+  config.bid.average_power_w = json.number_or("bid_mean_w", 0.0);
+  config.bid.reserve_w = json.number_or("bid_reserve_w", 0.0);
+  config.regulation_step_s = json.number_or("regulation_step_s", config.regulation_step_s);
+  config.regulation_volatility =
+      json.number_or("regulation_volatility", config.regulation_volatility);
+  config.control_period_s = json.number_or("control_period_s", config.control_period_s);
+  config.tracking_warmup_s = json.number_or("tracking_warmup_s", config.tracking_warmup_s);
+
+  if (json.contains("standard_types")) {
+    const util::Json& standard = json.at("standard_types");
+    config.job_types = standard_sim_types(standard.bool_or("long_only", true),
+                                          static_cast<int>(standard.number_or("node_scale", 1)));
+  } else if (json.contains("job_types")) {
+    for (const util::Json& item : json.at("job_types").as_array()) {
+      SimJobType type;
+      type.name = item.at("name").as_string();
+      type.nodes = static_cast<int>(item.number_or("nodes", 1));
+      type.p_max_w = item.number_or("p_max_w", type.p_max_w);
+      type.p_min_w = item.number_or("p_min_w", type.p_min_w);
+      type.time_at_pmax_s = item.number_or("time_at_pmax_s", type.time_at_pmax_s);
+      type.time_at_pmin_s = item.number_or("time_at_pmin_s", type.time_at_pmin_s);
+      type.qos_limit = item.number_or("qos_limit", type.qos_limit);
+      config.job_types.push_back(std::move(type));
+    }
+  }
+  if (json.contains("queue_weights")) {
+    for (const auto& [name, weight] : json.at("queue_weights").as_object()) {
+      config.queue_weights[name] = weight.as_number();
+    }
+  }
+  return config;
+}
+
+std::vector<SimJobType> standard_sim_types(bool long_types_only, int node_scale) {
+  const auto& types =
+      long_types_only ? workload::nas_long_job_types() : workload::nas_job_types();
+  std::vector<SimJobType> sim_types;
+  sim_types.reserve(types.size());
+  for (const auto& t : types) sim_types.push_back(SimJobType::from_job_type(t, node_scale));
+  return sim_types;
+}
+
+}  // namespace anor::sim

@@ -1,0 +1,356 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace anor::sim {
+
+TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule,
+                                   util::Rng rng)
+    : config_(std::move(config)),
+      schedule_(std::move(schedule)),
+      rng_(rng),
+      nodes_(config_.node_count),
+      scheduler_([&] {
+        sched::SchedulerConfig sc;
+        sc.cluster_nodes = config_.node_count;
+        sc.queue_weights = config_.queue_weights;
+        sc.power_aware_admission = config_.power_aware_admission;
+        sc.backfill = config_.backfill;
+        sc.single_queue = config_.single_queue;
+        if (config_.backfill) {
+          // Estimate with the type's unconstrained execution time.
+          auto types = config_.job_types;
+          sc.runtime_estimate = [types](const std::string& name) {
+            for (const auto& t : types) {
+              if (t.name == name) return t.time_at_pmax_s;
+            }
+            return 600.0;
+          };
+        }
+        return sc;
+      }()) {
+  if (config_.job_types.empty()) throw util::ConfigError("TabularSimulator: no job types");
+  budgeter_ = budget::make_budgeter(config_.budgeter);
+
+  if (config_.bid.reserve_w > 0.0) {
+    regulation_ = std::make_unique<workload::RandomWalkRegulation>(
+        rng_.child("regulation"), config_.duration_s * 4.0, config_.regulation_step_s,
+        config_.regulation_volatility);
+  }
+
+  // Budgeter-facing models, one per type (the *classified* type indexes
+  // into these).
+  type_models_.reserve(config_.job_types.size());
+  for (const SimJobType& t : config_.job_types) type_models_.push_back(t.budget_model());
+
+  // Node-to-node performance variation, fixed for the simulation's
+  // lifetime (paper Sec. 5.6).
+  if (config_.perf_variation_sigma > 0.0) {
+    util::Rng node_rng = rng_.child("node-variation");
+    for (int n = 0; n < config_.node_count; ++n) {
+      nodes_.set_perf_multiplier(
+          n, node_rng.truncated_normal(1.0, config_.perf_variation_sigma, 0.5, 1.5));
+    }
+  }
+
+  std::sort(schedule_.jobs.begin(), schedule_.jobs.end(),
+            [](const workload::JobRequest& a, const workload::JobRequest& b) {
+              return a.submit_time_s < b.submit_time_s;
+            });
+  result_.jobs_submitted = static_cast<int>(schedule_.jobs.size());
+}
+
+int TabularSimulator::type_index(const std::string& name) const {
+  for (std::size_t i = 0; i < config_.job_types.size(); ++i) {
+    if (config_.job_types[i].name == name) return static_cast<int>(i);
+  }
+  throw util::ConfigError("TabularSimulator: unknown job type '" + name + "'");
+}
+
+double TabularSimulator::current_target_w() const {
+  if (regulation_ == nullptr) return 0.0;
+  return config_.bid.target_at(*regulation_, now_s_);
+}
+
+void TabularSimulator::update_nodes(double dt_s) {
+  for (int n = 0; n < nodes_.size(); ++n) {
+    if (nodes_.idle(n)) {
+      nodes_.set_power(n, config_.idle_power_w);
+      continue;
+    }
+    const JobRow& row = jobs_.by_job_id(nodes_.job_id(n));
+    const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+    const double cap = nodes_.cap_w(n);
+    const double rate = type.progress_rate(cap) / nodes_.perf_multiplier(n);
+    nodes_.add_progress(n, rate * dt_s);
+    nodes_.set_power(n, type.power_at(cap));
+    busy_node_seconds_ += dt_s;
+  }
+}
+
+void TabularSimulator::complete_finished_jobs() {
+  for (std::size_t i : jobs_.running()) {
+    JobRow& row = jobs_.row(i);
+    bool all_done = true;
+    for (int n : row.nodes) {
+      if (nodes_.progress(n) < 1.0) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) continue;
+    row.end_s = now_s_;
+    const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+    for (int n : row.nodes) nodes_.release(n);
+    scheduler_.job_finished(type.name, static_cast<int>(row.nodes.size()));
+    ++result_.jobs_completed;
+    sched::JobQosRecord record;
+    record.job_id = row.job_id;
+    record.type_name = type.name;
+    record.submit_s = row.submit_s;
+    record.start_s = row.start_s;
+    record.end_s = row.end_s;
+    record.t_min_s = type.time_at_pmax_s;
+    result_.qos.add(std::move(record));
+  }
+}
+
+void TabularSimulator::admit_arrivals() {
+  while (next_arrival_ < schedule_.jobs.size() &&
+         schedule_.jobs[next_arrival_].submit_time_s <= now_s_) {
+    const workload::JobRequest& req = schedule_.jobs[next_arrival_];
+    JobRow row;
+    row.job_id = req.job_id;
+    row.type_index = type_index(req.type_name);
+    row.classified_index = type_index(req.effective_class());
+    row.submit_s = req.submit_time_s;
+    jobs_.add(std::move(row));
+    // The scheduler sees the instance's real node demand (the type's
+    // default unless the request overrides it).
+    workload::JobRequest for_queue = req;
+    if (for_queue.nodes <= 0) {
+      for_queue.nodes =
+          config_.job_types[static_cast<std::size_t>(type_index(req.type_name))].nodes;
+    }
+    scheduler_.submit(for_queue, now_s_);
+    ++next_arrival_;
+  }
+}
+
+double TabularSimulator::projected_qos(const JobRow& row) const {
+  const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+  double worst_end = now_s_;
+  for (int n : row.nodes) {
+    const double progress = nodes_.progress(n);
+    if (progress >= 1.0) continue;
+    const double rate =
+        type.progress_rate(nodes_.cap_w(n)) / nodes_.perf_multiplier(n);
+    if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+    worst_end = std::max(worst_end, now_s_ + (1.0 - progress) / rate);
+  }
+  const double t_min = type.time_at_pmax_s;
+  return t_min > 0.0 ? (worst_end - row.submit_s - t_min) / t_min : 0.0;
+}
+
+void TabularSimulator::schedule_and_cap() {
+  // --- scheduling ---
+  sched::SchedulerView view;
+  view.free_nodes = nodes_.idle_count();
+  view.power_target_w = current_target_w();
+  // Floor power today: busy nodes cannot go below their job's p_min; idle
+  // nodes draw idle power.
+  double floor = 0.0;
+  for (int n = 0; n < nodes_.size(); ++n) {
+    if (nodes_.idle(n)) {
+      floor += config_.idle_power_w;
+    } else {
+      const JobRow& row = jobs_.by_job_id(nodes_.job_id(n));
+      floor += config_.job_types[static_cast<std::size_t>(row.type_index)].p_min_w;
+    }
+  }
+  view.min_feasible_power_w = floor;
+  view.per_node_floor_increase_w = workload::kNodeMinCapW - config_.idle_power_w;
+  view.now_s = now_s_;
+  if (config_.backfill) {
+    for (std::size_t i : jobs_.running()) {
+      const JobRow& row = jobs_.row(i);
+      double worst_end = now_s_;
+      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+      for (int n : row.nodes) {
+        const double rate = type.progress_rate(nodes_.cap_w(n)) / nodes_.perf_multiplier(n);
+        if (rate <= 0.0) continue;
+        worst_end = std::max(worst_end, now_s_ + (1.0 - nodes_.progress(n)) / rate);
+      }
+      view.projected_releases.emplace_back(worst_end, static_cast<int>(row.nodes.size()));
+    }
+  }
+
+  const std::vector<workload::JobRequest> to_start = scheduler_.schedule(view);
+  if (!to_start.empty()) {
+    std::vector<int> idle = nodes_.idle_nodes();
+    std::size_t cursor = 0;
+    for (const workload::JobRequest& req : to_start) {
+      JobRow& row = jobs_.by_job_id(req.job_id);
+      row.start_s = now_s_;
+      row.nodes.clear();
+      for (int k = 0; k < req.nodes; ++k) {
+        const int node = idle[cursor++];
+        row.nodes.push_back(node);
+        nodes_.assign(node, req.job_id);
+        // Start at the type's max power until the budgeter runs.
+        nodes_.set_cap(node, config_.job_types[static_cast<std::size_t>(row.type_index)].p_max_w);
+      }
+    }
+  }
+
+  apply_budget();
+}
+
+void TabularSimulator::apply_budget() {
+  const double target = current_target_w();
+  const std::vector<std::size_t> running = jobs_.running();
+  if (running.empty()) return;
+
+  if (target <= 0.0) {
+    // No tracking: run everything uncapped.
+    for (std::size_t i : running) {
+      JobRow& row = jobs_.row(i);
+      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+      for (int n : row.nodes) nodes_.set_cap(n, type.p_max_w);
+    }
+    return;
+  }
+
+  double budget = target - nodes_.idle_count() * config_.idle_power_w;
+
+  std::vector<budget::JobPowerProfile> profiles;
+  std::vector<std::size_t> protected_rows;
+  for (std::size_t i : running) {
+    const JobRow& row = jobs_.row(i);
+    if (config_.protect_at_risk_jobs) {
+      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+      if (projected_qos(row) > config_.at_risk_fraction * type.qos_limit) {
+        // Exempt from capping: gets max power off the top of the budget.
+        protected_rows.push_back(i);
+        budget -= static_cast<double>(row.nodes.size()) * type.p_max_w;
+        continue;
+      }
+    }
+    budget::JobPowerProfile profile;
+    profile.job_id = row.job_id;
+    profile.nodes = static_cast<int>(row.nodes.size());
+    profile.model = type_models_[static_cast<std::size_t>(row.classified_index)];
+    profiles.push_back(std::move(profile));
+  }
+
+  for (std::size_t i : protected_rows) {
+    JobRow& row = jobs_.row(i);
+    const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+    for (int n : row.nodes) nodes_.set_cap(n, type.p_max_w);
+  }
+
+  if (profiles.empty()) return;
+  const budget::BudgetResult result = budgeter_->distribute(profiles, std::max(budget, 0.0));
+  for (std::size_t i : running) {
+    JobRow& row = jobs_.row(i);
+    const auto it = result.node_cap_w.find(row.job_id);
+    if (it == result.node_cap_w.end()) continue;  // protected
+    for (int n : row.nodes) nodes_.set_cap(n, it->second);
+  }
+}
+
+void TabularSimulator::set_table_log(std::ostream* out, int every_n_steps) {
+  table_log_ = out;
+  table_log_stride_ = std::max(1, every_n_steps);
+}
+
+void TabularSimulator::append_table_log() {
+  if (table_log_ == nullptr || step_index_ % table_log_stride_ != 0) return;
+  std::ostream& out = *table_log_;
+  for (int n = 0; n < nodes_.size(); ++n) {
+    out << "N," << now_s_ << ',' << n << ',' << nodes_.job_id(n) << ',' << nodes_.cap_w(n)
+        << ',' << nodes_.power_w(n) << ',' << nodes_.progress(n) << '\n';
+  }
+  for (const JobRow& row : jobs_.rows()) {
+    if (row.finished() && row.end_s < now_s_ - config_.step_s) continue;  // log once
+    out << "J," << now_s_ << ',' << row.job_id << ','
+        << config_.job_types[static_cast<std::size_t>(row.type_index)].name << ','
+        << row.submit_s << ',' << row.start_s << ',' << row.end_s << '\n';
+  }
+}
+
+bool TabularSimulator::step() {
+  if (done_) return false;
+  const double dt = config_.step_s;
+
+  // 1. node update
+  update_nodes(dt);
+  // 2. completions + policy view refresh
+  complete_finished_jobs();
+  admit_arrivals();
+  // 3. schedule and cap (at the control cadence)
+  if (now_s_ + 1e-9 >= next_control_s_) {
+    schedule_and_cap();
+    next_control_s_ = now_s_ + config_.control_period_s;
+  }
+  // 4. log
+  result_.power_w.add(now_s_, nodes_.total_power_w());
+  if (regulation_ != nullptr) result_.target_w.add(now_s_, current_target_w());
+  append_table_log();
+
+  ++step_index_;
+  now_s_ += dt;
+
+  const bool horizon_passed = now_s_ >= config_.duration_s;
+  const bool drained = next_arrival_ >= schedule_.jobs.size() && jobs_.running().empty() &&
+                       !scheduler_.has_pending();
+  const bool hard_stop = now_s_ >= config_.duration_s * 4.0;
+  if ((horizon_passed && drained) || hard_stop) done_ = true;
+  return !done_;
+}
+
+SimResult TabularSimulator::run() {
+  while (step()) {
+  }
+  if (regulation_ != nullptr && !result_.power_w.empty()) {
+    util::TimeSeries measured;
+    for (std::size_t i = 0; i < result_.power_w.size(); ++i) {
+      const double t = result_.power_w.times()[i];
+      if (t >= config_.tracking_warmup_s) measured.add(t, result_.power_w.values()[i]);
+    }
+    if (measured.empty()) measured = result_.power_w;
+    result_.tracking =
+        util::tracking_error(measured, result_.target_w, config_.bid.reserve_w);
+  }
+  const double elapsed = std::max(now_s_, config_.step_s);
+  result_.mean_utilization = busy_node_seconds_ / (elapsed * config_.node_count);
+  return result_;
+}
+
+SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<workload::JobType> gen_types;
+  gen_types.reserve(config.job_types.size());
+  for (const SimJobType& t : config.job_types) {
+    workload::JobType gt;
+    gt.name = t.name;
+    gt.nodes = t.nodes;
+    gt.base_epoch_s = t.time_at_pmax_s / 100.0;
+    gt.epochs = 100;
+    gen_types.push_back(std::move(gt));
+  }
+  workload::PoissonScheduleConfig sched_config;
+  sched_config.duration_s = config.duration_s;
+  sched_config.utilization = utilization;
+  sched_config.cluster_nodes = config.node_count;
+  const workload::Schedule schedule =
+      workload::generate_poisson_schedule(gen_types, sched_config, rng.child("schedule"));
+  TabularSimulator simulator(config, schedule, rng.child("sim"));
+  return simulator.run();
+}
+
+}  // namespace anor::sim

@@ -1,0 +1,103 @@
+// The tabular cluster simulator's step loop (paper Sec. 5.6).
+//
+// "Each simulated second, the simulator updates the state of the node
+// table, then updates the view of the cluster seen by the job scheduler
+// and power manager, then schedules jobs and caps power.  The policy
+// updates inputs to the node table that will be processed in the
+// node-update stage of the next time step."
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include <iosfwd>
+
+#include "sched/aqa_scheduler.hpp"
+#include "sched/qos.hpp"
+#include "sim/sim_config.hpp"
+#include "sim/tables.hpp"
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+#include "workload/schedule.hpp"
+
+namespace anor::sim {
+
+struct SimResult {
+  util::TimeSeries power_w;    // measured cluster power
+  util::TimeSeries target_w;   // power target (empty when tracking disabled)
+  sched::QosEvaluator qos;
+  util::TrackingErrorStats tracking;
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  double mean_utilization = 0.0;  // busy-node fraction averaged over time
+};
+
+class TabularSimulator {
+ public:
+  /// The schedule supplies arrivals; type names must exist in
+  /// config.job_types (classified_as may name any type as well).
+  TabularSimulator(SimConfig config, workload::Schedule schedule, util::Rng rng);
+
+  /// Run to completion (duration plus drain of running jobs, bounded by
+  /// 4x duration) and return the result.
+  SimResult run();
+
+  /// Single-step interface for tests: advance one step_s.  Returns false
+  /// once the simulation is over.
+  bool step();
+
+  /// Append the node- and job-table state to the stream each step, as the
+  /// paper's simulator does ("before starting the next iteration, we
+  /// append the current state of all tables to a file", Sec. 5.6).  CSV:
+  ///   N,<t>,<node>,<job_id>,<cap_w>,<power_w>,<progress>
+  ///   J,<t>,<job_id>,<type>,<submit>,<start>,<end>
+  /// The stream must outlive the simulator; pass nullptr to stop logging.
+  /// `every_n_steps` thins the output (1 = every step).
+  void set_table_log(std::ostream* out, int every_n_steps = 1);
+
+  double now_s() const { return now_s_; }
+  const NodeTable& node_table() const { return nodes_; }
+  const JobTable& job_table() const { return jobs_; }
+  const sched::AqaScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void update_nodes(double dt_s);
+  void append_table_log();
+  void complete_finished_jobs();
+  void admit_arrivals();
+  void schedule_and_cap();
+  void apply_budget();
+  int type_index(const std::string& name) const;
+  double current_target_w() const;
+  /// Projected QoS degradation of a running job at its current rate.
+  double projected_qos(const JobRow& row) const;
+
+  SimConfig config_;
+  workload::Schedule schedule_;
+  std::size_t next_arrival_ = 0;
+  util::Rng rng_;
+
+  NodeTable nodes_;
+  JobTable jobs_;
+  sched::AqaScheduler scheduler_;
+  std::unique_ptr<budget::Budgeter> budgeter_;
+  std::unique_ptr<workload::RandomWalkRegulation> regulation_;
+  std::vector<model::PowerPerfModel> type_models_;  // budgeter view per type
+
+  SimResult result_;
+  double now_s_ = 0.0;
+  double next_control_s_ = 0.0;
+  double busy_node_seconds_ = 0.0;
+  bool done_ = false;
+
+  std::ostream* table_log_ = nullptr;
+  int table_log_stride_ = 1;
+  long step_index_ = 0;
+};
+
+/// Convenience wrapper: build schedule + simulator from a config and seed,
+/// run, and return the result.  Used by benches and the bid/weight
+/// evaluators.
+SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed);
+
+}  // namespace anor::sim

@@ -1,0 +1,76 @@
+#include "sim/tables.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace anor::sim {
+
+NodeTable::NodeTable(int node_count)
+    : job_id_(static_cast<std::size_t>(node_count), -1),
+      cap_w_(static_cast<std::size_t>(node_count), 0.0),
+      power_w_(static_cast<std::size_t>(node_count), 0.0),
+      progress_(static_cast<std::size_t>(node_count), 0.0),
+      perf_mult_(static_cast<std::size_t>(node_count), 1.0) {
+  if (node_count <= 0) throw std::invalid_argument("NodeTable: node_count <= 0");
+}
+
+void NodeTable::assign(int node, int job) {
+  job_id_[idx(node)] = job;
+  progress_[idx(node)] = 0.0;
+}
+
+void NodeTable::release(int node) {
+  job_id_[idx(node)] = -1;
+  progress_[idx(node)] = 0.0;
+  cap_w_[idx(node)] = 0.0;
+}
+
+std::vector<int> NodeTable::idle_nodes() const {
+  std::vector<int> idle;
+  for (int n = 0; n < size(); ++n) {
+    if (job_id_[idx(n)] < 0) idle.push_back(n);
+  }
+  return idle;
+}
+
+int NodeTable::idle_count() const {
+  int count = 0;
+  for (int id : job_id_) {
+    if (id < 0) ++count;
+  }
+  return count;
+}
+
+double NodeTable::total_power_w() const {
+  return std::accumulate(power_w_.begin(), power_w_.end(), 0.0);
+}
+
+std::size_t JobTable::add(JobRow row) {
+  const auto id = static_cast<std::size_t>(row.job_id);
+  if (by_id_.size() <= id) by_id_.resize(id + 1, SIZE_MAX);
+  by_id_[id] = rows_.size();
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+JobRow& JobTable::by_job_id(int job_id) {
+  const auto id = static_cast<std::size_t>(job_id);
+  if (id >= by_id_.size() || by_id_[id] == SIZE_MAX) {
+    throw std::out_of_range("JobTable: unknown job id");
+  }
+  return rows_[by_id_[id]];
+}
+
+const JobRow& JobTable::by_job_id(int job_id) const {
+  return const_cast<JobTable*>(this)->by_job_id(job_id);
+}
+
+std::vector<std::size_t> JobTable::running() const {
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].started() && !rows_[i].finished()) running.push_back(i);
+  }
+  return running;
+}
+
+}  // namespace anor::sim

@@ -1,0 +1,87 @@
+// The simulator's state tables (paper Sec. 5.6).
+//
+// "The simulator is implemented as a collection of tables that store the
+// current state of nodes and jobs in the cluster."  Structure-of-arrays
+// layout: the per-second update sweeps every node, and SoA keeps those
+// sweeps cache-friendly at 1000+ nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anor::sim {
+
+/// Per-node state.  job_id < 0 means idle.
+class NodeTable {
+ public:
+  explicit NodeTable(int node_count);
+
+  int size() const { return static_cast<int>(job_id_.size()); }
+
+  int job_id(int node) const { return job_id_[idx(node)]; }
+  double cap_w(int node) const { return cap_w_[idx(node)]; }
+  double power_w(int node) const { return power_w_[idx(node)]; }
+  double progress(int node) const { return progress_[idx(node)]; }
+  double perf_multiplier(int node) const { return perf_mult_[idx(node)]; }
+  bool idle(int node) const { return job_id_[idx(node)] < 0; }
+
+  void set_perf_multiplier(int node, double m) { perf_mult_[idx(node)] = m; }
+  void set_cap(int node, double cap_w) { cap_w_[idx(node)] = cap_w; }
+  void set_power(int node, double power_w) { power_w_[idx(node)] = power_w; }
+  void add_progress(int node, double delta) { progress_[idx(node)] += delta; }
+
+  void assign(int node, int job);
+  void release(int node);
+
+  std::vector<int> idle_nodes() const;
+  int idle_count() const;
+  double total_power_w() const;
+
+ private:
+  static std::size_t idx(int node) { return static_cast<std::size_t>(node); }
+
+  std::vector<int> job_id_;
+  std::vector<double> cap_w_;
+  std::vector<double> power_w_;
+  std::vector<double> progress_;
+  std::vector<double> perf_mult_;
+};
+
+/// Per-job lifecycle state.
+struct JobRow {
+  int job_id = 0;
+  int type_index = 0;        // into SimConfig::job_types
+  int classified_index = 0;  // what the policy believes (== type_index normally)
+  double submit_s = 0.0;
+  double start_s = -1.0;
+  double end_s = -1.0;
+  std::vector<int> nodes;    // assigned node ids (empty while queued)
+
+  bool started() const { return start_s >= 0.0; }
+  bool finished() const { return end_s >= 0.0; }
+};
+
+class JobTable {
+ public:
+  /// Returns the row index.
+  std::size_t add(JobRow row);
+
+  JobRow& row(std::size_t index) { return rows_[index]; }
+  const JobRow& row(std::size_t index) const { return rows_[index]; }
+  std::size_t size() const { return rows_.size(); }
+
+  JobRow& by_job_id(int job_id);
+  const JobRow& by_job_id(int job_id) const;
+
+  /// Indices of running (started, unfinished) jobs.
+  std::vector<std::size_t> running() const;
+
+  const std::vector<JobRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<JobRow> rows_;
+  std::vector<std::size_t> by_id_;  // job_id -> row index
+};
+
+}  // namespace anor::sim

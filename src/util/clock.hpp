@@ -1,0 +1,34 @@
+// Virtual time base for the emulated cluster and simulators.
+//
+// All control loops, message latencies, and workload progress advance
+// against a `VirtualClock` so hour-long scenarios run in milliseconds and
+// results are independent of wall-clock scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace anor::util {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(double start_s) : now_s_(start_s) {}
+
+  double now() const { return now_s_; }
+
+  /// Advance by a non-negative delta.  Negative deltas are ignored (time is
+  /// monotonic by construction).
+  void advance(double delta_s) {
+    if (delta_s > 0.0) now_s_ += delta_s;
+  }
+
+  /// Jump to an absolute time not before `now()`.
+  void advance_to(double t_s) {
+    if (t_s > now_s_) now_s_ = t_s;
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace anor::util

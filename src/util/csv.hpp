@@ -1,0 +1,40 @@
+// CSV output/input for experiment artifacts.
+//
+// Every bench harness can dump its series as CSV next to the human-readable
+// table so figures can be re-plotted without re-running experiments.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace anor::util {
+
+/// Streams rows of comma-separated values with minimal quoting (fields
+/// containing commas, quotes, or newlines are double-quoted).
+class CsvWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_header(const std::vector<std::string>& names);
+  void write_row(const std::vector<std::string>& fields);
+  /// Convenience overload: formats doubles with %.6g.
+  void write_row_values(const std::vector<double>& values);
+
+  static std::string escape(const std::string& field);
+  static std::string format(double value);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parse one CSV line into fields, honoring double-quoted fields with
+/// embedded commas and doubled quotes.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Parse a whole CSV document (first row treated as data, not header).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace anor::util

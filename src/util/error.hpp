@@ -1,0 +1,41 @@
+// Error types shared across the ANOR framework.
+//
+// We follow a simple policy: programming errors (precondition violations)
+// throw `std::logic_error` subtypes; environmental/runtime failures throw
+// `std::runtime_error` subtypes.  Hot paths never throw; they validate at
+// the boundary instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace anor::util {
+
+/// Thrown when a configuration value is missing, malformed, or out of range.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a message transport fails (connection refused, peer closed,
+/// malformed frame, ...).
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an MSR access violates the msr-safe-style allowlist or
+/// addresses an unknown register.
+class MsrAccessError : public std::logic_error {
+ public:
+  explicit MsrAccessError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a numerical routine cannot produce a result
+/// (singular system, empty sample set, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace anor::util

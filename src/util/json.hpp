@@ -1,0 +1,83 @@
+// Minimal JSON value, parser, and serializer.
+//
+// The cluster-tier manager reads power targets and job-submission schedules
+// from files (paper Sec. 4.1); we store those artifacts as JSON.  This is a
+// strict subset parser: UTF-8 passthrough, no comments, numbers as double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace anor::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw ConfigError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object member access; throws ConfigError if not an object or missing.
+  const Json& at(const std::string& key) const;
+  /// Object member access with default.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  bool contains(const std::string& key) const;
+
+  /// Serialize.  indent < 0 → compact; otherwise pretty with that many
+  /// spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document; throws ConfigError on syntax errors
+  /// or trailing garbage.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) { return a.value_ == b.value_; }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+/// Read/write whole files; throw ConfigError on I/O failure.
+Json load_json_file(const std::string& path);
+void save_json_file(const std::string& path, const Json& value, int indent = 2);
+
+}  // namespace anor::util

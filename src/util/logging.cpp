@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace anor::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  out << '[' << to_string(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace anor::util

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The framework logs sparingly: control decisions at kDebug, lifecycle
+// events at kInfo, anomalies at kWarn/kError.  The logger is process-global
+// and thread-safe; experiments typically run with kWarn to keep bench
+// output clean.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace anor::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the canonical short tag for a level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level);
+
+/// Process-global logger.  Use via the convenience functions below or
+/// `Logger::instance()`.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Redirect output (default: std::clog).  The stream must outlive all
+  /// logging calls; pass nullptr to restore the default.
+  void set_sink(std::ostream* sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Write one formatted line: "[LEVEL] component: message".
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+inline void log(LogLevel level, std::string_view component, std::string_view message) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(level)) logger.write(level, component, message);
+}
+}  // namespace detail
+
+inline void log_trace(std::string_view c, std::string_view m) { detail::log(LogLevel::kTrace, c, m); }
+inline void log_debug(std::string_view c, std::string_view m) { detail::log(LogLevel::kDebug, c, m); }
+inline void log_info(std::string_view c, std::string_view m) { detail::log(LogLevel::kInfo, c, m); }
+inline void log_warn(std::string_view c, std::string_view m) { detail::log(LogLevel::kWarn, c, m); }
+inline void log_error(std::string_view c, std::string_view m) { detail::log(LogLevel::kError, c, m); }
+
+}  // namespace anor::util

@@ -1,0 +1,94 @@
+#include "util/poly_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace anor::util {
+
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
+                                        std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) throw NumericalError("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(a[pivot * n + k], a[col * n + k]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+std::vector<double> polyfit_weighted(std::span<const double> x, std::span<const double> y,
+                                     std::span<const double> w, std::size_t degree) {
+  const std::size_t m = x.size();
+  const std::size_t n = degree + 1;
+  if (y.size() != m || w.size() != m) throw std::invalid_argument("polyfit: size mismatch");
+  if (m < n) throw std::invalid_argument("polyfit: need at least degree+1 points");
+
+  // Normal equations: (Xᵀ W X) c = Xᵀ W y.
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  std::vector<double> xp(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      xp[k] = p;
+      p *= x[i];
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) xtx[r * n + c] += w[i] * xp[r] * xp[c];
+      xty[r] += w[i] * xp[r] * y[i];
+    }
+  }
+  return solve_linear_system(std::move(xtx), std::move(xty), n);
+}
+
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree) {
+  std::vector<double> w(x.size(), 1.0);
+  return polyfit_weighted(x, y, w, degree);
+}
+
+double polyval(std::span<const double> coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double polyfit_r2(std::span<const double> coeffs, std::span<const double> x,
+                  std::span<const double> y) {
+  std::vector<double> predicted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) predicted[i] = polyval(coeffs, x[i]);
+  return r_squared(std::vector<double>(y.begin(), y.end()), predicted);
+}
+
+}  // namespace anor::util

@@ -1,0 +1,39 @@
+// Least-squares polynomial fitting.
+//
+// The job-tier power modeler fits T = A·P² + B·P + C to (power cap,
+// seconds-per-epoch) samples (paper Sec. 4.2).  This is small-degree dense
+// least squares: we form the normal equations and solve with Gaussian
+// elimination with partial pivoting.  Degree is tiny (2) so conditioning is
+// manageable; callers should center/scale inputs when magnitudes are large
+// (the modeler normalizes power by TDP before fitting).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace anor::util {
+
+/// Solve the dense linear system a·x = b in place.  `a` is row-major
+/// n×n; `b` has n entries.  Throws NumericalError if the matrix is
+/// (numerically) singular.
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b,
+                                        std::size_t n);
+
+/// Fit a polynomial of the given degree to the points (x[i], y[i]),
+/// optionally weighted.  Returns coefficients c such that
+/// y ≈ c[0] + c[1]·x + ... + c[degree]·x^degree.
+/// Requires x.size() == y.size() >= degree + 1.
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree);
+std::vector<double> polyfit_weighted(std::span<const double> x, std::span<const double> y,
+                                     std::span<const double> w, std::size_t degree);
+
+/// Evaluate a polynomial (coefficients in ascending order) at x.
+double polyval(std::span<const double> coeffs, double x);
+
+/// R² of the polynomial fit against the given points.
+double polyfit_r2(std::span<const double> coeffs, std::span<const double> x,
+                  std::span<const double> y);
+
+}  // namespace anor::util

@@ -1,0 +1,69 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The GEOPM-style endpoint mailbox (src/geopm/endpoint) moves policy and
+// sample records between the agent thread and the modeler thread through
+// two of these rings, mimicking the shared-memory channel the paper's
+// implementation uses.  Capacity is fixed at construction and rounded up to
+// a power of two so index masking is branch-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace anor::util {
+
+template <typename T>
+class SpscRingBuffer {
+ public:
+  explicit SpscRingBuffer(std::size_t min_capacity)
+      : mask_(round_up_pow2(min_capacity) - 1), slots_(mask_ + 1) {}
+
+  SpscRingBuffer(const SpscRingBuffer&) = delete;
+  SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side.  Returns false when the ring is full.
+  bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when the ring is empty.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Snapshot of the fill level.  Exact only when called from the producer
+  /// or consumer thread; advisory otherwise.
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace anor::util

@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace anor::util {
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("truncated_normal: lo > hi");
+  if (stddev <= 0.0) return std::clamp(mean, lo, hi);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: non-positive total weight");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace anor::util

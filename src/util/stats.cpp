@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anor::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci_half_width(double z) const {
+  if (n_ < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample set");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean_of: empty sample set");
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+double fraction_within(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t within = 0;
+  for (double v : values) {
+    if (std::abs(v) <= threshold) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(values.size());
+}
+
+double r_squared(const std::vector<double>& observed, const std::vector<double>& predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) {
+    throw std::invalid_argument("r_squared: size mismatch or empty");
+  }
+  const double mean = mean_of(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    const double d = observed[i] - mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace anor::util

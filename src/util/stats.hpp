@@ -1,0 +1,56 @@
+// Streaming and batch statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace anor::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the normal-approximation confidence interval around the
+  /// mean (e.g. z = 1.96 for 95 %).  0 for fewer than 2 samples.
+  double ci_half_width(double z = 1.96) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation between order
+/// statistics (the common "type 7" estimator).  `p` in [0, 100].
+/// Throws std::invalid_argument for an empty sample set or p out of range.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; throws std::invalid_argument on empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1); 0 for fewer than 2 values.
+double stddev_of(const std::vector<double>& values);
+
+/// Fraction of samples with |x| <= threshold.  Used for power-tracking
+/// constraints of the form "error below E for at least F of the time".
+double fraction_within(const std::vector<double>& values, double threshold);
+
+/// Coefficient of determination of predictions vs observations.
+/// Returns 1.0 for a perfect fit; can be negative for terrible fits.
+double r_squared(const std::vector<double>& observed, const std::vector<double>& predicted);
+
+}  // namespace anor::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace anor::util {
+
+std::string TextTable::format_double(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::format_percent(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void TextTable::add_row(std::vector<std::string> fields) {
+  fields.resize(headers_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void TextTable::add_row(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) fields.push_back(format_double(v, precision));
+  add_row(std::move(fields));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t k = 0; k < w + 2; ++k) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& fields) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& f = i < fields.size() ? fields[i] : std::string{};
+      out << ' ' << f;
+      for (std::size_t k = f.size(); k < widths[i] + 1; ++k) out << ' ';
+      out << '|';
+    }
+    out << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace anor::util

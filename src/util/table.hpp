@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer for bench/experiment output.
+//
+// Each figure-reproduction binary prints its series as a table whose rows
+// mirror what the paper plots, e.g.
+//
+//   +------------+---------+---------+
+//   | budget_w   | bt      | sp      |
+//   +------------+---------+---------+
+//   | 1500       | 41.2%   | 12.0%   |
+//   ...
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace anor::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> fields);
+  /// Convenience: first column as label, remaining as formatted doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  static std::string format_double(double value, int precision);
+  static std::string format_percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anor::util

@@ -1,0 +1,54 @@
+// Fixed-size worker pool for parallel experiment trials.
+//
+// Figure 11 runs 10 seeded simulations per variation level; trials are
+// independent, so the bench harnesses fan them out across hardware threads
+// with `parallel_for`.  Determinism is preserved because each trial owns a
+// seed derived from (base seed, trial index) — scheduling order cannot
+// change results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anor::util {
+
+class ThreadPool {
+ public:
+  /// 0 workers means "use hardware concurrency" (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; the returned future observes its completion (and any
+  /// exception it throws).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for i in [0, count) across the pool and wait.  Exceptions
+  /// from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: run body(i) for i in [0, count) on a transient pool.
+void parallel_for_each_index(std::size_t count, const std::function<void(std::size_t)>& body,
+                             std::size_t workers = 0);
+
+}  // namespace anor::util

@@ -1,0 +1,70 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace anor::util {
+
+void TimeSeries::add(double t_s, double value) {
+  if (!times_.empty() && t_s < times_.back()) {
+    throw std::invalid_argument("TimeSeries::add: timestamps must be non-decreasing");
+  }
+  times_.push_back(t_s);
+  values_.push_back(value);
+}
+
+void TimeSeries::clear() {
+  times_.clear();
+  values_.clear();
+}
+
+double TimeSeries::sample_at(double t_s) const {
+  if (times_.empty()) throw std::out_of_range("TimeSeries::sample_at: empty series");
+  if (t_s <= times_.front()) return values_.front();
+  if (t_s >= times_.back()) return values_.back();
+  // First index with time > t_s; the sample before it is the hold value.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t_s);
+  const auto idx = static_cast<std::size_t>(it - times_.begin());
+  return values_[idx - 1];
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  RunningStats s;
+  for (double v : values_) s.add(v);
+  return s.mean();
+}
+
+TimeSeries TimeSeries::resample(double t0_s, double t1_s, double step_s) const {
+  if (step_s <= 0.0) throw std::invalid_argument("TimeSeries::resample: step must be positive");
+  TimeSeries out;
+  for (double t = t0_s; t <= t1_s + 1e-9; t += step_s) out.add(t, sample_at(t));
+  return out;
+}
+
+TrackingErrorStats tracking_error(const TimeSeries& measured, const TimeSeries& target,
+                                  double reserve_w) {
+  if (reserve_w <= 0.0) throw std::invalid_argument("tracking_error: reserve must be positive");
+  TrackingErrorStats stats;
+  if (measured.empty() || target.empty()) return stats;
+  std::vector<double> errors;
+  errors.reserve(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double t = measured.times()[i];
+    const double err = std::abs(measured.values()[i] - target.sample_at(t)) / reserve_w;
+    errors.push_back(err);
+  }
+  RunningStats s;
+  for (double e : errors) s.add(e);
+  stats.mean_error = s.mean();
+  stats.max_error = s.max();
+  stats.p90_error = percentile(errors, 90.0);
+  stats.fraction_within_30 = fraction_within(errors, 0.30);
+  stats.samples = errors.size();
+  return stats;
+}
+
+}  // namespace anor::util

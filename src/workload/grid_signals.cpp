@@ -1,0 +1,122 @@
+#include "workload/grid_signals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace anor::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+CarbonIntensityProfile::CarbonIntensityProfile(util::Rng rng, double horizon_s, Config config)
+    : config_(config), horizon_s_(horizon_s) {
+  if (horizon_s <= 0.0) throw std::invalid_argument("CarbonIntensityProfile: bad horizon");
+  const auto samples =
+      static_cast<std::size_t>(std::ceil(horizon_s / config.noise_step_s)) + 1;
+  noise_.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    noise_.push_back(rng.normal(0.0, config.noise_g_per_kwh));
+  }
+}
+
+double CarbonIntensityProfile::at(double t_s) const {
+  const double day_fraction = std::fmod(std::max(t_s, 0.0), kSecondsPerDay) / kSecondsPerDay;
+  // Double-hump: a main diurnal cycle plus a second harmonic gives the
+  // morning/evening peaks of a thermal-heavy grid.
+  const double diurnal = 0.6 * std::sin(kTwoPi * (day_fraction - 0.25)) +
+                         0.4 * std::sin(2.0 * kTwoPi * (day_fraction - 0.10));
+  const auto noise_idx = std::min(
+      static_cast<std::size_t>(std::max(t_s, 0.0) / config_.noise_step_s), noise_.size() - 1);
+  const double intensity =
+      config_.base_g_per_kwh + config_.swing_g_per_kwh * diurnal + noise_[noise_idx];
+  return std::max(intensity, 0.0);
+}
+
+util::TimeSeries targets_from_carbon(const CarbonIntensityProfile& profile, double p_low_w,
+                                     double p_high_w, double horizon_s, double period_s) {
+  if (p_high_w < p_low_w) throw std::invalid_argument("targets_from_carbon: p_high < p_low");
+  if (period_s <= 0.0) throw std::invalid_argument("targets_from_carbon: bad period");
+  // Normalize against the intensity range actually seen over the horizon.
+  double lo = profile.at(0.0);
+  double hi = lo;
+  for (double t = 0.0; t <= horizon_s; t += period_s) {
+    lo = std::min(lo, profile.at(t));
+    hi = std::max(hi, profile.at(t));
+  }
+  util::TimeSeries targets;
+  for (double t = 0.0; t <= horizon_s + 1e-9; t += period_s) {
+    const double frac = hi > lo ? (profile.at(t) - lo) / (hi - lo) : 0.0;
+    targets.add(t, p_high_w - frac * (p_high_w - p_low_w));
+  }
+  return targets;
+}
+
+double carbon_emitted_g(const util::TimeSeries& power_w,
+                        const CarbonIntensityProfile& profile) {
+  double grams = 0.0;
+  for (std::size_t i = 0; i + 1 < power_w.size(); ++i) {
+    const double dt = power_w.times()[i + 1] - power_w.times()[i];
+    const double kwh = util::kilowatts_from_watts(power_w.values()[i]) *
+                       util::hours_from_seconds(dt);
+    grams += kwh * profile.at(power_w.times()[i]);
+  }
+  return grams;
+}
+
+TouTariff::TouTariff(double off_peak_price_per_kwh, std::vector<Window> windows)
+    : off_peak_(off_peak_price_per_kwh), windows_(std::move(windows)) {
+  for (const Window& window : windows_) {
+    if (window.end_hour <= window.start_hour || window.start_hour < 0.0 ||
+        window.end_hour > 24.0) {
+      throw std::invalid_argument("TouTariff: bad window");
+    }
+  }
+}
+
+double TouTariff::price_at(double t_s) const {
+  const double hour = std::fmod(std::max(t_s, 0.0), kSecondsPerDay) / 3600.0;
+  for (const Window& window : windows_) {
+    if (hour >= window.start_hour && hour < window.end_hour) return window.price_per_kwh;
+  }
+  return off_peak_;
+}
+
+double TouTariff::cost_of(const util::TimeSeries& power_w) const {
+  double dollars = 0.0;
+  for (std::size_t i = 0; i + 1 < power_w.size(); ++i) {
+    const double dt = power_w.times()[i + 1] - power_w.times()[i];
+    const double kwh = util::kilowatts_from_watts(power_w.values()[i]) *
+                       util::hours_from_seconds(dt);
+    dollars += kwh * price_at(power_w.times()[i]);
+  }
+  return dollars;
+}
+
+TouTariff TouTariff::standard() {
+  return TouTariff(0.08, {{7.0, 11.0, 0.14}, {17.0, 21.0, 0.24}});
+}
+
+util::TimeSeries targets_from_tariff(const TouTariff& tariff, double p_low_w, double p_high_w,
+                                     double horizon_s, double period_s) {
+  if (p_high_w < p_low_w) throw std::invalid_argument("targets_from_tariff: p_high < p_low");
+  if (period_s <= 0.0) throw std::invalid_argument("targets_from_tariff: bad period");
+  double lo = tariff.price_at(0.0);
+  double hi = lo;
+  for (double t = 0.0; t <= horizon_s; t += period_s) {
+    lo = std::min(lo, tariff.price_at(t));
+    hi = std::max(hi, tariff.price_at(t));
+  }
+  util::TimeSeries targets;
+  for (double t = 0.0; t <= horizon_s + 1e-9; t += period_s) {
+    const double frac = hi > lo ? (tariff.price_at(t) - lo) / (hi - lo) : 0.0;
+    targets.add(t, p_high_w - frac * (p_high_w - p_low_w));
+  }
+  return targets;
+}
+
+}  // namespace anor::workload

@@ -1,0 +1,88 @@
+// Grid-side objective sources beyond demand response.
+//
+// The paper motivates ANOR with "grid-aware power management scenarios
+// where data center operators may react to time-varying carbon intensity,
+// changing power tariffs, or demand response events" (Sec. 3).  Demand
+// response lives in regulation.hpp; this header covers the other two:
+// a diurnal carbon-intensity profile and a time-of-use tariff, each with
+// a mapping from its signal to a cluster power-target series the
+// ClusterManager can track directly.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+
+namespace anor::workload {
+
+/// Grid carbon intensity over a day, gCO2/kWh.  Shaped as a diurnal
+/// double-hump (morning and evening peaks riding on a base level) plus
+/// seeded weather noise — the texture of real grid data.
+class CarbonIntensityProfile {
+ public:
+  struct Config {
+    double base_g_per_kwh = 250.0;
+    double swing_g_per_kwh = 150.0;  // peak-to-base amplitude
+    double noise_g_per_kwh = 20.0;   // weather / dispatch noise (sigma)
+    double noise_step_s = 900.0;     // noise redraw interval
+  };
+
+  CarbonIntensityProfile(util::Rng rng, double horizon_s, Config config);
+  CarbonIntensityProfile(util::Rng rng, double horizon_s)
+      : CarbonIntensityProfile(rng, horizon_s, Config()) {}
+
+  /// Intensity at time-of-day t (t=0 is midnight), gCO2/kWh.
+  double at(double t_s) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double horizon_s_;
+  std::vector<double> noise_;
+};
+
+/// Map carbon intensity to power targets: run at p_high when the grid is
+/// cleanest, throttle to p_low when dirtiest, linear in between (targets
+/// sampled every period_s).
+util::TimeSeries targets_from_carbon(const CarbonIntensityProfile& profile, double p_low_w,
+                                     double p_high_w, double horizon_s,
+                                     double period_s = 60.0);
+
+/// Carbon emitted by a power series under a profile, grams CO2.
+double carbon_emitted_g(const util::TimeSeries& power_w, const CarbonIntensityProfile& profile);
+
+/// Time-of-use tariff: a list of [start_hour, end_hour) windows with a
+/// price each; hours outside any window cost the off-peak price.
+class TouTariff {
+ public:
+  struct Window {
+    double start_hour = 0.0;
+    double end_hour = 0.0;
+    double price_per_kwh = 0.0;
+  };
+
+  TouTariff(double off_peak_price_per_kwh, std::vector<Window> windows);
+
+  /// Price at time-of-day t (t=0 is midnight; wraps daily).
+  double price_at(double t_s) const;
+
+  /// Electricity cost of a measured power series, dollars.
+  double cost_of(const util::TimeSeries& power_w) const;
+
+  /// A common residential/industrial shape: off-peak base, a shoulder,
+  /// and an evening peak.
+  static TouTariff standard();
+
+ private:
+  double off_peak_;
+  std::vector<Window> windows_;
+};
+
+/// Map a tariff to power targets: p_high at the cheapest price seen over
+/// the horizon, p_low at the priciest, linear in between.
+util::TimeSeries targets_from_tariff(const TouTariff& tariff, double p_low_w, double p_high_w,
+                                     double horizon_s, double period_s = 60.0);
+
+}  // namespace anor::workload

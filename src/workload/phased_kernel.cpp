@@ -1,0 +1,107 @@
+#include "workload/phased_kernel.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace anor::workload {
+
+PhasedKernel::PhasedKernel(std::vector<JobPhase> phases, util::Rng rng,
+                           KernelConfig config) {
+  if (phases.empty()) throw std::invalid_argument("PhasedKernel: no phases");
+  kernels_.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    KernelConfig phase_config = config;
+    // Setup only before the first phase, teardown only after the last.
+    if (i != 0) phase_config.setup_s = 0.0;
+    if (i + 1 != phases.size()) phase_config.teardown_s = 0.0;
+    kernels_.push_back(std::make_unique<SyntheticKernel>(
+        phases[i].profile, rng.child(static_cast<std::uint64_t>(i)), phase_config));
+    phase_weight_.push_back(phases[i].profile.min_exec_time_s());
+    total_epochs_ += phases[i].profile.epochs;
+  }
+}
+
+std::size_t PhasedKernel::current_phase() const {
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    if (!kernels_[i]->complete()) return i;
+  }
+  return kernels_.size();
+}
+
+double PhasedKernel::power_demand_w(double cap_w) const {
+  const std::size_t phase = current_phase();
+  if (phase >= kernels_.size()) return 0.0;
+  return kernels_[phase]->power_demand_w(cap_w);
+}
+
+void PhasedKernel::advance(double dt_s, double cap_w) {
+  // A step can cross a phase boundary: hand leftover time to the next
+  // phase so no node-time is lost.  SyntheticKernel::advance consumes the
+  // full dt when incomplete, so track elapsed before/after.
+  double remaining = dt_s;
+  while (remaining > 1e-12) {
+    const std::size_t phase = current_phase();
+    if (phase >= kernels_.size()) return;
+    SyntheticKernel& kernel = *kernels_[phase];
+    const double before = kernel.elapsed_s();
+    kernel.advance(remaining, cap_w);
+    const double used = kernel.elapsed_s() - before;
+    remaining -= used;
+    if (used <= 1e-12 && !kernel.complete()) return;  // defensive
+  }
+}
+
+bool PhasedKernel::complete() const { return current_phase() >= kernels_.size(); }
+
+double PhasedKernel::progress() const {
+  const double total = std::accumulate(phase_weight_.begin(), phase_weight_.end(), 0.0);
+  if (total <= 0.0) return complete() ? 1.0 : 0.0;
+  double done = 0.0;
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    done += kernels_[i]->progress() * phase_weight_[i];
+  }
+  return done / total;
+}
+
+double PhasedKernel::time_since_last_epoch_s() const {
+  // Walk back from the active phase: the current phase's value, plus the
+  // full elapsed time of any later phases that have not produced an epoch
+  // yet (e.g. right after a phase boundary).
+  double since = 0.0;
+  for (std::size_t i = kernels_.size(); i-- > 0;) {
+    const SyntheticKernel& kernel = *kernels_[i];
+    if (kernel.epoch_count() > 0) {
+      return since + kernel.time_since_last_epoch_s();
+    }
+    since += kernel.elapsed_s();
+  }
+  return since;
+}
+
+long PhasedKernel::epoch_count() const {
+  long epochs = 0;
+  for (const auto& kernel : kernels_) epochs += kernel->epoch_count();
+  return epochs;
+}
+
+double PhasedKernel::elapsed_s() const {
+  double elapsed = 0.0;
+  for (const auto& kernel : kernels_) elapsed += kernel->elapsed_s();
+  return elapsed;
+}
+
+double PhasedKernel::compute_elapsed_s() const {
+  double elapsed = 0.0;
+  for (const auto& kernel : kernels_) elapsed += kernel->compute_elapsed_s();
+  return elapsed;
+}
+
+std::vector<JobPhase> two_phase(const JobType& first, const JobType& second) {
+  JobPhase a{first};
+  a.profile.epochs = first.epochs / 2;
+  JobPhase b{second};
+  b.profile.epochs = second.epochs - second.epochs / 2;
+  return {a, b};
+}
+
+}  // namespace anor::workload

@@ -1,0 +1,63 @@
+// Multi-phase synthetic kernel (paper Sec. 8 future work: "some jobs may
+// consist of multiple power-sensitivity profiles through the job's
+// lifecycle").
+//
+// A PhasedKernel chains several power-sensitivity profiles; the epoch
+// counter runs continuously across phases (the application's main loop
+// does not restart, its per-iteration behavior changes).  When such a job
+// crosses a phase boundary, the job tier's observed seconds-per-epoch
+// shift away from whatever model it was serving — the feedback loop in
+// cluster/JobEndpointProcess re-detects the divergence and re-publishes,
+// which tests/workload/phased_kernel_test.cpp and the end-to-end suite
+// exercise.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/synthetic_kernel.hpp"
+
+namespace anor::workload {
+
+/// One phase: the profile's curve/power fields describe the phase; its
+/// `epochs` field is how many main-loop iterations the phase lasts.
+struct JobPhase {
+  JobType profile;
+};
+
+class PhasedKernel final : public JobKernel {
+ public:
+  /// Setup runs before the first phase, teardown after the last; the
+  /// config's noise settings apply to every phase.
+  PhasedKernel(std::vector<JobPhase> phases, util::Rng rng, KernelConfig config = {});
+
+  // platform::ComputeLoad
+  double power_demand_w(double cap_w) const override;
+  void advance(double dt_s, double cap_w) override;
+  bool complete() const override;
+  double progress() const override;
+
+  // JobKernel
+  long epoch_count() const override;
+  double time_since_last_epoch_s() const override;
+  double elapsed_s() const override;
+  double compute_elapsed_s() const override;
+
+  std::size_t phase_count() const { return kernels_.size(); }
+  /// Index of the phase currently executing (== phase_count() when done).
+  std::size_t current_phase() const;
+  /// Total epochs across all phases.
+  long total_epochs() const { return total_epochs_; }
+
+ private:
+  std::vector<std::unique_ptr<SyntheticKernel>> kernels_;
+  std::vector<double> phase_weight_;  // uncapped seconds per phase
+  long total_epochs_ = 0;
+};
+
+/// Convenience: a two-phase job that behaves like `first` for its first
+/// half and like `second` for its second half (each phase keeps its own
+/// epoch structure).
+std::vector<JobPhase> two_phase(const JobType& first, const JobType& second);
+
+}  // namespace anor::workload

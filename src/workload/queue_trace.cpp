@@ -1,0 +1,31 @@
+#include "workload/queue_trace.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace anor::workload {
+
+std::vector<QueueTraceEntry> generate_queue_trace(const QueueTraceConfig& config,
+                                                  util::Rng rng) {
+  std::vector<QueueTraceEntry> trace;
+  trace.reserve(config.job_count);
+  util::Rng exec_rng = rng.child("exec");
+  util::Rng wait_rng = rng.child("wait");
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    QueueTraceEntry entry;
+    entry.exec_time_s = std::exp(exec_rng.normal(config.exec_log_mean, config.exec_log_sigma));
+    entry.wait_time_s = std::exp(wait_rng.normal(config.wait_log_mean, config.wait_log_sigma));
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+double p90_wait_exec_ratio(const std::vector<QueueTraceEntry>& trace) {
+  std::vector<double> ratios;
+  ratios.reserve(trace.size());
+  for (const QueueTraceEntry& e : trace) ratios.push_back(e.wait_exec_ratio());
+  return util::percentile(std::move(ratios), 90.0);
+}
+
+}  // namespace anor::workload

@@ -1,0 +1,61 @@
+#include "workload/regulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anor::workload {
+
+RandomWalkRegulation::RandomWalkRegulation(util::Rng rng, double horizon_s, double step_s,
+                                           double volatility)
+    : step_s_(step_s) {
+  if (step_s <= 0.0 || horizon_s <= 0.0) {
+    throw std::invalid_argument("RandomWalkRegulation: bad step or horizon");
+  }
+  const auto count = static_cast<std::size_t>(std::ceil(horizon_s / step_s)) + 1;
+  samples_.reserve(count);
+  double y = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    samples_.push_back(y);
+    y += rng.normal(0.0, volatility);
+    // Reflect at the [-1, 1] boundary so the signal keeps its variance.
+    if (y > 1.0) y = 2.0 - y;
+    if (y < -1.0) y = -2.0 - y;
+    y = std::clamp(y, -1.0, 1.0);
+  }
+}
+
+double RandomWalkRegulation::at(double t_s) const {
+  if (t_s <= 0.0) return samples_.front();
+  const auto idx = static_cast<std::size_t>(t_s / step_s_);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+SinusoidRegulation::SinusoidRegulation(double period1_s, double period2_s, double weight2)
+    : period1_s_(period1_s), period2_s_(period2_s), weight2_(weight2) {
+  if (period1_s <= 0.0) throw std::invalid_argument("SinusoidRegulation: bad period");
+}
+
+double SinusoidRegulation::at(double t_s) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  double y = (1.0 - weight2_) * std::sin(kTwoPi * t_s / period1_s_);
+  if (period2_s_ > 0.0 && weight2_ > 0.0) {
+    y += weight2_ * std::sin(kTwoPi * t_s / period2_s_);
+  }
+  return std::clamp(y, -1.0, 1.0);
+}
+
+util::TimeSeries make_power_target_series(const DemandResponseBid& bid,
+                                          const RegulationSignal& signal, double horizon_s,
+                                          double update_period_s) {
+  if (update_period_s <= 0.0) {
+    throw std::invalid_argument("make_power_target_series: bad update period");
+  }
+  util::TimeSeries series;
+  for (double t = 0.0; t <= horizon_s + 1e-9; t += update_period_s) {
+    series.add(t, bid.target_at(signal, t));
+  }
+  return series;
+}
+
+}  // namespace anor::workload

@@ -1,0 +1,78 @@
+// Job-submission schedules.
+//
+// The cluster-tier manager reads its job schedule from a file for
+// experimental repeatability (paper Sec. 4.1).  Schedules are generated as
+// Poisson processes whose per-type arrival rates hit a target node
+// utilization eta:  sum_j lambda_j * T_j * n_j = eta * N   (paper Sec. 5.3,
+// extended with the per-instance node count n_j so utilization is measured
+// in node-seconds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workload/job_type.hpp"
+
+namespace anor::workload {
+
+struct JobRequest {
+  int job_id = 0;
+  std::string type_name;
+  double submit_time_s = 0.0;
+  /// Node count for this instance; 0 (the default) means "use the job
+  /// type's default node count".
+  int nodes = 0;
+  /// What the cluster tier *believes* the job's type is.  Differs from
+  /// type_name in misclassification experiments (e.g. BT submitted but
+  /// classified as IS).  Empty means "classified correctly".
+  std::string classified_as;
+  /// User-provided walltime hint, seconds (the paper's "minimum execution
+  /// time which may be provided at launch time, similar to setting a
+  /// job's time limit", Sec. 4.4.2).  0 = none; backfill then falls back
+  /// to the type estimate.
+  double walltime_hint_s = 0.0;
+
+  const std::string& effective_class() const {
+    return classified_as.empty() ? type_name : classified_as;
+  }
+};
+
+struct Schedule {
+  std::vector<JobRequest> jobs;  // sorted by submit_time_s
+  double duration_s = 0.0;       // generation horizon
+
+  util::Json to_json() const;
+  static Schedule from_json(const util::Json& json);
+  void save(const std::string& path) const;
+  static Schedule load(const std::string& path);
+};
+
+struct PoissonScheduleConfig {
+  double duration_s = 3600.0;
+  double utilization = 0.95;   // eta
+  int cluster_nodes = 16;      // N
+  /// Relative submission weights per type (defaults to uniform).
+  std::vector<double> type_weights;
+
+  /// Diurnal load modulation: arrival rates follow
+  ///   lambda(t) = lambda_mean * (1 + A*sin(2*pi*(t/period - 0.25)))
+  /// (peak mid-period, trough at the start), implemented by thinning an
+  /// inhomogeneous Poisson process.  0 disables; A must be < 1.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 86400.0;
+};
+
+/// Generate a schedule over the given job types.  Rates are chosen so the
+/// expected node-seconds demanded per second equals eta*N, split across
+/// types by weight.
+Schedule generate_poisson_schedule(const std::vector<JobType>& types,
+                                   const PoissonScheduleConfig& config, util::Rng rng);
+
+/// Mark every instance whose true type is `true_type` as classified as
+/// `classified_as` (misclassification experiments, Fig. 10).
+void misclassify(Schedule& schedule, const std::string& true_type,
+                 const std::string& classified_as);
+
+}  // namespace anor::workload

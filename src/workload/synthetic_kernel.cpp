@@ -1,0 +1,120 @@
+#include "workload/synthetic_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anor::workload {
+
+SyntheticKernel::SyntheticKernel(JobType type, util::Rng rng, KernelConfig config)
+    : type_(std::move(type)), rng_(rng), config_(config) {
+  phase_remaining_s_ = config_.setup_s;
+  if (phase_remaining_s_ <= 0.0) {
+    phase_ = Phase::kCompute;
+    begin_next_epoch();
+  } else {
+    phase_ = Phase::kSetup;
+  }
+}
+
+void SyntheticKernel::begin_next_epoch() {
+  epoch_noise_ = config_.time_noise_sigma > 0.0
+                     ? rng_.truncated_normal(1.0, config_.time_noise_sigma, 0.8, 1.2)
+                     : 1.0;
+  power_noise_w_ = config_.power_noise_sigma_w > 0.0
+                       ? rng_.normal(0.0, config_.power_noise_sigma_w)
+                       : 0.0;
+  epoch_fraction_done_ = 0.0;
+}
+
+double SyntheticKernel::current_epoch_duration_s(double cap_w) const {
+  return type_.epoch_time_s(cap_w) * epoch_noise_ * config_.perf_multiplier;
+}
+
+double SyntheticKernel::power_demand_w(double cap_w) const {
+  if (phase_ == Phase::kDone) return 0.0;
+  if (phase_ != Phase::kCompute) {
+    // Setup/teardown barely exercises the CPU; this is what lets short
+    // jobs donate slack power to everyone else (paper Sec. 7.2).
+    return type_.min_power_w * 0.4;
+  }
+  const double demand = type_.power_at_cap_w(cap_w) + power_noise_w_;
+  return std::clamp(demand, 0.0, cap_w);
+}
+
+void SyntheticKernel::advance(double dt_s, double cap_w) {
+  double remaining_dt = dt_s;
+  while (remaining_dt > 1e-12 && phase_ != Phase::kDone) {
+    elapsed_s_ += 0.0;  // accounted below per-slice
+    switch (phase_) {
+      case Phase::kSetup:
+      case Phase::kTeardown: {
+        const double used = std::min(remaining_dt, phase_remaining_s_);
+        phase_remaining_s_ -= used;
+        remaining_dt -= used;
+        elapsed_s_ += used;
+        if (phase_remaining_s_ <= 1e-12) {
+          if (phase_ == Phase::kSetup) {
+            phase_ = Phase::kCompute;
+            begin_next_epoch();
+          } else {
+            phase_ = Phase::kDone;
+          }
+        }
+        break;
+      }
+      case Phase::kCompute: {
+        const double epoch_s = current_epoch_duration_s(cap_w);
+        const double epoch_left_s = (1.0 - epoch_fraction_done_) * epoch_s;
+        const double used = std::min(remaining_dt, epoch_left_s);
+        epoch_fraction_done_ += epoch_s > 0.0 ? used / epoch_s : 1.0;
+        remaining_dt -= used;
+        elapsed_s_ += used;
+        compute_elapsed_s_ += used;
+        if (epoch_fraction_done_ >= 1.0 - 1e-12) {
+          ++epochs_done_;
+          elapsed_at_last_epoch_s_ = elapsed_s_;
+          if (on_epoch_) on_epoch_(epochs_done_);
+          if (epochs_done_ >= type_.epochs) {
+            phase_ = Phase::kTeardown;
+            phase_remaining_s_ = config_.teardown_s;
+            if (phase_remaining_s_ <= 0.0) phase_ = Phase::kDone;
+          } else {
+            begin_next_epoch();
+          }
+        }
+        break;
+      }
+      case Phase::kDone:
+        break;
+    }
+  }
+}
+
+bool SyntheticKernel::complete() const { return phase_ == Phase::kDone; }
+
+double SyntheticKernel::progress() const {
+  const double total = config_.setup_s + config_.teardown_s +
+                       type_.min_exec_time_s() * config_.perf_multiplier;
+  if (total <= 0.0) return complete() ? 1.0 : 0.0;
+  // Progress is measured in "work units": setup/teardown plus uncapped
+  // compute seconds; a capped epoch still represents the same work.
+  double work_done = 0.0;
+  switch (phase_) {
+    case Phase::kSetup:
+      work_done = config_.setup_s - phase_remaining_s_;
+      break;
+    case Phase::kCompute:
+      work_done = config_.setup_s +
+                  (static_cast<double>(epochs_done_) + epoch_fraction_done_) *
+                      type_.base_epoch_s * config_.perf_multiplier;
+      break;
+    case Phase::kTeardown:
+      work_done = total - phase_remaining_s_;
+      break;
+    case Phase::kDone:
+      return 1.0;
+  }
+  return std::clamp(work_done / total, 0.0, 1.0);
+}
+
+}  // namespace anor::workload

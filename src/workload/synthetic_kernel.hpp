@@ -1,0 +1,103 @@
+// Synthetic epoch-loop kernel standing in for an NPB benchmark process.
+//
+// Each node running a job hosts one kernel instance (one "rank group").
+// The kernel advances through its main loop; once per iteration it
+// "calls geopm_prof_epoch()" — here, it bumps an epoch counter the
+// GEOPM-like runtime reads (paper Sec. 5.1).  Epoch durations follow the
+// job type's ground-truth curve at the currently effective node cap, with
+// multiplicative measurement noise so repeated runs produce the error bars
+// the paper reports.
+#pragma once
+
+#include <functional>
+
+#include "platform/compute_load.hpp"
+#include "util/rng.hpp"
+#include "workload/job_type.hpp"
+
+namespace anor::workload {
+
+struct KernelConfig {
+  /// Sigma of the multiplicative epoch-time noise (0 disables).
+  double time_noise_sigma = 0.01;
+  /// Sigma of additive power-demand noise in watts (0 disables).
+  double power_noise_sigma_w = 2.0;
+  /// Extra per-instance slowdown multiplier (job-level variation; the
+  /// node-level multiplier lives on platform::Node).
+  double perf_multiplier = 1.0;
+  /// Work performed before the first epoch and after the last one, e.g.
+  /// setup/teardown, as seconds at the uncapped rate.  Short jobs spend a
+  /// large share of their residency here (paper Sec. 7.2).
+  double setup_s = 2.0;
+  double teardown_s = 1.0;
+};
+
+/// What the GEOPM-like runtime needs from whatever executes on a node: a
+/// compute load that also exposes epoch instrumentation and elapsed-time
+/// accounting.  SyntheticKernel is the single-profile implementation;
+/// PhasedKernel (phased_kernel.hpp) chains several profiles.
+class JobKernel : public platform::ComputeLoad {
+ public:
+  /// Count of completed main-loop iterations on this node
+  /// (the local geopm_prof_epoch() counter).
+  virtual long epoch_count() const = 0;
+
+  /// Node-time elapsed since the most recent epoch completed (since
+  /// execution start when no epoch completed yet).  GEOPM timestamps each
+  /// epoch precisely; the agent reconstructs the completion instant as
+  /// now - time_since_last_epoch_s().
+  virtual double time_since_last_epoch_s() const = 0;
+
+  /// Total node-time executed (including setup/teardown), and the share
+  /// spent inside the epoch loop.
+  virtual double elapsed_s() const = 0;
+  virtual double compute_elapsed_s() const = 0;
+};
+
+class SyntheticKernel final : public JobKernel {
+ public:
+  SyntheticKernel(JobType type, util::Rng rng, KernelConfig config = {});
+
+  // platform::ComputeLoad
+  double power_demand_w(double cap_w) const override;
+  void advance(double dt_s, double cap_w) override;
+  bool complete() const override;
+  double progress() const override;
+
+  // JobKernel
+  long epoch_count() const override { return epochs_done_; }
+  double time_since_last_epoch_s() const override {
+    return elapsed_s_ - elapsed_at_last_epoch_s_;
+  }
+  double elapsed_s() const override { return elapsed_s_; }
+  double compute_elapsed_s() const override { return compute_elapsed_s_; }
+
+  const JobType& type() const { return type_; }
+
+  /// Optional hook invoked each time a local epoch completes.
+  void set_epoch_callback(std::function<void(long)> cb) { on_epoch_ = std::move(cb); }
+
+ private:
+  /// Seconds of wall time per unit of loop work at the given cap,
+  /// including noise factor for the current epoch.
+  double current_epoch_duration_s(double cap_w) const;
+  void begin_next_epoch();
+
+  JobType type_;
+  util::Rng rng_;
+  KernelConfig config_;
+
+  enum class Phase { kSetup, kCompute, kTeardown, kDone };
+  Phase phase_ = Phase::kSetup;
+  double phase_remaining_s_ = 0.0;  // for setup/teardown
+  long epochs_done_ = 0;
+  double epoch_noise_ = 1.0;        // noise factor for the epoch in flight
+  double epoch_fraction_done_ = 0.0;
+  double elapsed_s_ = 0.0;
+  double compute_elapsed_s_ = 0.0;
+  double elapsed_at_last_epoch_s_ = 0.0;
+  double power_noise_w_ = 0.0;
+  std::function<void(long)> on_epoch_;
+};
+
+}  // namespace anor::workload

@@ -1,0 +1,141 @@
+#include "cluster/facility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::cluster {
+namespace {
+
+EmulationConfig small_config() {
+  EmulationConfig config;
+  config.node_count = 4;
+  config.node.package.response_tau_s = 0.0;
+  config.step_s = 0.25;
+  config.controller.kernel.time_noise_sigma = 0.0;
+  config.controller.kernel.power_noise_sigma_w = 0.0;
+  config.scheduler.power_aware_admission = false;
+  config.manager.control_period_s = 0.5;
+  config.endpoint.period_s = 0.5;
+  return config;
+}
+
+workload::Schedule schedule_of(std::vector<std::pair<const char*, double>> jobs) {
+  workload::Schedule schedule;
+  int id = 0;
+  for (const auto& [type, submit] : jobs) {
+    workload::JobRequest request;
+    request.job_id = id++;
+    request.type_name = type;
+    request.submit_time_s = submit;
+    request.nodes = workload::find_job_type(type).nodes;
+    schedule.jobs.push_back(request);
+  }
+  return schedule;
+}
+
+TEST(FacilitySplit, FloorsAlwaysGranted) {
+  const std::vector<ClusterEnvelope> envelopes = {{1000.0, 2000.0}, {500.0, 800.0}};
+  // Target below the floor sum: floors still granted (cannot shed).
+  const auto shares = FacilityCoordinator::split(1200.0, envelopes);
+  EXPECT_DOUBLE_EQ(shares[0], 1000.0);
+  EXPECT_DOUBLE_EQ(shares[1], 500.0);
+}
+
+TEST(FacilitySplit, HeadroomProportionalToFlexibility) {
+  // Flex 1000 vs 300: headroom 650 splits 500/150.
+  const std::vector<ClusterEnvelope> envelopes = {{1000.0, 2000.0}, {500.0, 800.0}};
+  const auto shares = FacilityCoordinator::split(2150.0, envelopes);
+  EXPECT_NEAR(shares[0], 1500.0, 1e-6);
+  EXPECT_NEAR(shares[1], 650.0, 1e-6);
+  EXPECT_NEAR(shares[0] + shares[1], 2150.0, 1e-6);
+}
+
+TEST(FacilitySplit, PartialHeadroomSplitsProportionally) {
+  // Floors 1500, headroom 1300; flex 2000 vs 300 -> grants 1130.4/169.6.
+  const std::vector<ClusterEnvelope> envelopes = {{1000.0, 3000.0}, {500.0, 800.0}};
+  const auto shares = FacilityCoordinator::split(2800.0, envelopes);
+  EXPECT_NEAR(shares[0], 1000.0 + 1300.0 * 2000.0 / 2300.0, 1e-6);
+  EXPECT_NEAR(shares[1], 500.0 + 1300.0 * 300.0 / 2300.0, 1e-6);
+  EXPECT_NEAR(shares[0] + shares[1], 2800.0, 1e-6);
+  // No share exceeds its ceiling.
+  EXPECT_LE(shares[0], 3000.0);
+  EXPECT_LE(shares[1], 800.0);
+}
+
+TEST(FacilitySplit, TargetAboveTotalCeilingClampsEverywhere) {
+  const std::vector<ClusterEnvelope> envelopes = {{100.0, 200.0}, {100.0, 300.0}};
+  const auto shares = FacilityCoordinator::split(10000.0, envelopes);
+  EXPECT_NEAR(shares[0], 200.0, 1e-6);
+  EXPECT_NEAR(shares[1], 300.0, 1e-6);
+}
+
+TEST(FacilitySplit, EmptyFacility) {
+  EXPECT_TRUE(FacilityCoordinator::split(1000.0, {}).empty());
+}
+
+TEST(FacilityEnvelope, ReflectsRunningJobs) {
+  EmulatedCluster cluster(small_config(), schedule_of({{"bt.D.x", 0.0}}));
+  // Before the job starts: all idle.
+  const auto idle_env = FacilityCoordinator::envelope_of(cluster);
+  EXPECT_NEAR(idle_env.floor_w, 4 * 36.0, 1e-6);
+  while (cluster.running_jobs() == 0 && cluster.step()) {
+  }
+  const auto busy_env = FacilityCoordinator::envelope_of(cluster);
+  // 2 busy nodes at [140, 278] plus 2 idle at 36.
+  EXPECT_NEAR(busy_env.floor_w, 2 * 140.0 + 2 * 36.0, 1e-6);
+  EXPECT_NEAR(busy_env.ceiling_w, 2 * 278.0 + 2 * 36.0, 1e-6);
+}
+
+TEST(FacilityCoordinator, TwoClustersShareAFacilityTarget) {
+  // Cluster A runs a sensitive BT job; cluster B an insensitive SP job.
+  // The facility target forces a shared diet; both complete and total
+  // measured power stays near the facility target while both run.
+  EmulatedCluster a(small_config(), schedule_of({{"bt.D.x", 0.0}}));
+  EmulatedCluster b(small_config(), schedule_of({{"sp.D.x", 0.0}}));
+  FacilityCoordinator facility;
+  facility.add_cluster(a);
+  facility.add_cluster(b);
+  EXPECT_EQ(facility.cluster_count(), 2u);
+
+  // Floors: each cluster 2 busy x 140 + 2 idle x 36 = 352 W once running.
+  // Give the facility enough for ~75 % operation of both.
+  const double target = 2 * (2 * 0.75 * 280.0 + 2 * 36.0);
+  util::RunningStats tracking;
+  while (facility.step(target, 0.5)) {
+    if (facility.now_s() > 20.0 && a.running_jobs() > 0 && b.running_jobs() > 0) {
+      tracking.add(facility.total_power_w());
+    }
+    ASSERT_LT(facility.now_s(), 3600.0);
+  }
+  EXPECT_GT(tracking.count(), 10u);
+  EXPECT_NEAR(tracking.mean(), target, target * 0.15);
+}
+
+TEST(FacilityCoordinator, DrainingClusterDonatesPowerToBusyOne) {
+  // Cluster A's job is short; once it drains, cluster B's share grows.
+  workload::JobType short_type = workload::find_job_type("is.D.x");
+  EmulatedCluster a(small_config(), schedule_of({{"is.D.x", 0.0}}));
+  EmulatedCluster b(small_config(), schedule_of({{"bt.D.x", 0.0}}));
+  FacilityCoordinator facility;
+  facility.add_cluster(a);
+  facility.add_cluster(b);
+
+  const double target = 900.0;  // not enough for both at full tilt
+  double b_cap_while_a_runs = -1.0;
+  double b_cap_after_a_done = -1.0;
+  while (facility.step(target, 0.5)) {
+    const auto b_target = b.manager().target_at(b.clock().now());
+    if (!b_target) continue;
+    if (a.running_jobs() > 0 && b.running_jobs() > 0) {
+      b_cap_while_a_runs = *b_target;
+    } else if (a.finished() && b.running_jobs() > 0) {
+      b_cap_after_a_done = *b_target;
+    }
+    ASSERT_LT(facility.now_s(), 3600.0);
+  }
+  ASSERT_GT(b_cap_while_a_runs, 0.0);
+  ASSERT_GT(b_cap_after_a_done, 0.0);
+  EXPECT_GT(b_cap_after_a_done, b_cap_while_a_runs + 50.0);
+}
+
+}  // namespace
+}  // namespace anor::cluster

@@ -1,0 +1,164 @@
+// Failure injection on the tier link: a lossy channel decorator drops a
+// fraction of messages.  The protocol must degrade gracefully — budgets
+// are re-derivable at the next control period, model updates are resent
+// only if a better candidate appears, and a dead peer tears the job out
+// of the manager's books.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.hpp"
+#include "cluster/transport.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace anor::cluster {
+namespace {
+
+/// Decorator dropping a seeded fraction of sends in each direction.
+class FlakyChannel final : public MessageChannel {
+ public:
+  FlakyChannel(std::unique_ptr<MessageChannel> inner, double drop_rate, std::uint64_t seed)
+      : inner_(std::move(inner)), drop_rate_(drop_rate), rng_(seed) {}
+
+  bool send(const Message& message) override {
+    if (rng_.coin(drop_rate_)) {
+      ++dropped_;
+      return true;  // the sender believes it went out (as with UDP-style loss)
+    }
+    return inner_->send(message);
+  }
+  std::optional<Message> receive() override { return inner_->receive(); }
+  bool connected() const override { return inner_->connected(); }
+
+  int dropped() const { return dropped_; }
+
+ private:
+  std::unique_ptr<MessageChannel> inner_;
+  double drop_rate_;
+  util::Rng rng_;
+  int dropped_ = 0;
+};
+
+TEST(FailureInjection, BudgetsRecoverFromDroppedSends) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  // Manager's outbound path drops 60 % of messages.
+  auto flaky = std::make_unique<FlakyChannel>(std::move(pair.a), 0.6, 7);
+  FlakyChannel* flaky_raw = flaky.get();
+
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.control_period_s = 1.0;
+  config.closed_loop = false;
+  ClusterManager manager(config);
+  util::TimeSeries targets;
+  targets.add(0.0, 2 * 180.0 + 2 * config.idle_node_power_w);
+  manager.set_power_targets(std::move(targets));
+  manager.attach_channel(std::move(flaky));
+
+  JobHelloMsg hello;
+  hello.job_id = 1;
+  hello.job_name = "bt.D.x#1";
+  hello.classified_as = "bt.D.x";
+  hello.nodes = 2;
+  pair.b->send(hello);
+
+  // The manager resends whenever its last *acknowledged-as-sent* cap is
+  // stale; with drops reported as successes, the suppression keeps it
+  // from retrying — so the test drives target changes, each giving a new
+  // chance to land.
+  int received = 0;
+  for (int step = 0; step < 60; ++step) {
+    clock.advance(1.0);
+    if (step % 5 == 0) {
+      util::TimeSeries wobble;
+      wobble.add(0.0, 2 * (170.0 + (step % 10)) + 2 * config.idle_node_power_w);
+      manager.set_power_targets(std::move(wobble));
+    }
+    manager.step(clock.now());
+    while (auto msg = pair.b->receive()) {
+      if (std::get_if<PowerBudgetMsg>(&*msg)) ++received;
+    }
+  }
+  EXPECT_GT(flaky_raw->dropped(), 3);
+  EXPECT_GT(received, 2);  // enough budgets still landed
+}
+
+TEST(FailureInjection, DeadPeerRemovesChannelAndJobSendPath) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  ClusterManager manager(config);
+  manager.attach_channel(std::move(pair.a));
+
+  JobHelloMsg hello;
+  hello.job_id = 2;
+  hello.job_name = "sp.D.x#2";
+  hello.classified_as = "sp.D.x";
+  hello.nodes = 2;
+  pair.b->send(hello);
+  manager.step(0.0);
+  ASSERT_EQ(manager.active_jobs(), 1u);
+
+  // Peer dies without a goodbye (node crash).
+  pair.b.reset();
+  clock.advance(5.0);
+  manager.step(clock.now());
+  // The channel is dropped; the job record remains but loses its send
+  // path (the scheduler above would reclaim its nodes out of band).
+  ASSERT_EQ(manager.active_jobs(), 1u);
+  EXPECT_EQ(manager.jobs().at(2).channel, nullptr);
+  // Further steps are harmless.
+  clock.advance(5.0);
+  EXPECT_NO_THROW(manager.step(clock.now()));
+}
+
+TEST(FailureInjection, DuplicateHelloOverwritesCleanly) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  ClusterManager manager(config);
+  manager.attach_channel(std::move(pair.a));
+
+  JobHelloMsg hello;
+  hello.job_id = 3;
+  hello.job_name = "bt.D.x#3";
+  hello.classified_as = "is.D.x";
+  hello.nodes = 2;
+  pair.b->send(hello);
+  hello.classified_as = "bt.D.x";  // retransmit with corrected label
+  pair.b->send(hello);
+  manager.step(0.0);
+  ASSERT_EQ(manager.active_jobs(), 1u);
+  EXPECT_EQ(manager.jobs().at(3).classified_as, "bt.D.x");
+}
+
+TEST(FailureInjection, GoodbyeForUnknownJobIgnored) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManager manager(ClusterManagerConfig{});
+  manager.attach_channel(std::move(pair.a));
+  pair.b->send(JobGoodbyeMsg{99, 0.0});
+  EXPECT_NO_THROW(manager.step(0.0));
+  EXPECT_EQ(manager.active_jobs(), 0u);
+}
+
+TEST(FailureInjection, ModelUpdateBeforeHelloIgnored) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManager manager(ClusterManagerConfig{});
+  manager.attach_channel(std::move(pair.a));
+  ModelUpdateMsg update;
+  update.job_id = 5;
+  update.a = 0.0;
+  update.b = 0.0;
+  update.c = 1.0;
+  update.p_min_w = 140.0;
+  update.p_max_w = 280.0;
+  pair.b->send(update);
+  EXPECT_NO_THROW(manager.step(0.0));
+  EXPECT_EQ(manager.active_jobs(), 0u);
+}
+
+}  // namespace
+}  // namespace anor::cluster

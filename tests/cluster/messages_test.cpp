@@ -1,0 +1,84 @@
+#include "cluster/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace anor::cluster {
+namespace {
+
+TEST(Messages, HelloRoundTrip) {
+  JobHelloMsg msg;
+  msg.job_id = 7;
+  msg.job_name = "bt.D.x#7";
+  msg.classified_as = "is.D.x";
+  msg.nodes = 2;
+  msg.timestamp_s = 1.25;
+  const Message decoded = decode_text(encode_text(msg));
+  const auto* hello = std::get_if<JobHelloMsg>(&decoded);
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->job_id, 7);
+  EXPECT_EQ(hello->job_name, "bt.D.x#7");
+  EXPECT_EQ(hello->classified_as, "is.D.x");
+  EXPECT_EQ(hello->nodes, 2);
+  EXPECT_DOUBLE_EQ(hello->timestamp_s, 1.25);
+}
+
+TEST(Messages, BudgetRoundTrip) {
+  PowerBudgetMsg msg;
+  msg.job_id = 3;
+  msg.node_cap_w = 187.5;
+  msg.timestamp_s = 99.0;
+  const Message decoded = decode_text(encode_text(msg));
+  const auto* budget = std::get_if<PowerBudgetMsg>(&decoded);
+  ASSERT_NE(budget, nullptr);
+  EXPECT_DOUBLE_EQ(budget->node_cap_w, 187.5);
+}
+
+TEST(Messages, ModelRoundTripPreservesCoefficients) {
+  ModelUpdateMsg msg;
+  msg.job_id = 11;
+  msg.a = 1.25e-5;
+  msg.b = -0.00715;
+  msg.c = 2.125;
+  msg.p_min_w = 140.0;
+  msg.p_max_w = 276.0;
+  msg.r2 = 0.97;
+  msg.from_feedback = true;
+  msg.timestamp_s = 10.0;
+  const Message decoded = decode_text(encode_text(msg));
+  const auto* model = std::get_if<ModelUpdateMsg>(&decoded);
+  ASSERT_NE(model, nullptr);
+  EXPECT_DOUBLE_EQ(model->a, 1.25e-5);
+  EXPECT_DOUBLE_EQ(model->b, -0.00715);
+  EXPECT_DOUBLE_EQ(model->c, 2.125);
+  EXPECT_TRUE(model->from_feedback);
+}
+
+TEST(Messages, GoodbyeRoundTrip) {
+  JobGoodbyeMsg msg;
+  msg.job_id = 4;
+  msg.timestamp_s = 55.0;
+  const Message decoded = decode_text(encode_text(msg));
+  EXPECT_NE(std::get_if<JobGoodbyeMsg>(&decoded), nullptr);
+}
+
+TEST(Messages, JobIdOfEveryVariant) {
+  EXPECT_EQ(job_id_of(JobHelloMsg{5}), 5);
+  EXPECT_EQ(job_id_of(PowerBudgetMsg{6}), 6);
+  EXPECT_EQ(job_id_of(ModelUpdateMsg{7}), 7);
+  EXPECT_EQ(job_id_of(JobGoodbyeMsg{8}), 8);
+}
+
+TEST(Messages, UnknownTypeThrows) {
+  EXPECT_THROW(decode_text(R"({"type": "alien"})"), util::ConfigError);
+  EXPECT_THROW(decode_text(R"({"no_type": 1})"), util::ConfigError);
+  EXPECT_THROW(decode_text("not json"), util::ConfigError);
+}
+
+TEST(Messages, MissingFieldThrows) {
+  EXPECT_THROW(decode_text(R"({"type": "budget", "job_id": 1})"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace anor::cluster

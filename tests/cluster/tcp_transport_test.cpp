@@ -1,0 +1,147 @@
+#include "cluster/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace anor::cluster {
+namespace {
+
+std::optional<Message> receive_with_timeout(MessageChannel& channel, int timeout_ms = 2000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto msg = channel.receive()) return msg;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
+}
+
+TEST(TcpTransport, ConnectAcceptExchange) {
+  TcpListener listener;
+  ASSERT_GT(listener.port(), 0);
+  auto client = tcp_connect(listener.port());
+  std::unique_ptr<TcpChannel> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(server, nullptr);
+
+  // Job tier -> cluster tier.
+  JobHelloMsg hello;
+  hello.job_id = 9;
+  hello.job_name = "sp.D.x#9";
+  hello.classified_as = "ep.D.x";
+  hello.nodes = 2;
+  ASSERT_TRUE(client->send(hello));
+  const auto received = receive_with_timeout(*server);
+  ASSERT_TRUE(received.has_value());
+  const auto* decoded = std::get_if<JobHelloMsg>(&*received);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->classified_as, "ep.D.x");
+
+  // Cluster tier -> job tier.
+  ASSERT_TRUE(server->send(PowerBudgetMsg{9, 190.0, 1.0}));
+  const auto budget = receive_with_timeout(*client);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_DOUBLE_EQ(std::get<PowerBudgetMsg>(*budget).node_cap_w, 190.0);
+}
+
+TEST(TcpTransport, ManyMessagesPreserveOrderAndFraming) {
+  TcpListener listener;
+  auto client = tcp_connect(listener.port());
+  std::unique_ptr<TcpChannel> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(server, nullptr);
+
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(client->send(PowerBudgetMsg{i, 140.0 + i, static_cast<double>(i)}));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    const auto msg = receive_with_timeout(*server);
+    ASSERT_TRUE(msg.has_value()) << "message " << i;
+    EXPECT_EQ(job_id_of(*msg), i);
+  }
+}
+
+TEST(TcpTransport, LargeMessageSurvivesFragmentation) {
+  // A message bigger than typical socket buffers exercises the send spin
+  // loop and the receiver's frame reassembly across many recv() calls.
+  TcpListener listener;
+  auto client = tcp_connect(listener.port());
+  std::unique_ptr<TcpChannel> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(server, nullptr);
+
+  JobHelloMsg big;
+  big.job_id = 1;
+  big.job_name = std::string(2 * 1024 * 1024, 'x');  // 2 MiB payload
+  big.classified_as = "bt.D.x";
+  big.nodes = 2;
+
+  // Drain concurrently so the sender's spin loop cannot deadlock against
+  // a full socket buffer.
+  std::optional<Message> received;
+  std::thread reader([&server, &received] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if ((received = server->receive())) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ASSERT_TRUE(client->send(big));
+  reader.join();
+  ASSERT_TRUE(received.has_value());
+  const auto* hello = std::get_if<JobHelloMsg>(&*received);
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->job_name.size(), 2u * 1024 * 1024);
+  EXPECT_EQ(hello->job_name.front(), 'x');
+  EXPECT_EQ(hello->classified_as, "bt.D.x");
+}
+
+TEST(TcpTransport, PeerCloseDetected) {
+  TcpListener listener;
+  auto client = tcp_connect(listener.port());
+  std::unique_ptr<TcpChannel> server;
+  for (int i = 0; i < 200 && !server; ++i) {
+    server = listener.accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(server, nullptr);
+  client.reset();
+  // Receive eventually observes the close and the channel disconnects.
+  for (int i = 0; i < 200 && server->connected(); ++i) {
+    (void)server->receive();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(server->connected());
+}
+
+TEST(TcpTransport, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    dead_port = listener.port();
+  }  // closed
+  EXPECT_THROW(tcp_connect(dead_port), util::TransportError);
+}
+
+TEST(TcpTransport, AcceptWithoutClientReturnsNull) {
+  TcpListener listener;
+  EXPECT_EQ(listener.accept(), nullptr);
+}
+
+}  // namespace
+}  // namespace anor::cluster

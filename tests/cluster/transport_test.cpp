@@ -1,0 +1,61 @@
+#include "cluster/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::cluster {
+namespace {
+
+TEST(InprocTransport, MessageDeliveredAfterLatency) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.5);
+  pair.a->send(PowerBudgetMsg{1, 200.0, 0.0});
+  // Not yet visible: the virtual clock has not advanced past the latency.
+  EXPECT_FALSE(pair.b->receive().has_value());
+  clock.advance(0.4);
+  EXPECT_FALSE(pair.b->receive().has_value());
+  clock.advance(0.2);
+  const auto msg = pair.b->receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_NE(std::get_if<PowerBudgetMsg>(&*msg), nullptr);
+}
+
+TEST(InprocTransport, Bidirectional) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  pair.a->send(PowerBudgetMsg{1, 200.0, 0.0});
+  pair.b->send(JobGoodbyeMsg{1, 0.0});
+  EXPECT_TRUE(pair.b->receive().has_value());
+  EXPECT_TRUE(pair.a->receive().has_value());
+}
+
+TEST(InprocTransport, FifoOrder) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  for (int i = 0; i < 5; ++i) pair.a->send(PowerBudgetMsg{i, 0.0, 0.0});
+  for (int i = 0; i < 5; ++i) {
+    const auto msg = pair.b->receive();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(job_id_of(*msg), i);
+  }
+}
+
+TEST(InprocTransport, PeerDestructionClosesChannel) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  pair.a->send(PowerBudgetMsg{1, 100.0, 0.0});
+  pair.a.reset();  // manager side goes away
+  // Queued message still deliverable; then the channel reads as closed.
+  EXPECT_TRUE(pair.b->receive().has_value());
+  EXPECT_FALSE(pair.b->receive().has_value());
+  EXPECT_FALSE(pair.b->connected());
+  EXPECT_FALSE(pair.b->send(JobGoodbyeMsg{1, 0.0}));
+}
+
+TEST(InprocTransport, ConnectedWhileQueuedOrOpen) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  EXPECT_TRUE(pair.b->connected());
+}
+
+}  // namespace
+}  // namespace anor::cluster

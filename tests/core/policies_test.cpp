@@ -1,0 +1,46 @@
+#include "core/policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::core {
+namespace {
+
+TEST(Policies, Names) {
+  EXPECT_EQ(to_string(PolicyKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(PolicyKind::kCharacterized), "characterized");
+  EXPECT_EQ(to_string(PolicyKind::kMisclassified), "misclassified");
+  EXPECT_EQ(to_string(PolicyKind::kAdjusted), "adjusted");
+}
+
+TEST(Policies, UniformUsesEvenPowerNoFeedback) {
+  cluster::EmulationConfig config;
+  apply_policy(config, PolicyKind::kUniform);
+  EXPECT_EQ(config.manager.budgeter, budget::BudgeterKind::kEvenPower);
+  EXPECT_FALSE(config.manager.accept_model_updates);
+  EXPECT_FALSE(config.endpoint.feedback_enabled);
+}
+
+TEST(Policies, CharacterizedUsesEvenSlowdownNoFeedback) {
+  cluster::EmulationConfig config;
+  apply_policy(config, PolicyKind::kCharacterized);
+  EXPECT_EQ(config.manager.budgeter, budget::BudgeterKind::kEvenSlowdown);
+  EXPECT_FALSE(config.endpoint.feedback_enabled);
+}
+
+TEST(Policies, AdjustedEnablesFullFeedbackPath) {
+  cluster::EmulationConfig config;
+  apply_policy(config, PolicyKind::kAdjusted);
+  EXPECT_EQ(config.manager.budgeter, budget::BudgeterKind::kEvenSlowdown);
+  EXPECT_TRUE(config.manager.accept_model_updates);
+  EXPECT_TRUE(config.endpoint.feedback_enabled);
+}
+
+TEST(Policies, MisclassificationExpectation) {
+  EXPECT_FALSE(expects_misclassification(PolicyKind::kUniform));
+  EXPECT_FALSE(expects_misclassification(PolicyKind::kCharacterized));
+  EXPECT_TRUE(expects_misclassification(PolicyKind::kMisclassified));
+  EXPECT_TRUE(expects_misclassification(PolicyKind::kAdjusted));
+}
+
+}  // namespace
+}  // namespace anor::core

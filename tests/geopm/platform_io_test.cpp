@@ -1,0 +1,125 @@
+#include "geopm/platform_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geopm/signals.hpp"
+#include "platform/msr.hpp"
+#include "util/error.hpp"
+
+namespace anor::geopm {
+namespace {
+
+struct PlatformIoTest : ::testing::Test {
+  PlatformIoTest() : node(0, instant_node()), pio(node, clock) {}
+
+  static platform::NodeConfig instant_node() {
+    platform::NodeConfig config;
+    config.package.response_tau_s = 0.0;
+    return config;
+  }
+
+  util::VirtualClock clock;
+  platform::Node node;
+  PlatformIO pio;
+};
+
+TEST_F(PlatformIoTest, UnknownSignalOrControlThrows) {
+  EXPECT_THROW(pio.push_signal("NOT_A_SIGNAL"), util::ConfigError);
+  EXPECT_THROW(pio.push_control("NOT_A_CONTROL"), util::ConfigError);
+  EXPECT_THROW(pio.read_signal("NOPE"), util::ConfigError);
+  EXPECT_THROW(pio.write_control("NOPE", 1.0), util::ConfigError);
+}
+
+TEST_F(PlatformIoTest, EnergySignalTracksNodeEnergy) {
+  const int sig = pio.push_signal(kSignalCpuEnergy);
+  pio.read_batch();
+  const double start = pio.sample(sig);
+  node.step(10.0);  // idle power for 10 s
+  clock.advance(10.0);
+  pio.read_batch();
+  const double idle_power = 2 * node.config().package.idle_power_w;
+  EXPECT_NEAR(pio.sample(sig) - start, idle_power * 10.0, 1.0);
+}
+
+TEST_F(PlatformIoTest, PowerSignalDerivedFromEnergyDeltas) {
+  const int sig = pio.push_signal(kSignalCpuPower);
+  pio.read_batch();  // establish the window
+  node.step(5.0);
+  clock.advance(5.0);
+  pio.read_batch();
+  const double idle_power = 2 * node.config().package.idle_power_w;
+  EXPECT_NEAR(pio.sample(sig), idle_power, 0.5);
+}
+
+TEST_F(PlatformIoTest, EnergyUnwrapSurvivesCounterWrap) {
+  const int sig = pio.push_signal(kSignalCpuEnergy);
+  // Position both package counters near wrap.
+  for (int p = 0; p < node.package_count(); ++p) {
+    node.package(p).msr().raw_write(platform::kMsrPkgEnergyStatus, 0xFFFFFFF0ULL);
+  }
+  pio.read_batch();
+  const double before = pio.sample(sig);
+  node.step(60.0);  // enough to wrap the 32-bit counters
+  clock.advance(60.0);
+  pio.read_batch();
+  const double delta = pio.sample(sig) - before;
+  const double idle_power = 2 * node.config().package.idle_power_w;
+  EXPECT_NEAR(delta, idle_power * 60.0, 5.0);
+  EXPECT_GT(delta, 0.0);  // the naive (wrapped) reading would be negative
+}
+
+TEST_F(PlatformIoTest, EpochCountZeroWithoutKernel) {
+  const int sig = pio.push_signal(kSignalEpochCount);
+  pio.read_batch();
+  EXPECT_DOUBLE_EQ(pio.sample(sig), 0.0);
+}
+
+TEST_F(PlatformIoTest, EpochCountFollowsKernel) {
+  workload::JobType type = workload::find_job_type("cg.D.x");
+  type.base_epoch_s = 1.0;
+  type.epochs = 50;
+  workload::KernelConfig kc;
+  kc.time_noise_sigma = 0.0;
+  kc.setup_s = 0.0;
+  kc.teardown_s = 0.0;
+  workload::SyntheticKernel kernel(type, util::Rng(1), kc);
+  pio.bind_epoch_source(&kernel);
+
+  const int sig = pio.push_signal(kSignalEpochCount);
+  kernel.advance(3.5, 280.0);
+  pio.read_batch();
+  EXPECT_DOUBLE_EQ(pio.sample(sig), 3.0);
+}
+
+TEST_F(PlatformIoTest, ControlWritesThroughToNodeCap) {
+  const int ctl = pio.push_control(kControlCpuPowerLimit);
+  pio.adjust(ctl, 200.0);
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 280.0);  // not yet written
+  pio.write_batch();
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 200.0);
+}
+
+TEST_F(PlatformIoTest, WriteBatchOnlyFlushesDirtyControls) {
+  const int ctl = pio.push_control(kControlCpuPowerLimit);
+  pio.adjust(ctl, 200.0);
+  pio.write_batch();
+  node.set_power_cap(260.0);  // out-of-band change
+  pio.write_batch();          // no adjust since last flush: no overwrite
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 260.0);
+}
+
+TEST_F(PlatformIoTest, TimeSignalReadsClock) {
+  const int sig = pio.push_signal(kSignalTime);
+  clock.advance(12.5);
+  pio.read_batch();
+  EXPECT_DOUBLE_EQ(pio.sample(sig), 12.5);
+}
+
+TEST_F(PlatformIoTest, OneShotAccessors) {
+  EXPECT_NO_THROW(pio.read_signal(kSignalCpuEnergy));
+  pio.write_control(kControlCpuPowerLimit, 180.0);
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 180.0);
+}
+
+}  // namespace
+}  // namespace anor::geopm

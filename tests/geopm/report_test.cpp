@@ -1,0 +1,119 @@
+#include "geopm/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geopm/controller.hpp"
+#include "geopm/signals.hpp"
+
+namespace anor::geopm {
+namespace {
+
+JobReport sample_report() {
+  JobReport report;
+  report.job_name = "bt.D.x#3";
+  report.node_count = 2;
+  report.runtime_s = 205.5;
+  report.compute_runtime_s = 202.4;
+  report.package_energy_j = 99827.0;
+  report.average_power_w = 485.8;
+  report.epoch_count = 200;
+  report.average_cap_w = 246.9;
+  return report;
+}
+
+TEST(JobReport, TextContainsApplicationTotals) {
+  const std::string text = sample_report().to_text();
+  EXPECT_NE(text.find("Application Totals:"), std::string::npos);
+  EXPECT_NE(text.find("bt.D.x#3"), std::string::npos);
+  EXPECT_NE(text.find("epoch-count: 200"), std::string::npos);
+  EXPECT_NE(text.find("power_governor"), std::string::npos);
+}
+
+TEST(JobReport, JsonRoundTrip) {
+  const JobReport original = sample_report();
+  const JobReport parsed = JobReport::from_json(original.to_json());
+  EXPECT_EQ(parsed.job_name, original.job_name);
+  EXPECT_EQ(parsed.node_count, original.node_count);
+  EXPECT_DOUBLE_EQ(parsed.runtime_s, original.runtime_s);
+  EXPECT_DOUBLE_EQ(parsed.compute_runtime_s, original.compute_runtime_s);
+  EXPECT_DOUBLE_EQ(parsed.package_energy_j, original.package_energy_j);
+  EXPECT_EQ(parsed.epoch_count, original.epoch_count);
+  EXPECT_DOUBLE_EQ(parsed.average_cap_w, original.average_cap_w);
+}
+
+TEST(JobReport, SlowdownVsReference) {
+  JobReport report;
+  report.runtime_s = 110.0;
+  EXPECT_NEAR(report.slowdown_vs(100.0), 0.10, 1e-12);
+  EXPECT_DOUBLE_EQ(report.slowdown_vs(0.0), 0.0);
+}
+
+// Controller-level: a phased job runs through the controller and its
+// report reflects the whole lifecycle.
+TEST(JobReport, PhasedJobThroughController) {
+  util::VirtualClock clock;
+  platform::NodeConfig node_config;
+  node_config.package.response_tau_s = 0.0;
+  auto node = std::make_unique<platform::Node>(0, node_config);
+
+  workload::JobType is_half = workload::find_job_type("is.D.x");
+  is_half.epochs = 10;
+  is_half.base_epoch_s = 1.0;
+  workload::JobType bt_half = workload::find_job_type("bt.D.x");
+  bt_half.epochs = 10;
+  bt_half.base_epoch_s = 1.0;
+
+  ControllerConfig config;
+  config.kernel.time_noise_sigma = 0.0;
+  config.kernel.power_noise_sigma_w = 0.0;
+  config.kernel.setup_s = 0.0;
+  config.kernel.teardown_s = 0.0;
+  config.phases = {{is_half}, {bt_half}};
+
+  JobController controller("phased#1", workload::find_job_type("is.D.x"), {node.get()},
+                           clock, util::Rng(1), config);
+  while (!controller.complete() && clock.now() < 120.0) {
+    clock.advance(0.25);
+    node->step(0.25);
+    controller.control_step(clock.now());
+  }
+  ASSERT_TRUE(controller.complete());
+  controller.teardown(clock.now());
+  const JobReport report = controller.report();
+  EXPECT_EQ(report.epoch_count, 20);  // both phases' epochs counted
+  EXPECT_NEAR(report.runtime_s, 20.0, 1.0);
+  EXPECT_GT(report.package_energy_j, 0.0);
+}
+
+TEST(EpochLastTime, SignalTracksKernelEpochs) {
+  util::VirtualClock clock;
+  platform::NodeConfig node_config;
+  node_config.package.response_tau_s = 0.0;
+  platform::Node node(0, node_config);
+  PlatformIO pio(node, clock);
+
+  workload::JobType type = workload::find_job_type("cg.D.x");
+  type.epochs = 10;
+  type.base_epoch_s = 1.0;
+  workload::KernelConfig kernel_config;
+  kernel_config.time_noise_sigma = 0.0;
+  kernel_config.setup_s = 0.0;
+  kernel_config.teardown_s = 0.0;
+  workload::SyntheticKernel kernel(type, util::Rng(1), kernel_config);
+  pio.bind_epoch_source(&kernel);
+
+  const int sig = pio.push_signal(kSignalEpochLastTime);
+  // Advance 2.6 s in 0.2 s slices: the 2nd epoch completed at t=2.0.
+  for (int i = 0; i < 13; ++i) {
+    kernel.advance(0.2, 280.0);
+    clock.advance(0.2);
+  }
+  pio.read_batch();
+  EXPECT_NEAR(pio.sample(sig), 2.0, 1e-9);
+  EXPECT_EQ(kernel.epoch_count(), 2);
+}
+
+}  // namespace
+}  // namespace anor::geopm

@@ -1,0 +1,51 @@
+#include "model/default_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace anor::model {
+namespace {
+
+TEST(DefaultModels, LeastSensitiveIsIsLike) {
+  const PowerPerfModel model = default_model(DefaultModelPolicy::kLeastSensitive);
+  const auto& is = workload::find_job_type("is.D.x");
+  const double expected =
+      is.relative_time(140.0) / is.relative_time(model.p_max_w()) - 1.0;
+  EXPECT_NEAR(model.max_slowdown(), expected, 0.02);
+}
+
+TEST(DefaultModels, MostSensitiveIsEpLike) {
+  const PowerPerfModel model = default_model(DefaultModelPolicy::kMostSensitive);
+  const auto& ep = workload::find_job_type("ep.D.x");
+  const double expected =
+      ep.relative_time(140.0) / ep.relative_time(model.p_max_w()) - 1.0;
+  EXPECT_NEAR(model.max_slowdown(), expected, 0.03);
+}
+
+TEST(DefaultModels, MedianBetweenExtremes) {
+  const double least = default_model(DefaultModelPolicy::kLeastSensitive).max_slowdown();
+  const double median = default_model(DefaultModelPolicy::kMedian).max_slowdown();
+  const double most = default_model(DefaultModelPolicy::kMostSensitive).max_slowdown();
+  EXPECT_GT(median, least);
+  EXPECT_LT(median, most);
+}
+
+TEST(DefaultModels, ToStringNames) {
+  EXPECT_EQ(to_string(DefaultModelPolicy::kLeastSensitive), "least-sensitive");
+  EXPECT_EQ(to_string(DefaultModelPolicy::kMostSensitive), "most-sensitive");
+  EXPECT_EQ(to_string(DefaultModelPolicy::kMedian), "median");
+}
+
+TEST(ModelForClass, KnownTypeMatchesGroundTruth) {
+  const PowerPerfModel model = model_for_class("bt.D.x");
+  const auto& bt = workload::find_job_type("bt.D.x");
+  EXPECT_NEAR(model.time_at(200.0), bt.epoch_time_s(200.0), 1e-6);
+}
+
+TEST(ModelForClass, UnknownTypeThrows) {
+  EXPECT_THROW(model_for_class("zz.Z.x"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace anor::model

@@ -1,0 +1,110 @@
+#include "platform/msr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::platform {
+namespace {
+
+TEST(RaplUnits, DefaultsMatchCommonSilicon) {
+  RaplUnits units;
+  EXPECT_DOUBLE_EQ(units.power_unit_w(), 0.125);
+  EXPECT_NEAR(units.energy_unit_j(), 6.1035e-5, 1e-8);
+  EXPECT_NEAR(units.time_unit_s(), 9.7656e-4, 1e-7);
+}
+
+TEST(RaplUnits, EncodeDecodeRoundTrip) {
+  RaplUnits units;
+  units.power_unit_bits = 2;
+  units.energy_unit_bits = 16;
+  units.time_unit_bits = 8;
+  const RaplUnits decoded = RaplUnits::decode(units.encode());
+  EXPECT_EQ(decoded.power_unit_bits, 2u);
+  EXPECT_EQ(decoded.energy_unit_bits, 16u);
+  EXPECT_EQ(decoded.time_unit_bits, 8u);
+}
+
+TEST(PkgPowerLimit, RoundTripQuantizesToUnits) {
+  const RaplUnits units;
+  PkgPowerLimit limit;
+  limit.power_limit_w = 112.4;  // not a multiple of 1/8 W
+  limit.enabled = true;
+  limit.clamp = false;
+  const PkgPowerLimit decoded = PkgPowerLimit::decode(limit.encode(units), units);
+  EXPECT_NEAR(decoded.power_limit_w, 112.375, 1e-9);  // quantized
+  EXPECT_TRUE(decoded.enabled);
+  EXPECT_FALSE(decoded.clamp);
+}
+
+TEST(PkgPowerLimit, DisabledBitSurvives) {
+  const RaplUnits units;
+  PkgPowerLimit limit;
+  limit.power_limit_w = 100.0;
+  limit.enabled = false;
+  const PkgPowerLimit decoded = PkgPowerLimit::decode(limit.encode(units), units);
+  EXPECT_FALSE(decoded.enabled);
+}
+
+TEST(PkgPowerLimit, NegativeClampsToZero) {
+  const RaplUnits units;
+  PkgPowerLimit limit;
+  limit.power_limit_w = -5.0;
+  const PkgPowerLimit decoded = PkgPowerLimit::decode(limit.encode(units), units);
+  EXPECT_DOUBLE_EQ(decoded.power_limit_w, 0.0);
+}
+
+TEST(PkgPowerInfo, RoundTrip) {
+  const RaplUnits units;
+  const PkgPowerInfo info{140.0, 70.0, 140.0};
+  const PkgPowerInfo decoded = PkgPowerInfo::decode(info.encode(units), units);
+  EXPECT_DOUBLE_EQ(decoded.tdp_w, 140.0);
+  EXPECT_DOUBLE_EQ(decoded.min_power_w, 70.0);
+  EXPECT_DOUBLE_EQ(decoded.max_power_w, 140.0);
+}
+
+TEST(MsrFile, DefaultAllowlistMatchesMsrSafeUsage) {
+  MsrFile msr;
+  EXPECT_TRUE(msr.read_allowed(kMsrPkgEnergyStatus));
+  EXPECT_TRUE(msr.read_allowed(kMsrPkgPowerLimit));
+  EXPECT_TRUE(msr.read_allowed(kMsrRaplPowerUnit));
+  EXPECT_TRUE(msr.read_allowed(kMsrPkgPowerInfo));
+  EXPECT_TRUE(msr.write_allowed(kMsrPkgPowerLimit));
+  EXPECT_FALSE(msr.write_allowed(kMsrPkgEnergyStatus));
+  EXPECT_FALSE(msr.write_allowed(kMsrRaplPowerUnit));
+}
+
+TEST(MsrFile, GatedWriteToReadOnlyRegisterThrows) {
+  MsrFile msr;
+  EXPECT_THROW(msr.write(kMsrPkgEnergyStatus, 1), util::MsrAccessError);
+  EXPECT_NO_THROW(msr.write(kMsrPkgPowerLimit, 0x1234));
+  EXPECT_EQ(msr.read(kMsrPkgPowerLimit), 0x1234u);
+}
+
+TEST(MsrFile, DenyAllBlocksEverything) {
+  MsrFile msr;
+  msr.deny_all();
+  EXPECT_THROW(msr.read(kMsrPkgEnergyStatus), util::MsrAccessError);
+  EXPECT_THROW(msr.write(kMsrPkgPowerLimit, 0), util::MsrAccessError);
+  // Hardware still works underneath.
+  EXPECT_NO_THROW(msr.raw_write(kMsrPkgEnergyStatus, 99));
+  EXPECT_EQ(msr.raw_read(kMsrPkgEnergyStatus), 99u);
+}
+
+TEST(MsrFile, ReAllowRestoresAccess) {
+  MsrFile msr;
+  msr.deny_all();
+  msr.allow_read(kMsrPkgEnergyStatus);
+  EXPECT_NO_THROW(msr.read(kMsrPkgEnergyStatus));
+  EXPECT_THROW(msr.write(kMsrPkgPowerLimit, 0), util::MsrAccessError);
+  msr.allow_write(kMsrPkgPowerLimit);
+  EXPECT_NO_THROW(msr.write(kMsrPkgPowerLimit, 0));
+}
+
+TEST(MsrFile, UnknownRegisterThrows) {
+  MsrFile msr;
+  msr.allow_read(0xDEAD);
+  EXPECT_THROW(msr.read(0xDEAD), util::MsrAccessError);
+  EXPECT_THROW(msr.raw_read(0xBEEF), util::MsrAccessError);
+}
+
+}  // namespace
+}  // namespace anor::platform

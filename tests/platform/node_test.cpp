@@ -1,0 +1,126 @@
+#include "platform/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace anor::platform {
+namespace {
+
+/// Constant-demand load that tracks how much time it received.
+class FakeLoad final : public ComputeLoad {
+ public:
+  explicit FakeLoad(double demand_w, double work_s = 100.0)
+      : demand_w_(demand_w), remaining_s_(work_s) {}
+
+  double power_demand_w(double cap_w) const override { return std::min(demand_w_, cap_w); }
+  void advance(double dt_s, double cap_w) override {
+    last_cap_w = cap_w;
+    received_s += dt_s;
+    remaining_s_ -= dt_s;
+  }
+  bool complete() const override { return remaining_s_ <= 0.0; }
+  double progress() const override { return 1.0 - remaining_s_ / 100.0; }
+
+  double last_cap_w = 0.0;
+  double received_s = 0.0;
+
+ private:
+  double demand_w_;
+  double remaining_s_;
+};
+
+TEST(Node, DualPackageCapRange) {
+  Node node(0);
+  EXPECT_EQ(node.package_count(), 2);
+  EXPECT_DOUBLE_EQ(node.min_cap_w(), 140.0);
+  EXPECT_DOUBLE_EQ(node.max_cap_w(), 280.0);
+  EXPECT_DOUBLE_EQ(node.tdp_w(), 280.0);
+}
+
+TEST(Node, RejectsZeroPackages) {
+  NodeConfig config;
+  config.package_count = 0;
+  EXPECT_THROW(Node(0, config), std::invalid_argument);
+}
+
+TEST(Node, CapSplitsEvenlyAcrossPackages) {
+  Node node(0);
+  node.set_power_cap(200.0);
+  EXPECT_DOUBLE_EQ(node.package(0).effective_cap_w(), 100.0);
+  EXPECT_DOUBLE_EQ(node.package(1).effective_cap_w(), 100.0);
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 200.0);
+}
+
+TEST(Node, CapClampsAtNodeLevel) {
+  Node node(0);
+  node.set_power_cap(50.0);
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 140.0);
+  node.set_power_cap(1000.0);
+  EXPECT_DOUBLE_EQ(node.effective_cap_w(), 280.0);
+}
+
+TEST(Node, LoadReceivesEffectiveCap) {
+  Node node(0);
+  auto load = std::make_shared<FakeLoad>(250.0);
+  node.attach_load(load);
+  node.set_power_cap(180.0);
+  node.step(1.0);
+  EXPECT_DOUBLE_EQ(load->last_cap_w, 180.0);
+}
+
+TEST(Node, PerfMultiplierSlowsLoadTime) {
+  NodeConfig config;
+  config.perf_multiplier = 2.0;  // node is 2x slower
+  Node node(0, config);
+  auto load = std::make_shared<FakeLoad>(250.0);
+  node.attach_load(load);
+  node.step(1.0);
+  EXPECT_DOUBLE_EQ(load->received_s, 0.5);
+}
+
+TEST(Node, PowerTracksLoadDemandUnderCap) {
+  NodeConfig config;
+  config.package.response_tau_s = 0.0;
+  Node node(0, config);
+  auto load = std::make_shared<FakeLoad>(240.0);
+  node.attach_load(load);
+  node.set_power_cap(280.0);
+  node.step(1.0);
+  EXPECT_NEAR(node.power_w(), 240.0, 1.0);
+}
+
+TEST(Node, IdleNodePowerIsPackageIdle) {
+  NodeConfig config;
+  config.package.response_tau_s = 0.0;
+  Node node(0, config);
+  node.step(1.0);
+  EXPECT_NEAR(node.power_w(), 2 * config.package.idle_power_w, 1e-9);
+}
+
+TEST(Node, DetachStopsLoadProgress) {
+  Node node(0);
+  auto load = std::make_shared<FakeLoad>(240.0);
+  node.attach_load(load);
+  EXPECT_TRUE(node.busy());
+  node.step(1.0);
+  node.detach_load();
+  EXPECT_FALSE(node.busy());
+  const double before = load->received_s;
+  node.step(1.0);
+  EXPECT_DOUBLE_EQ(load->received_s, before);
+}
+
+TEST(Node, EnergyAccumulates) {
+  NodeConfig config;
+  config.package.response_tau_s = 0.0;
+  Node node(0, config);
+  auto load = std::make_shared<FakeLoad>(280.0);
+  node.attach_load(load);
+  node.set_power_cap(280.0);
+  for (int i = 0; i < 10; ++i) node.step(1.0);
+  EXPECT_NEAR(node.total_energy_j(), 2800.0, 5.0);
+}
+
+}  // namespace
+}  // namespace anor::platform

@@ -1,0 +1,114 @@
+#include "platform/package.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::platform {
+namespace {
+
+TEST(CpuPackage, PowersUpAtTdpLimit) {
+  CpuPackage pkg;
+  EXPECT_DOUBLE_EQ(pkg.effective_cap_w(), 140.0);
+  EXPECT_DOUBLE_EQ(pkg.power_w(), pkg.config().idle_power_w);
+}
+
+TEST(CpuPackage, PowerInfoRegisterReflectsConfig) {
+  CpuPackage pkg;
+  const auto raw = pkg.msr().read(kMsrPkgPowerInfo);
+  const PkgPowerInfo info = PkgPowerInfo::decode(raw, pkg.units());
+  EXPECT_DOUBLE_EQ(info.tdp_w, 140.0);
+  EXPECT_DOUBLE_EQ(info.min_power_w, 70.0);
+  EXPECT_DOUBLE_EQ(info.max_power_w, 140.0);
+}
+
+TEST(CpuPackage, CapClampsToHardwareRange) {
+  CpuPackage pkg;
+  const PkgPowerLimit low{30.0, 1.0, true, true};
+  pkg.msr().write(kMsrPkgPowerLimit, low.encode(pkg.units()));
+  EXPECT_DOUBLE_EQ(pkg.effective_cap_w(), 70.0);  // clamped up to min cap
+
+  const PkgPowerLimit high{500.0, 1.0, true, true};
+  pkg.msr().write(kMsrPkgPowerLimit, high.encode(pkg.units()));
+  EXPECT_DOUBLE_EQ(pkg.effective_cap_w(), 140.0);  // clamped down
+}
+
+TEST(CpuPackage, DisabledLimitMeansMaxCap) {
+  CpuPackage pkg;
+  const PkgPowerLimit limit{80.0, 1.0, /*enabled=*/false, true};
+  pkg.msr().write(kMsrPkgPowerLimit, limit.encode(pkg.units()));
+  EXPECT_DOUBLE_EQ(pkg.effective_cap_w(), 140.0);
+}
+
+TEST(CpuPackage, PowerSettlesTowardCappedDemand) {
+  PackageConfig config;
+  config.response_tau_s = 0.2;
+  CpuPackage pkg(config);
+  const PkgPowerLimit limit{100.0, 1.0, true, true};
+  pkg.msr().write(kMsrPkgPowerLimit, limit.encode(pkg.units()));
+  // Demand exceeds the cap; after several time constants power ~= cap.
+  for (int i = 0; i < 100; ++i) pkg.step(0.1, 140.0);
+  EXPECT_NEAR(pkg.power_w(), 100.0, 0.5);
+}
+
+TEST(CpuPackage, PowerNeverBelowIdle) {
+  CpuPackage pkg;
+  for (int i = 0; i < 100; ++i) pkg.step(0.1, 0.0);
+  EXPECT_GE(pkg.power_w(), pkg.config().idle_power_w - 1e-9);
+}
+
+TEST(CpuPackage, InstantResponseWithZeroTau) {
+  PackageConfig config;
+  config.response_tau_s = 0.0;
+  CpuPackage pkg(config);
+  pkg.step(0.1, 120.0);
+  EXPECT_DOUBLE_EQ(pkg.power_w(), 120.0);
+}
+
+TEST(CpuPackage, EnergyCounterAccumulatesAtPower) {
+  PackageConfig config;
+  config.response_tau_s = 0.0;
+  CpuPackage pkg(config);
+  const std::uint64_t before = pkg.msr().read(kMsrPkgEnergyStatus);
+  for (int i = 0; i < 10; ++i) pkg.step(1.0, 100.0);
+  const std::uint64_t after = pkg.msr().read(kMsrPkgEnergyStatus);
+  const double joules = static_cast<double>(after - before) * pkg.units().energy_unit_j();
+  EXPECT_NEAR(joules, 1000.0, 1.0);  // 100 W x 10 s
+  EXPECT_NEAR(pkg.total_energy_j(), 1000.0, 1.0);
+}
+
+TEST(CpuPackage, EnergyCounterWrapsAt32Bits) {
+  PackageConfig config;
+  config.response_tau_s = 0.0;
+  CpuPackage pkg(config);
+  // Pre-position the counter near the wrap point.
+  pkg.msr().raw_write(kMsrPkgEnergyStatus, 0xFFFFFF00ULL);
+  pkg.step(10.0, 140.0);  // adds far more than 0x100 ticks
+  const std::uint64_t raw = pkg.msr().read(kMsrPkgEnergyStatus);
+  EXPECT_LE(raw, 0xFFFFFFFFULL);
+  // Wrapped: the counter is now far below the starting point.
+  EXPECT_LT(raw, 0xFFFFFF00ULL);
+}
+
+TEST(CpuPackage, SubUnitEnergyRemainderIsNotLost) {
+  PackageConfig config;
+  config.response_tau_s = 0.0;
+  config.idle_power_w = 1.0;
+  CpuPackage pkg(config);
+  // Tiny steps at low power: each step adds a fraction of many units;
+  // after many steps the total must match the integral.
+  for (int i = 0; i < 10000; ++i) pkg.step(1e-4, 1.0);
+  EXPECT_NEAR(pkg.total_energy_j(), 1.0, 1e-6);
+  const double counted =
+      static_cast<double>(pkg.msr().read(kMsrPkgEnergyStatus)) * pkg.units().energy_unit_j();
+  EXPECT_NEAR(counted, 1.0, 1e-3);
+}
+
+TEST(CpuPackage, ZeroOrNegativeDtIsNoOp) {
+  CpuPackage pkg;
+  const double before = pkg.total_energy_j();
+  pkg.step(0.0, 100.0);
+  pkg.step(-1.0, 100.0);
+  EXPECT_DOUBLE_EQ(pkg.total_energy_j(), before);
+}
+
+}  // namespace
+}  // namespace anor::platform

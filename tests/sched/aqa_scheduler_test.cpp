@@ -1,0 +1,239 @@
+#include "sched/aqa_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::sched {
+namespace {
+
+workload::JobRequest request(int id, const char* type, int nodes) {
+  workload::JobRequest r;
+  r.job_id = id;
+  r.type_name = type;
+  r.nodes = nodes;
+  return r;
+}
+
+SchedulerConfig basic_config() {
+  SchedulerConfig config;
+  config.cluster_nodes = 16;
+  config.power_aware_admission = false;
+  return config;
+}
+
+SchedulerView view_with_free(int free_nodes) {
+  SchedulerView view;
+  view.free_nodes = free_nodes;
+  return view;
+}
+
+TEST(AqaScheduler, StartsJobThatFits) {
+  AqaScheduler scheduler(basic_config());
+  scheduler.submit(request(0, "bt", 4), 0.0);
+  const auto started = scheduler.schedule(view_with_free(16));
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].job_id, 0);
+  EXPECT_FALSE(scheduler.has_pending());
+}
+
+TEST(AqaScheduler, QueuesWhenNoRoom) {
+  AqaScheduler scheduler(basic_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  EXPECT_TRUE(scheduler.schedule(view_with_free(4)).empty());
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+  const auto started = scheduler.schedule(view_with_free(8));
+  EXPECT_EQ(started.size(), 1u);
+}
+
+TEST(AqaScheduler, StartsMultipleUntilFull) {
+  AqaScheduler scheduler(basic_config());
+  for (int i = 0; i < 5; ++i) scheduler.submit(request(i, "cg", 4), 0.0);
+  const auto started = scheduler.schedule(view_with_free(16));
+  EXPECT_EQ(started.size(), 4u);
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+}
+
+TEST(AqaScheduler, FifoWithinQueue) {
+  AqaScheduler scheduler(basic_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(request(1, "bt", 2), 1.0);
+  // Head (8 nodes) does not fit into 4 free nodes; the same queue's later
+  // job must NOT jump it (no intra-queue backfill in AQA's base policy).
+  EXPECT_TRUE(scheduler.schedule(view_with_free(4)).empty());
+}
+
+TEST(AqaScheduler, WeightsSteerAllocation) {
+  SchedulerConfig config = basic_config();
+  config.queue_weights["heavy"] = 4.0;
+  config.queue_weights["light"] = 1.0;
+  AqaScheduler scheduler(config);
+  for (int i = 0; i < 8; ++i) {
+    scheduler.submit(request(i, "heavy", 2), 0.0);
+    scheduler.submit(request(100 + i, "light", 2), 0.0);
+  }
+  (void)scheduler.schedule(view_with_free(10));
+  // 10 nodes split by weighted fairness: heavy gets ~4x light's nodes.
+  EXPECT_GE(scheduler.running_nodes().at("heavy"), 6);
+  EXPECT_LE(scheduler.running_nodes().at("light"), 4);
+}
+
+TEST(AqaScheduler, JobFinishedReleasesQueueCount) {
+  AqaScheduler scheduler(basic_config());
+  scheduler.submit(request(0, "bt", 4), 0.0);
+  (void)scheduler.schedule(view_with_free(16));
+  EXPECT_EQ(scheduler.running_nodes().at("bt"), 4);
+  scheduler.job_finished("bt", 4);
+  EXPECT_EQ(scheduler.running_nodes().at("bt"), 0);
+  scheduler.job_finished("bt", 4);  // over-release clamps at zero
+  EXPECT_EQ(scheduler.running_nodes().at("bt"), 0);
+}
+
+TEST(AqaScheduler, PowerAwareAdmissionBlocksUnderLowTarget) {
+  SchedulerConfig config = basic_config();
+  config.power_aware_admission = true;
+  AqaScheduler scheduler(config);
+  scheduler.submit(request(0, "bt", 4), 0.0);
+
+  SchedulerView view;
+  view.free_nodes = 16;
+  view.power_target_w = 2000.0;
+  view.min_feasible_power_w = 1900.0;
+  view.per_node_floor_increase_w = 95.0;  // 4 nodes add 380 W -> breach
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+
+  view.power_target_w = 2400.0;  // enough headroom now
+  EXPECT_EQ(scheduler.schedule(view).size(), 1u);
+}
+
+TEST(AqaScheduler, AdmissionIgnoredWithoutTarget) {
+  SchedulerConfig config = basic_config();
+  config.power_aware_admission = true;
+  AqaScheduler scheduler(config);
+  scheduler.submit(request(0, "bt", 4), 0.0);
+  SchedulerView view;
+  view.free_nodes = 16;
+  view.power_target_w = 0.0;  // tracking off
+  view.min_feasible_power_w = 1e9;
+  EXPECT_EQ(scheduler.schedule(view).size(), 1u);
+}
+
+SchedulerConfig backfill_config() {
+  SchedulerConfig config = basic_config();
+  config.backfill = true;
+  config.runtime_estimate = [](const std::string&) { return 300.0; };
+  return config;
+}
+
+workload::JobRequest hinted(int id, const char* type, int nodes, double hint_s) {
+  workload::JobRequest r = request(id, type, nodes);
+  r.walltime_hint_s = hint_s;
+  return r;
+}
+
+TEST(AqaSchedulerBackfill, ShortJobBehindBlockedHeadFillsTheGap) {
+  // Same queue: the 8-node head is blocked; the 2-node job behind it has
+  // a 30 s walltime hint and fits the 200 s gap.
+  AqaScheduler scheduler(backfill_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 30.0), 1.0);
+
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  view.projected_releases = {{300.0, 8}};  // head can start at t=300
+  const auto started = scheduler.schedule(view);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].job_id, 1);
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+}
+
+TEST(AqaSchedulerBackfill, CandidateOverrunningShadowIsHeld) {
+  AqaScheduler scheduler(backfill_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 250.0), 1.0);  // 250 s hint > 150 s gap
+
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  view.projected_releases = {{250.0, 8}};
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+  EXPECT_EQ(scheduler.pending_count(), 2u);
+}
+
+TEST(AqaSchedulerBackfill, TypeEstimateUsedWithoutHint) {
+  // No per-job hint: the 300 s type estimate overruns the gap.
+  AqaScheduler scheduler(backfill_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(request(1, "bt", 2), 1.0);
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  view.projected_releases = {{300.0, 8}};  // gap 200 s < estimate 300 s
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+}
+
+TEST(AqaSchedulerBackfill, DisabledMeansStrictQueueOrder) {
+  SchedulerConfig config = backfill_config();
+  config.backfill = false;
+  AqaScheduler scheduler(config);
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 30.0), 1.0);
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  view.projected_releases = {{300.0, 8}};
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+}
+
+TEST(AqaSchedulerBackfill, NoReleasesMeansNoShadowNoBackfill) {
+  // Without projected releases the head's start time is unknown; EASY
+  // must not let anything jump it.
+  AqaScheduler scheduler(backfill_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 30.0), 1.0);
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+}
+
+TEST(AqaSchedulerBackfill, RespectsPowerAdmission) {
+  SchedulerConfig config = backfill_config();
+  config.power_aware_admission = true;
+  AqaScheduler scheduler(config);
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 30.0), 1.0);
+  SchedulerView view = view_with_free(4);
+  view.now_s = 100.0;
+  view.projected_releases = {{300.0, 8}};
+  view.power_target_w = 1000.0;
+  view.min_feasible_power_w = 950.0;
+  view.per_node_floor_increase_w = 100.0;  // 2 nodes would breach the target
+  EXPECT_TRUE(scheduler.schedule(view).empty());
+}
+
+TEST(AqaSchedulerBackfill, MultipleCandidatesFillUpToFreeNodes) {
+  AqaScheduler scheduler(backfill_config());
+  scheduler.submit(request(0, "bt", 8), 0.0);
+  scheduler.submit(hinted(1, "bt", 2, 30.0), 1.0);
+  scheduler.submit(hinted(2, "bt", 2, 30.0), 2.0);
+  scheduler.submit(hinted(3, "bt", 2, 30.0), 3.0);  // no room for a third
+  SchedulerView view = view_with_free(4);
+  view.now_s = 0.0;
+  view.projected_releases = {{200.0, 8}};
+  const auto started = scheduler.schedule(view);
+  EXPECT_EQ(started.size(), 2u);
+}
+
+TEST(AqaScheduler, AdmissionAccountsForJobsStartedThisTick) {
+  SchedulerConfig config = basic_config();
+  config.power_aware_admission = true;
+  AqaScheduler scheduler(config);
+  scheduler.submit(request(0, "a", 4), 0.0);
+  scheduler.submit(request(1, "b", 4), 0.0);
+  SchedulerView view;
+  view.free_nodes = 16;
+  view.power_target_w = 2000.0;
+  view.min_feasible_power_w = 1500.0;
+  view.per_node_floor_increase_w = 100.0;
+  // First job lifts the floor to 1900; the second would hit 2300 > 2000.
+  const auto started = scheduler.schedule(view);
+  EXPECT_EQ(started.size(), 1u);
+}
+
+}  // namespace
+}  // namespace anor::sched

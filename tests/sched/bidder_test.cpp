@@ -1,0 +1,88 @@
+#include "sched/bidder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::sched {
+namespace {
+
+BidderConfig search_config() {
+  BidderConfig config;
+  config.min_mean_w = 2000.0;
+  config.max_mean_w = 4000.0;
+  config.mean_steps = 5;
+  config.reserve_steps = 4;
+  return config;
+}
+
+TEST(Bidder, PicksCheapestFeasibleBid) {
+  DemandResponseBidder bidder(search_config());
+  // Feasible iff reserve <= 400; cost rises with mean, credit with reserve.
+  const auto result = bidder.search([](const workload::DemandResponseBid& bid) {
+    BidEvaluation eval;
+    eval.qos_ok = true;
+    eval.tracking_ok = bid.reserve_w <= 400.0;
+    eval.energy_cost = bid.average_power_w * 0.001;
+    eval.reserve_credit = bid.reserve_w * 0.002;
+    return eval;
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->bid.reserve_w, 400.0);
+  // Cheapest = lowest mean that still admits a positive reserve (the range
+  // endpoints allow no reserve, so the second grid point wins).
+  EXPECT_DOUBLE_EQ(result->bid.average_power_w, 2500.0);
+  EXPECT_GT(result->candidates_tried, result->candidates_feasible);
+}
+
+TEST(Bidder, NoFeasibleBidReturnsNullopt) {
+  DemandResponseBidder bidder(search_config());
+  const auto result = bidder.search([](const workload::DemandResponseBid&) {
+    BidEvaluation eval;
+    eval.qos_ok = false;
+    eval.tracking_ok = true;
+    return eval;
+  });
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Bidder, ReserveNeverExceedsRangeDistance) {
+  DemandResponseBidder bidder(search_config());
+  std::vector<workload::DemandResponseBid> seen;
+  (void)bidder.search([&seen](const workload::DemandResponseBid& bid) {
+    seen.push_back(bid);
+    BidEvaluation eval;
+    eval.qos_ok = true;
+    eval.tracking_ok = true;
+    return eval;
+  });
+  for (const auto& bid : seen) {
+    EXPECT_LE(bid.average_power_w - bid.reserve_w, 4000.0);
+    EXPECT_GE(bid.average_power_w + bid.reserve_w, 2000.0);
+    EXPECT_GT(bid.reserve_w, 0.0);
+  }
+}
+
+TEST(Bidder, NetCostPrefersLargerCredit) {
+  BidEvaluation cheap;
+  cheap.energy_cost = 10.0;
+  cheap.reserve_credit = 4.0;
+  EXPECT_DOUBLE_EQ(cheap.net_cost(), 6.0);
+}
+
+TEST(HeuristicBid, MidRangeMeanAndBoundedReserve) {
+  const auto bid =
+      DemandResponseBidder::heuristic_bid(45.0, 140.0, 280.0, 16, 0.95);
+  // Busy power around 16*0.95*210 = 3192 plus idle tail.
+  EXPECT_NEAR(bid.average_power_w, 3230.0, 100.0);
+  EXPECT_GT(bid.reserve_w, 0.0);
+  // Reserve cannot exceed the down-flex of the busy nodes.
+  EXPECT_LT(bid.reserve_w, 16 * 0.95 * 70.0);
+}
+
+TEST(HeuristicBid, ZeroUtilizationHasNoReserve) {
+  const auto bid = DemandResponseBidder::heuristic_bid(45.0, 140.0, 280.0, 16, 0.0);
+  EXPECT_DOUBLE_EQ(bid.reserve_w, 0.0);
+  EXPECT_NEAR(bid.average_power_w, 16 * 45.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace anor::sched

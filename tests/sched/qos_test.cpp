@@ -1,0 +1,94 @@
+#include "sched/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::sched {
+namespace {
+
+JobQosRecord record(const char* type, double submit, double start, double end,
+                    double t_min) {
+  JobQosRecord r;
+  r.type_name = type;
+  r.submit_s = submit;
+  r.start_s = start;
+  r.end_s = end;
+  r.t_min_s = t_min;
+  return r;
+}
+
+TEST(JobQosRecord, DegradationFormula) {
+  // Sojourn 300 s with T_min 100 s -> Q = (300-100)/100 = 2.
+  const JobQosRecord r = record("bt", 0.0, 50.0, 300.0, 100.0);
+  EXPECT_DOUBLE_EQ(r.sojourn_s(), 300.0);
+  EXPECT_DOUBLE_EQ(r.qos_degradation(), 2.0);
+}
+
+TEST(JobQosRecord, ZeroTminIsZeroQ) {
+  EXPECT_DOUBLE_EQ(record("x", 0, 0, 10, 0.0).qos_degradation(), 0.0);
+}
+
+TEST(JobQosRecord, ImmediateStartNoSlowdownIsZeroQ) {
+  EXPECT_DOUBLE_EQ(record("x", 0, 0, 100, 100.0).qos_degradation(), 0.0);
+}
+
+TEST(QosEvaluator, GroupsByType) {
+  QosEvaluator evaluator;
+  evaluator.add(record("a", 0, 0, 200, 100));  // Q=1
+  evaluator.add(record("a", 0, 0, 300, 100));  // Q=2
+  evaluator.add(record("b", 0, 0, 150, 100));  // Q=0.5
+  const auto by_type = evaluator.degradation_by_type();
+  ASSERT_EQ(by_type.size(), 2u);
+  EXPECT_EQ(by_type.at("a").size(), 2u);
+  EXPECT_EQ(by_type.at("b").size(), 1u);
+}
+
+TEST(QosEvaluator, PercentileByType) {
+  QosEvaluator evaluator;
+  for (int i = 0; i <= 10; ++i) {
+    evaluator.add(record("a", 0, 0, 100.0 + i * 100.0, 100.0));  // Q = 0..10
+  }
+  const auto p90 = evaluator.percentile_by_type(90.0);
+  EXPECT_NEAR(p90.at("a"), 9.0, 1e-9);
+}
+
+TEST(QosEvaluator, ConstraintSatisfaction) {
+  QosConstraint constraint{5.0, 0.9};
+  QosEvaluator good(constraint);
+  for (int i = 0; i < 10; ++i) {
+    good.add(record("a", 0, 0, 100.0 + (i < 9 ? 100.0 : 5000.0), 100.0));
+  }
+  // 9 jobs at Q=1, one at Q=49: the 90th percentile sits right at the
+  // transition; with interpolation it lands between 1 and 49.
+  EXPECT_GT(good.worst_quantile(), 1.0);
+
+  QosEvaluator bad(constraint);
+  for (int i = 0; i < 10; ++i) {
+    bad.add(record("a", 0, 0, 100.0 + 800.0, 100.0));  // Q=8 for all
+  }
+  EXPECT_FALSE(bad.satisfied());
+  EXPECT_NEAR(bad.worst_quantile(), 8.0, 1e-9);
+
+  QosEvaluator fine(constraint);
+  for (int i = 0; i < 10; ++i) {
+    fine.add(record("a", 0, 0, 200.0, 100.0));  // Q=1
+  }
+  EXPECT_TRUE(fine.satisfied());
+}
+
+TEST(QosEvaluator, WorstAcrossTypes) {
+  QosEvaluator evaluator;
+  evaluator.add(record("a", 0, 0, 200, 100));  // Q=1
+  evaluator.add(record("b", 0, 0, 700, 100));  // Q=6
+  EXPECT_NEAR(evaluator.worst_quantile(), 6.0, 1e-9);
+  EXPECT_FALSE(evaluator.satisfied());
+}
+
+TEST(QosEvaluator, EmptyIsTriviallySatisfied) {
+  QosEvaluator evaluator;
+  EXPECT_TRUE(evaluator.satisfied());
+  EXPECT_DOUBLE_EQ(evaluator.worst_quantile(), 0.0);
+  EXPECT_EQ(evaluator.job_count(), 0u);
+}
+
+}  // namespace
+}  // namespace anor::sched

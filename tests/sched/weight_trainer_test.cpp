@@ -1,0 +1,109 @@
+#include "sched/weight_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anor::sched {
+namespace {
+
+TEST(SynthesizeUnknown, HonorsProvidedRuntimeAndNodes) {
+  util::Rng rng(1);
+  const auto synthesized =
+      synthesize_unknown_type("user.job", 300.0, 4, workload::nas_job_types(), rng);
+  EXPECT_TRUE(synthesized.synthesized);
+  EXPECT_EQ(synthesized.type.name, "user.job");
+  EXPECT_EQ(synthesized.type.nodes, 4);
+  EXPECT_NEAR(synthesized.type.min_exec_time_s(), 300.0, 1e-9);
+}
+
+TEST(SynthesizeUnknown, SamplesPowerPropertiesFromKnownTypes) {
+  util::Rng rng(2);
+  const auto& known = workload::nas_job_types();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto synthesized = synthesize_unknown_type("u", 100.0, 1, known, rng);
+    bool power_matches = false;
+    bool sensitivity_matches = false;
+    for (const auto& t : known) {
+      if (t.max_power_w == synthesized.type.max_power_w &&
+          t.min_power_w == synthesized.type.min_power_w) {
+        power_matches = true;
+      }
+      if (t.k1 == synthesized.type.k1 && t.k2 == synthesized.type.k2) {
+        sensitivity_matches = true;
+      }
+    }
+    EXPECT_TRUE(power_matches);
+    EXPECT_TRUE(sensitivity_matches);
+  }
+}
+
+TEST(SynthesizeUnknown, EmptyKnownTypesThrows) {
+  util::Rng rng(3);
+  EXPECT_THROW(synthesize_unknown_type("u", 100.0, 1, {}, rng), std::invalid_argument);
+}
+
+TEST(WeightTrainer, FindsBetterThanUniformWhenLandscapeIsSimple) {
+  // Score peaks when "a" gets about 3x the weight of "b".
+  const WeightEvaluator evaluate = [](const std::map<std::string, double>& weights) {
+    const double ratio = weights.at("a") / weights.at("b");
+    return -std::abs(ratio - 3.0);
+  };
+  WeightTrainerConfig config;
+  config.iterations = 200;
+  const auto result =
+      train_queue_weights({"a", "b"}, evaluate, config, util::Rng(4));
+  EXPECT_GT(result.score, -0.4);
+  EXPECT_NEAR(result.weights.at("a") / result.weights.at("b"), 3.0, 0.6);
+  EXPECT_EQ(result.evaluations, 201);
+}
+
+TEST(WeightTrainer, KeepsUniformIfNothingBeatsIt) {
+  const WeightEvaluator evaluate = [](const std::map<std::string, double>& weights) {
+    // Uniform is optimal: penalize spread.
+    double penalty = 0.0;
+    for (const auto& [name, w] : weights) penalty += std::abs(w - 1.0);
+    return -penalty;
+  };
+  WeightTrainerConfig config;
+  config.iterations = 50;
+  const auto result = train_queue_weights({"a", "b", "c"}, evaluate, config, util::Rng(5));
+  EXPECT_NEAR(result.score, 0.0, 1e-9);
+  for (const auto& [name, w] : result.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(WeightTrainer, RespectsBounds) {
+  WeightTrainerConfig config;
+  config.iterations = 100;
+  config.min_weight = 0.5;
+  config.max_weight = 2.0;
+  const auto result = train_queue_weights(
+      {"a", "b"},
+      [](const std::map<std::string, double>& weights) { return weights.at("a"); }, config,
+      util::Rng(6));
+  for (const auto& [name, w] : result.weights) {
+    EXPECT_GE(w, 0.5);
+    EXPECT_LE(w, 2.0);
+  }
+}
+
+TEST(WeightTrainer, DeterministicPerSeed) {
+  const WeightEvaluator evaluate = [](const std::map<std::string, double>& weights) {
+    return weights.at("a") - weights.at("b");
+  };
+  WeightTrainerConfig config;
+  config.iterations = 30;
+  const auto r1 = train_queue_weights({"a", "b"}, evaluate, config, util::Rng(7));
+  const auto r2 = train_queue_weights({"a", "b"}, evaluate, config, util::Rng(7));
+  EXPECT_EQ(r1.weights, r2.weights);
+  EXPECT_DOUBLE_EQ(r1.score, r2.score);
+}
+
+TEST(WeightTrainer, EmptyTypesThrows) {
+  EXPECT_THROW(train_queue_weights({}, [](const auto&) { return 0.0; },
+                                   WeightTrainerConfig{}, util::Rng(8)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anor::sched

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "sim/sim_config.hpp"
+#include "sim/simulator.hpp"
+
+namespace anor::sim {
+namespace {
+
+TEST(SimConfigJson, RoundTripPreservesEverything) {
+  SimConfig original;
+  original.node_count = 250;
+  original.idle_power_w = 85.0;
+  original.duration_s = 1800.0;
+  original.perf_variation_sigma = 0.07;
+  original.budgeter = budget::BudgeterKind::kEvenPower;
+  original.power_aware_admission = false;
+  original.backfill = true;
+  original.single_queue = true;
+  original.protect_at_risk_jobs = true;
+  original.at_risk_fraction = 0.6;
+  original.bid.average_power_w = 40000.0;
+  original.bid.reserve_w = 5000.0;
+  original.tracking_warmup_s = 250.0;
+  original.job_types = standard_sim_types(true, 2);
+  original.queue_weights["bt.D.x"] = 2.5;
+
+  const SimConfig parsed = sim_config_from_json(sim_config_to_json(original));
+  EXPECT_EQ(parsed.node_count, 250);
+  EXPECT_DOUBLE_EQ(parsed.idle_power_w, 85.0);
+  EXPECT_DOUBLE_EQ(parsed.duration_s, 1800.0);
+  EXPECT_DOUBLE_EQ(parsed.perf_variation_sigma, 0.07);
+  EXPECT_EQ(parsed.budgeter, budget::BudgeterKind::kEvenPower);
+  EXPECT_FALSE(parsed.power_aware_admission);
+  EXPECT_TRUE(parsed.backfill);
+  EXPECT_TRUE(parsed.single_queue);
+  EXPECT_TRUE(parsed.protect_at_risk_jobs);
+  EXPECT_DOUBLE_EQ(parsed.at_risk_fraction, 0.6);
+  EXPECT_DOUBLE_EQ(parsed.bid.average_power_w, 40000.0);
+  EXPECT_DOUBLE_EQ(parsed.bid.reserve_w, 5000.0);
+  ASSERT_EQ(parsed.job_types.size(), original.job_types.size());
+  EXPECT_EQ(parsed.job_types[0].name, original.job_types[0].name);
+  EXPECT_EQ(parsed.job_types[0].nodes, original.job_types[0].nodes);
+  EXPECT_DOUBLE_EQ(parsed.job_types[0].time_at_pmin_s, original.job_types[0].time_at_pmin_s);
+  EXPECT_DOUBLE_EQ(parsed.queue_weights.at("bt.D.x"), 2.5);
+}
+
+TEST(SimConfigJson, StandardTypesShortcut) {
+  const util::Json json = util::Json::parse(
+      R"({"node_count": 80, "standard_types": {"long_only": false, "node_scale": 3}})");
+  const SimConfig config = sim_config_from_json(json);
+  EXPECT_EQ(config.node_count, 80);
+  EXPECT_EQ(config.job_types.size(), workload::nas_job_types().size());
+  EXPECT_EQ(config.job_types[0].nodes, workload::nas_job_types()[0].nodes * 3);
+}
+
+TEST(SimConfigJson, DefaultsApplyForMissingKeys) {
+  const SimConfig config = sim_config_from_json(util::Json::parse("{}"));
+  const SimConfig defaults;
+  EXPECT_EQ(config.node_count, defaults.node_count);
+  EXPECT_EQ(config.budgeter, defaults.budgeter);
+  EXPECT_TRUE(config.job_types.empty());
+}
+
+TEST(SimConfigJson, ParsedConfigRuns) {
+  const util::Json json = util::Json::parse(R"({
+    "node_count": 40, "duration_s": 600,
+    "standard_types": {"long_only": true, "node_scale": 1},
+    "bid_mean_w": 6000, "bid_reserve_w": 600, "tracking_warmup_s": 200
+  })");
+  const SimConfig config = sim_config_from_json(json);
+  const SimResult result = run_simulation(config, 0.6, 3);
+  EXPECT_GT(result.jobs_completed, 0);
+}
+
+}  // namespace
+}  // namespace anor::sim

@@ -1,0 +1,106 @@
+#include "sim/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::sim {
+namespace {
+
+TEST(NodeTable, InitiallyAllIdle) {
+  NodeTable table(10);
+  EXPECT_EQ(table.size(), 10);
+  EXPECT_EQ(table.idle_count(), 10);
+  EXPECT_EQ(table.idle_nodes().size(), 10u);
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_TRUE(table.idle(n));
+    EXPECT_DOUBLE_EQ(table.perf_multiplier(n), 1.0);
+  }
+}
+
+TEST(NodeTable, RejectsEmpty) {
+  EXPECT_THROW(NodeTable(0), std::invalid_argument);
+}
+
+TEST(NodeTable, AssignReleaseLifecycle) {
+  NodeTable table(4);
+  table.assign(2, 17);
+  EXPECT_FALSE(table.idle(2));
+  EXPECT_EQ(table.job_id(2), 17);
+  EXPECT_EQ(table.idle_count(), 3);
+  table.add_progress(2, 0.4);
+  EXPECT_DOUBLE_EQ(table.progress(2), 0.4);
+  table.release(2);
+  EXPECT_TRUE(table.idle(2));
+  EXPECT_DOUBLE_EQ(table.progress(2), 0.0);
+  EXPECT_DOUBLE_EQ(table.cap_w(2), 0.0);
+}
+
+TEST(NodeTable, AssignResetsProgress) {
+  NodeTable table(2);
+  table.assign(0, 1);
+  table.add_progress(0, 0.9);
+  table.release(0);
+  table.assign(0, 2);
+  EXPECT_DOUBLE_EQ(table.progress(0), 0.0);
+}
+
+TEST(NodeTable, TotalPowerSums) {
+  NodeTable table(3);
+  table.set_power(0, 100.0);
+  table.set_power(1, 150.0);
+  table.set_power(2, 50.0);
+  EXPECT_DOUBLE_EQ(table.total_power_w(), 300.0);
+}
+
+TEST(JobTable, AddAndLookupById) {
+  JobTable table;
+  JobRow row;
+  row.job_id = 42;
+  row.type_index = 1;
+  row.submit_s = 3.0;
+  table.add(row);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.by_job_id(42).type_index, 1);
+  EXPECT_THROW(table.by_job_id(99), std::out_of_range);
+}
+
+TEST(JobTable, LifecyclePredicates) {
+  JobRow row;
+  EXPECT_FALSE(row.started());
+  EXPECT_FALSE(row.finished());
+  row.start_s = 5.0;
+  EXPECT_TRUE(row.started());
+  EXPECT_FALSE(row.finished());
+  row.end_s = 10.0;
+  EXPECT_TRUE(row.finished());
+}
+
+TEST(JobTable, RunningFiltersCorrectly) {
+  JobTable table;
+  JobRow queued;
+  queued.job_id = 0;
+  table.add(queued);
+  JobRow running;
+  running.job_id = 1;
+  running.start_s = 1.0;
+  table.add(running);
+  JobRow done;
+  done.job_id = 2;
+  done.start_s = 1.0;
+  done.end_s = 2.0;
+  table.add(done);
+  const auto active = table.running();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(table.row(active[0]).job_id, 1);
+}
+
+TEST(JobTable, NonContiguousIds) {
+  JobTable table;
+  JobRow row;
+  row.job_id = 1000;
+  table.add(row);
+  EXPECT_EQ(table.by_job_id(1000).job_id, 1000);
+  EXPECT_THROW(table.by_job_id(500), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace anor::sim

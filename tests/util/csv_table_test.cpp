@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace anor::util {
+namespace {
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriteRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"a", "b"});
+  writer.write_row({"1", "x,y"});
+  writer.write_row_values({1.5, 2.0});
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n1.5,2\n");
+}
+
+TEST(Csv, ParseLineBasic) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, ParseLineQuoted) {
+  const auto fields = parse_csv_line(R"(x,"a,b","q""q")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+  EXPECT_EQ(fields[2], "q\"q");
+}
+
+TEST(Csv, ParseLineEmptyFields) {
+  const auto fields = parse_csv_line(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(Csv, ParseLineStripsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"v,1", "plain", "q\"q"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "v,1");
+  EXPECT_EQ(rows[0][1], "plain");
+  EXPECT_EQ(rows[0][2], "q\"q");
+}
+
+TEST(Table, FormatsAndAligns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row("beta", {2.5}, 1);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+  // Every line has the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TextTable::format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::format_percent(0.123, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace anor::util

@@ -1,0 +1,122 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace anor::util {
+namespace {
+
+TEST(Json, ScalarTypes) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json(JsonArray{}).is_array());
+  EXPECT_TRUE(Json(JsonObject{}).is_object());
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch) {
+  const Json j(1.5);
+  EXPECT_THROW(j.as_string(), ConfigError);
+  EXPECT_THROW(j.as_bool(), ConfigError);
+  EXPECT_THROW(j.as_array(), ConfigError);
+  EXPECT_THROW(j.as_object(), ConfigError);
+  EXPECT_THROW(Json("x").as_number(), ConfigError);
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(Json::parse("null"), Json(nullptr));
+  EXPECT_EQ(Json::parse("true"), Json(true));
+  EXPECT_EQ(Json::parse("false"), Json(false));
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(Json, ParsesNested) {
+  const Json j = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_EQ(j.at("c").as_string(), "x");
+}
+
+TEST(Json, ParsesEscapes) {
+  const Json j = Json::parse(R"("line\nquote\"back\\slashA")");
+  EXPECT_EQ(j.as_string(), "line\nquote\"back\\slashA");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");     // e-acute
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac"); // euro sign
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(Json::parse(""), ConfigError);
+  EXPECT_THROW(Json::parse("{"), ConfigError);
+  EXPECT_THROW(Json::parse("[1,]"), ConfigError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), ConfigError);
+  EXPECT_THROW(Json::parse("tru"), ConfigError);
+  EXPECT_THROW(Json::parse("1 2"), ConfigError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ConfigError);
+  EXPECT_THROW(Json::parse("1..2"), ConfigError);
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string text = R"({"arr":[1,2.5,null],"nested":{"k":false},"s":"v"})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, RoundTripPretty) {
+  JsonObject obj;
+  obj["x"] = Json(1.0);
+  obj["y"] = Json(JsonArray{Json("a"), Json("b")});
+  const Json j(std::move(obj));
+  const Json reparsed = Json::parse(j.dump(2));
+  EXPECT_EQ(reparsed, j);
+}
+
+TEST(Json, IntegersDumpWithoutDecimal) {
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, ObjectHelpers) {
+  const Json j = Json::parse(R"({"a": 1, "s": "x", "b": true})");
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zz"));
+  EXPECT_DOUBLE_EQ(j.number_or("a", 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(j.number_or("zz", 9.0), 9.0);
+  EXPECT_EQ(j.string_or("s", "d"), "x");
+  EXPECT_EQ(j.string_or("zz", "d"), "d");
+  EXPECT_TRUE(j.bool_or("b", false));
+  EXPECT_FALSE(j.bool_or("zz", false));
+  EXPECT_THROW(j.at("zz"), ConfigError);
+}
+
+TEST(Json, AsIntRounds) {
+  EXPECT_EQ(Json(2.6).as_int(), 3);
+  EXPECT_EQ(Json(-2.6).as_int(), -3);
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/anor_json_test.json";
+  JsonObject obj;
+  obj["power_w"] = Json(JsonArray{Json(100.0), Json(200.0)});
+  save_json_file(path, Json(obj));
+  const Json loaded = load_json_file(path);
+  EXPECT_EQ(loaded.at("power_w").as_array().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Json, MissingFileThrows) {
+  EXPECT_THROW(load_json_file("/nonexistent/path/x.json"), ConfigError);
+}
+
+}  // namespace
+}  // namespace anor::util

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+
+namespace anor::util {
+namespace {
+
+struct LoggerGuard {
+  ~LoggerGuard() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+};
+
+TEST(Logger, LevelGatesOutput) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("test", "hidden");
+  log_info("test", "hidden too");
+  log_warn("test", "visible");
+  log_error("test", "also visible");
+  const std::string text = sink.str();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("[WARN] test: visible"), std::string::npos);
+  EXPECT_NE(text.find("[ERROR] test: also visible"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("test", "nope");
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logger, TraceLevelShowsAll) {
+  LoggerGuard guard;
+  std::ostringstream sink;
+  Logger::instance().set_sink(&sink);
+  Logger::instance().set_level(LogLevel::kTrace);
+  log_trace("t", "a");
+  log_debug("t", "b");
+  EXPECT_NE(sink.str().find("[TRACE]"), std::string::npos);
+  EXPECT_NE(sink.str().find("[DEBUG]"), std::string::npos);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(VirtualClock, StartsAtZeroOrGivenTime) {
+  EXPECT_DOUBLE_EQ(VirtualClock().now(), 0.0);
+  EXPECT_DOUBLE_EQ(VirtualClock(12.5).now(), 12.5);
+}
+
+TEST(VirtualClock, AdvanceIsMonotone) {
+  VirtualClock clock;
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance(-10.0);  // ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(1.0);  // backwards: ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+}  // namespace
+}  // namespace anor::util

@@ -1,0 +1,141 @@
+#include "util/poly_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace anor::util {
+namespace {
+
+TEST(SolveLinearSystem, Identity) {
+  const auto x = solve_linear_system({1, 0, 0, 1}, {3, 4}, 2);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({0, 1, 1, 0}, {5, 7}, 2);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}, 2), NumericalError);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_linear_system({1, 0, 0, 1}, {1}, 2), std::invalid_argument);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  // y = 2 + 3x - 0.5x^2
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = -3.0; v <= 3.0; v += 0.5) {
+    x.push_back(v);
+    y.push_back(2.0 + 3.0 * v - 0.5 * v * v);
+  }
+  const auto c = polyfit(x, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 2.0, 1e-9);
+  EXPECT_NEAR(c[1], 3.0, 1e-9);
+  EXPECT_NEAR(c[2], -0.5, 1e-9);
+  EXPECT_NEAR(polyfit_r2(c, x, y), 1.0, 1e-12);
+}
+
+TEST(Polyfit, RecoversLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0};
+  const auto c = polyfit(x, y, 1);
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+}
+
+TEST(Polyfit, ExactlyDegreePlusOnePoints) {
+  // 3 points determine a quadratic uniquely.
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  const std::vector<double> y = {1.0, 0.0, 3.0};
+  const auto c = polyfit(x, y, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(polyval(c, x[i]), y[i], 1e-9);
+  }
+}
+
+TEST(Polyfit, TooFewPointsThrows) {
+  EXPECT_THROW(polyfit(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 2.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(Polyfit, SizeMismatchThrows) {
+  EXPECT_THROW(polyfit(std::vector<double>{1.0, 2.0, 3.0}, std::vector<double>{1.0}, 1),
+               std::invalid_argument);
+}
+
+TEST(Polyfit, DuplicateXIsSingular) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(polyfit(x, y, 2), NumericalError);
+}
+
+TEST(Polyfit, NoiseRobustness) {
+  Rng rng(99);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.0, 10.0);
+    x.push_back(v);
+    y.push_back(5.0 - 0.7 * v + 0.02 * v * v + rng.normal(0.0, 0.01));
+  }
+  const auto c = polyfit(x, y, 2);
+  EXPECT_NEAR(c[0], 5.0, 0.05);
+  EXPECT_NEAR(c[1], -0.7, 0.02);
+  EXPECT_NEAR(c[2], 0.02, 0.003);
+  EXPECT_GT(polyfit_r2(c, x, y), 0.999);
+}
+
+TEST(PolyfitWeighted, ZeroWeightIgnoresOutlier) {
+  std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 1.5};
+  std::vector<double> y = {0.0, 1.0, 2.0, 3.0, 100.0};  // last point is garbage
+  std::vector<double> w = {1.0, 1.0, 1.0, 1.0, 0.0};
+  const auto c = polyfit_weighted(x, y, w, 1);
+  EXPECT_NEAR(c[0], 0.0, 1e-9);
+  EXPECT_NEAR(c[1], 1.0, 1e-9);
+}
+
+TEST(Polyval, HornerOrder) {
+  const std::vector<double> c = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(polyval(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(polyval(c, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 17.0);
+  EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+}
+
+// Property sweep: fits of random quadratics are recovered across a range
+// of coefficient magnitudes.
+class PolyfitRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyfitRecovery, RandomQuadraticRoundTrips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double a = rng.uniform(-5.0, 5.0);
+  const double b = rng.uniform(-5.0, 5.0);
+  const double c2 = rng.uniform(-0.5, 0.5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = -2.0; v <= 2.0; v += 0.25) {
+    x.push_back(v);
+    y.push_back(a + b * v + c2 * v * v);
+  }
+  const auto c = polyfit(x, y, 2);
+  EXPECT_NEAR(c[0], a, 1e-8);
+  EXPECT_NEAR(c[1], b, 1e-8);
+  EXPECT_NEAR(c[2], c2, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyfitRecovery, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace anor::util

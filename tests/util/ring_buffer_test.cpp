@@ -1,0 +1,80 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anor::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPow2) {
+  EXPECT_EQ(SpscRingBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRingBuffer<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRingBuffer<int>(8).capacity(), 8u);
+}
+
+TEST(SpscRing, PushPopFifo) {
+  SpscRingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRingBuffer<int> ring(2);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_FALSE(ring.push(3));
+  EXPECT_EQ(ring.pop().value(), 1);
+  EXPECT_TRUE(ring.push(3));
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRingBuffer<int> ring(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ring.push(i));
+    EXPECT_EQ(ring.pop().value(), i);
+  }
+}
+
+TEST(SpscRing, MoveOnlyFriendly) {
+  SpscRingBuffer<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.push(std::make_unique<int>(42)));
+  auto v = ring.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRingBuffer<int> ring(64);
+  constexpr int kCount = 100000;
+  std::vector<int> received;
+  received.reserve(kCount);
+
+  std::thread producer([&ring] {
+    for (int i = 0; i < kCount;) {
+      if (ring.push(i)) ++i;
+    }
+  });
+  std::thread consumer([&ring, &received] {
+    while (received.size() < kCount) {
+      if (auto v = ring.pop()) received.push_back(*v);
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace anor::util

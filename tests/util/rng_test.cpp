@@ -1,0 +1,142 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace anor::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndStable) {
+  Rng parent(7);
+  Rng c1 = parent.child("schedule");
+  Rng c2 = parent.child("noise");
+  Rng c1_again = Rng(7).child("schedule");
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(Rng(7).child("schedule").next_u64(), c2.next_u64());
+}
+
+TEST(Rng, IndexedChildrenDiffer) {
+  Rng parent(7);
+  EXPECT_NE(parent.child(std::uint64_t{0}).next_u64(),
+            parent.child(std::uint64_t{1}).next_u64());
+}
+
+TEST(Rng, ChildDoesNotAdvanceParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.child("x");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == 0;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalZeroSigmaReturnsMean) {
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.truncated_normal(1.0, 0.5, 0.5, 1.5);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 1.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalPathologicalBoundsClamp) {
+  Rng rng(9);
+  // Mean far outside the window: resampling fails, falls back to clamp.
+  const double x = rng.truncated_normal(100.0, 0.001, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_THROW(rng.truncated_normal(0.0, 1.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t idx = rng.weighted_index(weights);
+    ASSERT_LT(idx, 2u);
+    if (idx == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / trials, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexErrors) {
+  Rng rng(12);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Splitmix, IsDeterministicAndScrambles) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(HashTag, DistinguishesTags) {
+  EXPECT_NE(hash_tag("alpha"), hash_tag("beta"));
+  EXPECT_EQ(hash_tag("alpha"), hash_tag("alpha"));
+}
+
+}  // namespace
+}  // namespace anor::util

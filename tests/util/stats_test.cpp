@@ -1,0 +1,146 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace anor::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.37) * 10.0 + i * 0.01;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats few;
+  RunningStats many;
+  for (int i = 0; i < 4; ++i) few.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 400; ++i) many.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(few.ci_half_width(), many.ci_half_width());
+}
+
+TEST(Percentile, ThrowsOnEmptyOrBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, Endpoints) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // Sorted {10, 20}: the 25th percentile interpolates to 12.5.
+  EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 25.0), 12.5);
+}
+
+TEST(Percentile, P90OfUniformRamp) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_NEAR(percentile(v, 90.0), 90.0, 1e-12);
+}
+
+TEST(MeanStddev, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_NEAR(stddev_of({1.0, 2.0, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+}
+
+TEST(FractionWithin, CountsAbsoluteValues) {
+  EXPECT_DOUBLE_EQ(fraction_within({0.1, -0.2, 0.5, -0.6}, 0.3), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_within({}, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_within({0.3}, 0.3), 1.0);  // boundary inclusive
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, mean_pred), 0.0);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> bad = {3.0, 2.0, 1.0};
+  EXPECT_LT(r_squared(y, bad), 0.0);
+}
+
+TEST(RSquared, MismatchThrows) {
+  EXPECT_THROW(r_squared({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(r_squared({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anor::util

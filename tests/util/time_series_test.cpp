@@ -1,0 +1,105 @@
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace anor::util {
+namespace {
+
+TimeSeries ramp() {
+  TimeSeries series;
+  series.add(0.0, 10.0);
+  series.add(1.0, 20.0);
+  series.add(2.0, 30.0);
+  return series;
+}
+
+TEST(TimeSeries, RejectsOutOfOrderTimestamps) {
+  TimeSeries series;
+  series.add(1.0, 1.0);
+  EXPECT_THROW(series.add(0.5, 2.0), std::invalid_argument);
+  EXPECT_NO_THROW(series.add(1.0, 3.0));  // equal timestamps allowed
+}
+
+TEST(TimeSeries, SampleAtZeroOrderHold) {
+  const TimeSeries series = ramp();
+  EXPECT_DOUBLE_EQ(series.sample_at(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.sample_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.sample_at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(series.sample_at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(series.sample_at(1.99), 20.0);
+  EXPECT_DOUBLE_EQ(series.sample_at(5.0), 30.0);
+}
+
+TEST(TimeSeries, SampleAtEmptyThrows) {
+  TimeSeries series;
+  EXPECT_THROW(series.sample_at(0.0), std::out_of_range);
+}
+
+TEST(TimeSeries, MeanAndClear) {
+  TimeSeries series = ramp();
+  EXPECT_DOUBLE_EQ(series.mean(), 20.0);
+  series.clear();
+  EXPECT_TRUE(series.empty());
+  EXPECT_DOUBLE_EQ(series.mean(), 0.0);
+}
+
+TEST(TimeSeries, Resample) {
+  const TimeSeries series = ramp();
+  const TimeSeries grid = series.resample(0.0, 2.0, 0.5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.values()[0], 10.0);
+  EXPECT_DOUBLE_EQ(grid.values()[1], 10.0);
+  EXPECT_DOUBLE_EQ(grid.values()[2], 20.0);
+  EXPECT_DOUBLE_EQ(grid.values()[4], 30.0);
+  EXPECT_THROW(series.resample(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(TrackingError, PerfectTrackingIsZero) {
+  TimeSeries measured = ramp();
+  const auto stats = tracking_error(measured, measured, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.fraction_within_30, 1.0);
+  EXPECT_EQ(stats.samples, 3u);
+}
+
+TEST(TrackingError, NormalizesByReserve) {
+  TimeSeries target;
+  target.add(0.0, 1000.0);
+  TimeSeries measured;
+  measured.add(0.0, 1010.0);  // 10 W off
+  // Paper example: reserve 100 kW, 10 kW error -> 10 %.
+  const auto stats = tracking_error(measured, target, 100.0);
+  EXPECT_NEAR(stats.mean_error, 0.10, 1e-12);
+  EXPECT_NEAR(stats.p90_error, 0.10, 1e-12);
+}
+
+TEST(TrackingError, FractionWithin30) {
+  TimeSeries target;
+  target.add(0.0, 0.0);
+  TimeSeries measured;
+  for (int i = 0; i < 10; ++i) {
+    measured.add(static_cast<double>(i), i < 9 ? 10.0 : 100.0);
+  }
+  // Reserve 100 -> nine samples at 10 % error, one at 100 %.
+  const auto stats = tracking_error(measured, target, 100.0);
+  EXPECT_NEAR(stats.fraction_within_30, 0.9, 1e-12);
+  EXPECT_NEAR(stats.max_error, 1.0, 1e-12);
+}
+
+TEST(TrackingError, RequiresPositiveReserve) {
+  TimeSeries s = ramp();
+  EXPECT_THROW(tracking_error(s, s, 0.0), std::invalid_argument);
+}
+
+TEST(TrackingError, EmptySeriesGiveZeroSamples) {
+  TimeSeries empty;
+  TimeSeries s = ramp();
+  EXPECT_EQ(tracking_error(empty, s, 10.0).samples, 0u);
+  EXPECT_EQ(tracking_error(s, empty, 10.0).samples, 0u);
+}
+
+}  // namespace
+}  // namespace anor::util

@@ -1,0 +1,116 @@
+#include "workload/grid_signals.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace anor::workload {
+namespace {
+
+TEST(CarbonProfile, NonNegativeAndDeterministic) {
+  CarbonIntensityProfile a(util::Rng(5), 86400.0);
+  CarbonIntensityProfile b(util::Rng(5), 86400.0);
+  CarbonIntensityProfile c(util::Rng(6), 86400.0);
+  bool differs = false;
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    EXPECT_GE(a.at(t), 0.0);
+    EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+    differs |= a.at(t) != c.at(t);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CarbonProfile, HasDiurnalSwing) {
+  CarbonIntensityProfile::Config config;
+  config.noise_g_per_kwh = 0.0;  // pure diurnal shape
+  CarbonIntensityProfile profile(util::Rng(1), 86400.0, config);
+  double lo = profile.at(0.0);
+  double hi = lo;
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    lo = std::min(lo, profile.at(t));
+    hi = std::max(hi, profile.at(t));
+  }
+  EXPECT_GT(hi - lo, config.swing_g_per_kwh);  // both humps exceed one amplitude
+  // Daily periodicity.
+  EXPECT_NEAR(profile.at(3600.0), profile.at(3600.0 + 86400.0), 25.0);
+}
+
+TEST(CarbonProfile, RejectsBadHorizon) {
+  EXPECT_THROW(CarbonIntensityProfile(util::Rng(1), 0.0), std::invalid_argument);
+}
+
+TEST(CarbonTargets, InverseToIntensity) {
+  CarbonIntensityProfile::Config config;
+  config.noise_g_per_kwh = 0.0;
+  CarbonIntensityProfile profile(util::Rng(1), 86400.0, config);
+  const auto targets = targets_from_carbon(profile, 1000.0, 3000.0, 86400.0, 600.0);
+  // Range is fully used.
+  double lo = targets.values().front();
+  double hi = lo;
+  std::size_t argmin = 0;
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets.values()[i] < lo) { lo = targets.values()[i]; argmin = i; }
+    if (targets.values()[i] > hi) { hi = targets.values()[i]; argmax = i; }
+  }
+  EXPECT_NEAR(lo, 1000.0, 1e-6);
+  EXPECT_NEAR(hi, 3000.0, 1e-6);
+  // The power minimum coincides with the intensity maximum and vice versa.
+  EXPECT_GT(profile.at(targets.times()[argmin]), profile.at(targets.times()[argmax]));
+}
+
+TEST(CarbonTargets, Validation) {
+  CarbonIntensityProfile profile(util::Rng(1), 3600.0);
+  EXPECT_THROW(targets_from_carbon(profile, 3000.0, 1000.0, 3600.0), std::invalid_argument);
+  EXPECT_THROW(targets_from_carbon(profile, 1000.0, 3000.0, 3600.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CarbonEmitted, IntegratesPowerTimesIntensity) {
+  CarbonIntensityProfile::Config config;
+  config.base_g_per_kwh = 100.0;
+  config.swing_g_per_kwh = 0.0;
+  config.noise_g_per_kwh = 0.0;
+  CarbonIntensityProfile profile(util::Rng(1), 7200.0, config);
+  util::TimeSeries power;
+  power.add(0.0, 2000.0);     // 2 kW for one hour
+  power.add(3600.0, 2000.0);  // terminal sample
+  EXPECT_NEAR(carbon_emitted_g(power, profile), 2.0 * 100.0, 1e-6);
+}
+
+TEST(TouTariff, WindowsAndWraparound) {
+  const TouTariff tariff = TouTariff::standard();
+  EXPECT_DOUBLE_EQ(tariff.price_at(3.0 * 3600.0), 0.08);   // 3 am off-peak
+  EXPECT_DOUBLE_EQ(tariff.price_at(8.0 * 3600.0), 0.14);   // morning shoulder
+  EXPECT_DOUBLE_EQ(tariff.price_at(18.0 * 3600.0), 0.24);  // evening peak
+  EXPECT_DOUBLE_EQ(tariff.price_at(23.0 * 3600.0), 0.08);
+  // Next day wraps.
+  EXPECT_DOUBLE_EQ(tariff.price_at(86400.0 + 18.0 * 3600.0), 0.24);
+}
+
+TEST(TouTariff, RejectsBadWindows) {
+  EXPECT_THROW(TouTariff(0.1, {{5.0, 5.0, 0.2}}), std::invalid_argument);
+  EXPECT_THROW(TouTariff(0.1, {{22.0, 25.0, 0.2}}), std::invalid_argument);
+}
+
+TEST(TouTariff, CostOfSeries) {
+  const TouTariff tariff(0.10, {{12.0, 13.0, 0.50}});
+  util::TimeSeries power;
+  power.add(11.0 * 3600.0, 1000.0);  // 1 kW: one hour off-peak
+  power.add(12.0 * 3600.0, 1000.0);  // then one hour at peak
+  power.add(13.0 * 3600.0, 0.0);
+  EXPECT_NEAR(tariff.cost_of(power), 0.10 + 0.50, 1e-9);
+}
+
+TEST(TariffTargets, ThrottlesAtPeakPrice) {
+  const TouTariff tariff = TouTariff::standard();
+  const auto targets = targets_from_tariff(tariff, 1000.0, 3000.0, 86400.0, 900.0);
+  EXPECT_NEAR(targets.sample_at(3.0 * 3600.0), 3000.0, 1e-6);   // cheapest -> full power
+  EXPECT_NEAR(targets.sample_at(18.0 * 3600.0), 1000.0, 1e-6);  // priciest -> floor
+  const double shoulder = targets.sample_at(8.0 * 3600.0);
+  EXPECT_GT(shoulder, 1000.0);
+  EXPECT_LT(shoulder, 3000.0);
+}
+
+}  // namespace
+}  // namespace anor::workload

@@ -1,0 +1,114 @@
+#include "workload/phased_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::workload {
+namespace {
+
+KernelConfig quiet_config() {
+  KernelConfig config;
+  config.time_noise_sigma = 0.0;
+  config.power_noise_sigma_w = 0.0;
+  config.setup_s = 0.0;
+  config.teardown_s = 0.0;
+  return config;
+}
+
+JobType mini(const char* name, int epochs, double base_epoch_s) {
+  JobType type = find_job_type(name);
+  type.epochs = epochs;
+  type.base_epoch_s = base_epoch_s;
+  return type;
+}
+
+TEST(PhasedKernel, RejectsEmptyPhases) {
+  EXPECT_THROW(PhasedKernel({}, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(PhasedKernel, EpochCountContinuousAcrossPhases) {
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 5, 1.0)},
+                                        {mini("bt.D.x", 5, 2.0)}};
+  PhasedKernel kernel(phases, util::Rng(1), quiet_config());
+  EXPECT_EQ(kernel.total_epochs(), 10);
+  kernel.advance(5.5, kNodeMaxCapW);  // phase 0 done (5 s) + into phase 1
+  EXPECT_EQ(kernel.current_phase(), 1u);
+  EXPECT_GE(kernel.epoch_count(), 5);
+  kernel.advance(10.0, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+  EXPECT_EQ(kernel.epoch_count(), 10);
+}
+
+TEST(PhasedKernel, CrossingBoundaryLosesNoTime) {
+  // Phase 0: 2 epochs x 1 s; phase 1: 2 epochs x 1 s.  A single 4 s step
+  // must finish both.
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 2, 1.0)},
+                                        {mini("is.D.x", 2, 1.0)}};
+  PhasedKernel kernel(phases, util::Rng(1), quiet_config());
+  kernel.advance(4.01, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+  EXPECT_NEAR(kernel.elapsed_s(), 4.0, 0.02);
+}
+
+TEST(PhasedKernel, PowerProfileSwitchesWithPhase) {
+  // Phase 0 is IS-like (draws ~252 W uncapped), phase 1 BT-like (~278 W).
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 3, 1.0)},
+                                        {mini("bt.D.x", 3, 1.0)}};
+  PhasedKernel kernel(phases, util::Rng(1), quiet_config());
+  const double phase0_power = kernel.power_demand_w(280.0);
+  kernel.advance(3.1, kNodeMaxCapW);
+  ASSERT_EQ(kernel.current_phase(), 1u);
+  const double phase1_power = kernel.power_demand_w(280.0);
+  EXPECT_GT(phase1_power, phase0_power + 10.0);
+}
+
+TEST(PhasedKernel, SensitivitySwitchesWithPhase) {
+  // At the floor cap the BT phase runs 1.7x slower, the IS phase only
+  // 1.12x: total capped runtime = 3*1.12 + 3*1.7 = 8.46 s.
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 3, 1.0)},
+                                        {mini("bt.D.x", 3, 1.0)}};
+  PhasedKernel kernel(phases, util::Rng(1), quiet_config());
+  kernel.advance(8.3, kNodeMinCapW);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(0.3, kNodeMinCapW);
+  EXPECT_TRUE(kernel.complete());
+}
+
+TEST(PhasedKernel, SetupOnlyBeforeFirstTeardownOnlyAfterLast) {
+  KernelConfig config = quiet_config();
+  config.setup_s = 2.0;
+  config.teardown_s = 1.0;
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 2, 1.0)},
+                                        {mini("is.D.x", 2, 1.0)}};
+  PhasedKernel kernel(phases, util::Rng(1), config);
+  // Total: 2 setup + 2 + 2 compute + 1 teardown = 7 s.
+  kernel.advance(6.9, kNodeMaxCapW);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(0.2, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+}
+
+TEST(PhasedKernel, ProgressMonotoneAcrossBoundaries) {
+  const std::vector<JobPhase> phases = {{mini("is.D.x", 3, 1.0)},
+                                        {mini("bt.D.x", 4, 0.5)},
+                                        {mini("sp.D.x", 2, 2.0)}};
+  PhasedKernel kernel(phases, util::Rng(2), quiet_config());
+  EXPECT_EQ(kernel.phase_count(), 3u);
+  double prev = kernel.progress();
+  while (!kernel.complete()) {
+    kernel.advance(0.3, 220.0);
+    EXPECT_GE(kernel.progress(), prev - 1e-12);
+    prev = kernel.progress();
+  }
+  EXPECT_DOUBLE_EQ(kernel.progress(), 1.0);
+}
+
+TEST(TwoPhase, SplitsEpochsAcrossProfiles) {
+  const auto phases = two_phase(find_job_type("is.D.x"), find_job_type("bt.D.x"));
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].profile.epochs, find_job_type("is.D.x").epochs / 2);
+  EXPECT_EQ(phases[0].profile.name, "is.D.x");
+  EXPECT_EQ(phases[1].profile.name, "bt.D.x");
+}
+
+}  // namespace
+}  // namespace anor::workload

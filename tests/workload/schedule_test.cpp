@@ -1,0 +1,164 @@
+#include "workload/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+namespace anor::workload {
+namespace {
+
+PoissonScheduleConfig default_config() {
+  PoissonScheduleConfig config;
+  config.duration_s = 3600.0;
+  config.utilization = 0.95;
+  config.cluster_nodes = 16;
+  return config;
+}
+
+TEST(PoissonSchedule, DeterministicPerSeed) {
+  const auto a = generate_poisson_schedule(nas_job_types(), default_config(), util::Rng(5));
+  const auto b = generate_poisson_schedule(nas_job_types(), default_config(), util::Rng(5));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].type_name, b.jobs[i].type_name);
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time_s, b.jobs[i].submit_time_s);
+  }
+  const auto c = generate_poisson_schedule(nas_job_types(), default_config(), util::Rng(6));
+  EXPECT_NE(a.jobs.size(), c.jobs.size());
+}
+
+TEST(PoissonSchedule, SortedWithStableIds) {
+  const auto s = generate_poisson_schedule(nas_job_types(), default_config(), util::Rng(5));
+  for (std::size_t i = 1; i < s.jobs.size(); ++i) {
+    EXPECT_GE(s.jobs[i].submit_time_s, s.jobs[i - 1].submit_time_s);
+    EXPECT_EQ(s.jobs[i].job_id, static_cast<int>(i));
+  }
+}
+
+TEST(PoissonSchedule, HitsTargetNodeSeconds) {
+  // Expected node-seconds submitted ~= eta * N * duration.
+  PoissonScheduleConfig config = default_config();
+  config.duration_s = 20000.0;
+  const auto s = generate_poisson_schedule(nas_job_types(), config, util::Rng(11));
+  double node_seconds = 0.0;
+  for (const auto& job : s.jobs) {
+    const JobType& type = find_job_type(job.type_name);
+    node_seconds += type.min_exec_time_s() * job.nodes;
+  }
+  const double expected = config.utilization * config.cluster_nodes * config.duration_s;
+  EXPECT_NEAR(node_seconds / expected, 1.0, 0.10);
+}
+
+TEST(PoissonSchedule, WeightsShiftMix) {
+  PoissonScheduleConfig config = default_config();
+  config.duration_s = 40000.0;
+  config.type_weights.assign(nas_job_types().size(), 1.0);
+  config.type_weights[0] = 8.0;  // bt gets 8x node-second share
+  const auto s = generate_poisson_schedule(nas_job_types(), config, util::Rng(2));
+  std::map<std::string, double> node_seconds;
+  for (const auto& job : s.jobs) {
+    node_seconds[job.type_name] += find_job_type(job.type_name).min_exec_time_s() * job.nodes;
+  }
+  EXPECT_GT(node_seconds["bt.D.x"], 4.0 * node_seconds["cg.D.x"]);
+}
+
+TEST(PoissonSchedule, DiurnalModulationShiftsLoadToPeak) {
+  PoissonScheduleConfig config = default_config();
+  config.duration_s = 86400.0;  // one day
+  config.diurnal_amplitude = 0.8;
+  const auto schedule = generate_poisson_schedule(nas_job_types(), config, util::Rng(4));
+  // Peak window (mid-day, around t = period/2) vs trough (start/end).
+  int peak = 0;
+  int trough = 0;
+  for (const auto& job : schedule.jobs) {
+    const double t = job.submit_time_s;
+    if (t > 0.35 * 86400.0 && t < 0.65 * 86400.0) ++peak;
+    if (t < 0.15 * 86400.0 || t > 0.85 * 86400.0) ++trough;
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(PoissonSchedule, ZeroAmplitudeKeepsLegacyStreams) {
+  PoissonScheduleConfig plain = default_config();
+  PoissonScheduleConfig zeroed = default_config();
+  zeroed.diurnal_amplitude = 0.0;
+  const auto a = generate_poisson_schedule(nas_job_types(), plain, util::Rng(5));
+  const auto b = generate_poisson_schedule(nas_job_types(), zeroed, util::Rng(5));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time_s, b.jobs[i].submit_time_s);
+  }
+}
+
+TEST(PoissonSchedule, RejectsBadAmplitude) {
+  PoissonScheduleConfig config = default_config();
+  config.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_poisson_schedule(nas_job_types(), config, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(PoissonSchedule, Validation) {
+  EXPECT_THROW(generate_poisson_schedule({}, default_config(), util::Rng(1)),
+               std::invalid_argument);
+  PoissonScheduleConfig bad = default_config();
+  bad.utilization = 0.0;
+  EXPECT_THROW(generate_poisson_schedule(nas_job_types(), bad, util::Rng(1)),
+               std::invalid_argument);
+  PoissonScheduleConfig mismatched = default_config();
+  mismatched.type_weights = {1.0};
+  EXPECT_THROW(generate_poisson_schedule(nas_job_types(), mismatched, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, JsonRoundTrip) {
+  Schedule schedule;
+  schedule.duration_s = 100.0;
+  schedule.jobs.push_back({0, "bt.D.x", 1.5, 2, ""});
+  schedule.jobs.push_back({1, "sp.D.x", 3.0, 2, "is.D.x"});
+  const Schedule loaded = Schedule::from_json(schedule.to_json());
+  ASSERT_EQ(loaded.jobs.size(), 2u);
+  EXPECT_EQ(loaded.jobs[0].type_name, "bt.D.x");
+  EXPECT_EQ(loaded.jobs[1].classified_as, "is.D.x");
+  EXPECT_DOUBLE_EQ(loaded.duration_s, 100.0);
+}
+
+TEST(Schedule, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/anor_schedule_test.json";
+  Schedule schedule;
+  schedule.duration_s = 10.0;
+  schedule.jobs.push_back({0, "lu.D.x", 0.0, 2, ""});
+  schedule.save(path);
+  const Schedule loaded = Schedule::load(path);
+  ASSERT_EQ(loaded.jobs.size(), 1u);
+  EXPECT_EQ(loaded.jobs[0].type_name, "lu.D.x");
+  std::remove(path.c_str());
+}
+
+TEST(Schedule, FromJsonSortsBySubmitTime) {
+  Schedule schedule;
+  schedule.jobs.push_back({0, "bt.D.x", 5.0, 2, ""});
+  schedule.jobs.push_back({1, "sp.D.x", 1.0, 2, ""});
+  const Schedule loaded = Schedule::from_json(schedule.to_json());
+  EXPECT_EQ(loaded.jobs[0].type_name, "sp.D.x");
+}
+
+TEST(Misclassify, LabelsOnlyMatchingType) {
+  Schedule schedule;
+  schedule.jobs.push_back({0, "bt.D.x", 0.0, 2, ""});
+  schedule.jobs.push_back({1, "sp.D.x", 1.0, 2, ""});
+  misclassify(schedule, "bt.D.x", "is.D.x");
+  EXPECT_EQ(schedule.jobs[0].effective_class(), "is.D.x");
+  EXPECT_EQ(schedule.jobs[1].effective_class(), "sp.D.x");
+}
+
+TEST(JobRequest, EffectiveClassDefaultsToTrueType) {
+  JobRequest request;
+  request.type_name = "ft.D.x";
+  EXPECT_EQ(request.effective_class(), "ft.D.x");
+  request.classified_as = "ep.D.x";
+  EXPECT_EQ(request.effective_class(), "ep.D.x");
+}
+
+}  // namespace
+}  // namespace anor::workload

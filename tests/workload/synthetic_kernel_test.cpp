@@ -1,0 +1,168 @@
+#include "workload/synthetic_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anor::workload {
+namespace {
+
+KernelConfig quiet_config() {
+  KernelConfig config;
+  config.time_noise_sigma = 0.0;
+  config.power_noise_sigma_w = 0.0;
+  config.setup_s = 0.0;
+  config.teardown_s = 0.0;
+  return config;
+}
+
+JobType tiny_type() {
+  JobType type = find_job_type("bt.D.x");
+  type.epochs = 10;
+  type.base_epoch_s = 1.0;
+  return type;
+}
+
+TEST(SyntheticKernel, CompletesAfterExpectedTimeUncapped) {
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), quiet_config());
+  kernel.advance(9.99, kNodeMaxCapW);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(0.02, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+  EXPECT_EQ(kernel.epoch_count(), 10);
+  EXPECT_DOUBLE_EQ(kernel.progress(), 1.0);
+}
+
+TEST(SyntheticKernel, CapSlowsEpochs) {
+  SyntheticKernel capped(tiny_type(), util::Rng(1), quiet_config());
+  SyntheticKernel uncapped(tiny_type(), util::Rng(1), quiet_config());
+  capped.advance(5.0, kNodeMinCapW);
+  uncapped.advance(5.0, kNodeMaxCapW);
+  EXPECT_LT(capped.epoch_count(), uncapped.epoch_count());
+}
+
+TEST(SyntheticKernel, FloorCapMatchesCurveSlowdown) {
+  const JobType type = tiny_type();
+  SyntheticKernel kernel(type, util::Rng(1), quiet_config());
+  const double expected_total = type.exec_time_s(kNodeMinCapW);
+  kernel.advance(expected_total - 0.01, kNodeMinCapW);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(0.02, kNodeMinCapW);
+  EXPECT_TRUE(kernel.complete());
+}
+
+TEST(SyntheticKernel, EpochCallbackFiresPerEpoch) {
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), quiet_config());
+  int calls = 0;
+  long last = 0;
+  kernel.set_epoch_callback([&](long epoch) {
+    ++calls;
+    last = epoch;
+  });
+  kernel.advance(10.5, kNodeMaxCapW);
+  EXPECT_EQ(calls, 10);
+  EXPECT_EQ(last, 10);
+}
+
+TEST(SyntheticKernel, SetupPhaseDelaysEpochs) {
+  KernelConfig config = quiet_config();
+  config.setup_s = 3.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), config);
+  kernel.advance(2.5, kNodeMaxCapW);
+  EXPECT_EQ(kernel.epoch_count(), 0);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(1.5, kNodeMaxCapW);  // 4.0 s total: 1 epoch done
+  EXPECT_EQ(kernel.epoch_count(), 1);
+}
+
+TEST(SyntheticKernel, SetupAndTeardownUseLowPower) {
+  KernelConfig config = quiet_config();
+  config.setup_s = 5.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), config);
+  const double setup_power = kernel.power_demand_w(280.0);
+  kernel.advance(6.0, kNodeMaxCapW);  // into compute phase
+  const double compute_power = kernel.power_demand_w(280.0);
+  EXPECT_LT(setup_power, compute_power * 0.6);
+}
+
+TEST(SyntheticKernel, TeardownPhaseCountsTowardElapsed) {
+  KernelConfig config = quiet_config();
+  config.teardown_s = 2.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), config);
+  kernel.advance(11.0, kNodeMaxCapW);  // 10 s compute + 1 s teardown
+  EXPECT_FALSE(kernel.complete());
+  EXPECT_EQ(kernel.epoch_count(), 10);
+  kernel.advance(1.5, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+  EXPECT_NEAR(kernel.elapsed_s(), 12.0, 1e-6);
+  EXPECT_NEAR(kernel.compute_elapsed_s(), 10.0, 1e-6);
+}
+
+TEST(SyntheticKernel, CompleteKernelDrawsNoPower) {
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), quiet_config());
+  kernel.advance(100.0, kNodeMaxCapW);
+  ASSERT_TRUE(kernel.complete());
+  EXPECT_DOUBLE_EQ(kernel.power_demand_w(280.0), 0.0);
+}
+
+TEST(SyntheticKernel, DemandNeverExceedsCap) {
+  KernelConfig config = quiet_config();
+  config.power_noise_sigma_w = 5.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(7), config);
+  for (int i = 0; i < 50; ++i) {
+    kernel.advance(0.1, 160.0);
+    EXPECT_LE(kernel.power_demand_w(160.0), 160.0);
+    EXPECT_GE(kernel.power_demand_w(160.0), 0.0);
+  }
+}
+
+TEST(SyntheticKernel, NoiseMakesRunsDifferButDeterministicPerSeed) {
+  KernelConfig config = quiet_config();
+  config.time_noise_sigma = 0.05;
+  SyntheticKernel a(tiny_type(), util::Rng(1), config);
+  SyntheticKernel b(tiny_type(), util::Rng(1), config);
+  SyntheticKernel c(tiny_type(), util::Rng(2), config);
+  a.advance(5.0, 200.0);
+  b.advance(5.0, 200.0);
+  c.advance(5.0, 200.0);
+  EXPECT_DOUBLE_EQ(a.progress(), b.progress());
+  EXPECT_NE(a.progress(), c.progress());
+}
+
+TEST(SyntheticKernel, PerfMultiplierScalesRuntime) {
+  KernelConfig slow = quiet_config();
+  slow.perf_multiplier = 2.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), slow);
+  kernel.advance(19.0, kNodeMaxCapW);
+  EXPECT_FALSE(kernel.complete());
+  kernel.advance(1.5, kNodeMaxCapW);
+  EXPECT_TRUE(kernel.complete());
+}
+
+TEST(SyntheticKernel, MidEpochCapChangePreservesFraction) {
+  // Run half an epoch uncapped, then cap: the epoch continues from its
+  // completed fraction rather than restarting.
+  SyntheticKernel kernel(tiny_type(), util::Rng(1), quiet_config());
+  kernel.advance(0.5, kNodeMaxCapW);  // half of the 1 s epoch
+  EXPECT_EQ(kernel.epoch_count(), 0);
+  const double slow_epoch = tiny_type().epoch_time_s(kNodeMinCapW);
+  kernel.advance(0.5 * slow_epoch + 0.01, kNodeMinCapW);
+  EXPECT_EQ(kernel.epoch_count(), 1);
+}
+
+TEST(SyntheticKernel, ProgressMonotone) {
+  KernelConfig config = quiet_config();
+  config.setup_s = 1.0;
+  config.teardown_s = 1.0;
+  SyntheticKernel kernel(tiny_type(), util::Rng(3), config);
+  double prev = kernel.progress();
+  // 10 epochs at cap 200 (~1.22 s each) + setup + teardown < 17 s.
+  for (int i = 0; i < 170; ++i) {
+    kernel.advance(0.1, 200.0);
+    const double p = kernel.progress();
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace anor::workload

@@ -1,0 +1,403 @@
+// anorctl — command-line front end for the ANOR framework.
+//
+//   anorctl types
+//       List the registered job types and their calibrated properties.
+//   anorctl gen-schedule --out FILE [--duration S] [--utilization F]
+//       [--nodes N] [--seed K] [--all-types]
+//       Generate a Poisson job-submission schedule file.
+//   anorctl gen-targets --out FILE [--mean W] [--reserve W] [--duration S]
+//       [--period S] [--seed K]
+//       Generate a demand-response power-target file.
+//   anorctl run --schedule FILE [--targets FILE] [--budget W]
+//       [--policy uniform|characterized|misclassified|adjusted]
+//       [--misclassify TRUE=AS] [--nodes N] [--seed K]
+//       Run the full two-tier emulation and print reports + tracking.
+//   anorctl simulate [--nodes N] [--duration S] [--utilization F]
+//       [--variation F] [--scale K] [--mean-per-node W] [--reserve-per-node W]
+//       [--seed K]
+//       Run the tabular cluster simulator and print QoS/tracking stats.
+//   anorctl replay --report FILE
+//       Summarize a saved experiment report (produced by run --out).
+//   anorctl selftest
+//       Exercise the whole flow in a temporary directory (used by ctest).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/anor.hpp"
+#include "workload/grid_signals.hpp"
+
+namespace {
+
+using namespace anor;
+
+/// Tiny flag parser: --key value pairs plus boolean --key switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << key << "\n";
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+  }
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(num("seed", 1)); }
+
+  std::string require(const std::string& key) const {
+    if (!has(key) || str(key).empty()) {
+      std::cerr << "missing required flag --" << key << "\n";
+      std::exit(2);
+    }
+    return str(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_types() {
+  util::TextTable table({"name", "nodes", "T_min_s", "max_slowdown", "p_max_w", "p_min_w"});
+  for (const auto& type : workload::nas_job_types()) {
+    table.add_row({type.name, std::to_string(type.nodes),
+                   util::TextTable::format_double(type.min_exec_time_s(), 0),
+                   util::TextTable::format_percent(type.max_slowdown()),
+                   util::TextTable::format_double(type.max_power_w, 0),
+                   util::TextTable::format_double(type.min_power_w, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_gen_schedule(const Args& args) {
+  workload::PoissonScheduleConfig config;
+  config.duration_s = args.num("duration", 3600.0);
+  config.utilization = args.num("utilization", 0.95);
+  config.cluster_nodes = static_cast<int>(args.num("nodes", 16));
+  const auto& types =
+      args.has("all-types") ? workload::nas_job_types() : workload::nas_long_job_types();
+  const workload::Schedule schedule =
+      workload::generate_poisson_schedule(types, config, util::Rng(args.seed()));
+  schedule.save(args.require("out"));
+  std::cout << "wrote " << schedule.jobs.size() << " job arrivals over "
+            << config.duration_s << " s to " << args.str("out") << "\n";
+  return 0;
+}
+
+int cmd_gen_targets(const Args& args) {
+  const double duration = args.num("duration", 3600.0);
+  const double period = args.num("period", 4.0);
+  const std::string mode = args.str("mode", "dr");
+
+  util::TimeSeries targets;
+  if (mode == "dr") {
+    workload::DemandResponseBid bid;
+    bid.average_power_w = args.num("mean", core::fig9_bid().average_power_w);
+    bid.reserve_w = args.num("reserve", core::fig9_bid().reserve_w);
+    const workload::RandomWalkRegulation regulation(
+        util::Rng(args.seed()).child("regulation"), duration + 60.0, period);
+    targets = workload::make_power_target_series(bid, regulation, duration, period);
+  } else if (mode == "carbon") {
+    const workload::CarbonIntensityProfile profile(
+        util::Rng(args.seed()).child("carbon"), duration + 60.0);
+    targets = workload::targets_from_carbon(profile, args.num("low", 2300.0),
+                                            args.num("high", 4300.0), duration,
+                                            std::max(period, 60.0));
+  } else if (mode == "tariff") {
+    targets = workload::targets_from_tariff(workload::TouTariff::standard(),
+                                            args.num("low", 2300.0),
+                                            args.num("high", 4300.0), duration,
+                                            std::max(period, 60.0));
+  } else {
+    std::cerr << "unknown --mode '" << mode << "' (dr|carbon|tariff)\n";
+    return 2;
+  }
+  util::save_json_file(args.require("out"), cluster::power_targets_to_json(targets));
+  double lo = targets.values().front();
+  double hi = lo;
+  for (double v : targets.values()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::cout << "wrote " << targets.size() << " " << mode << " targets in [" << lo << ", "
+            << hi << "] W to " << args.str("out") << "\n";
+  return 0;
+}
+
+core::PolicyKind parse_policy(const std::string& name) {
+  if (name == "uniform") return core::PolicyKind::kUniform;
+  if (name == "characterized") return core::PolicyKind::kCharacterized;
+  if (name == "misclassified") return core::PolicyKind::kMisclassified;
+  if (name == "adjusted") return core::PolicyKind::kAdjusted;
+  std::cerr << "unknown policy '" << name << "'\n";
+  std::exit(2);
+}
+
+int cmd_run(const Args& args) {
+  core::Experiment experiment;
+  experiment.schedule = workload::Schedule::load(args.require("schedule"));
+  experiment.policy = parse_policy(args.str("policy", "characterized"));
+  experiment.node_count = static_cast<int>(args.num("nodes", 16));
+  experiment.seed = args.seed();
+  experiment.base.scheduler.power_aware_admission = true;
+  experiment.base.manager.control_period_s = 0.5;
+  experiment.base.endpoint.period_s = 0.5;
+
+  if (args.has("targets")) {
+    experiment.targets =
+        cluster::power_targets_from_json(util::load_json_file(args.str("targets")));
+  } else if (args.has("budget")) {
+    experiment.static_budget_w = args.num("budget", 0.0);
+  }
+
+  if (args.has("misclassify")) {
+    const std::string spec = args.str("misclassify");
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "--misclassify expects TRUE_TYPE=CLASSIFIED_AS\n";
+      return 2;
+    }
+    workload::misclassify(experiment.schedule, spec.substr(0, eq), spec.substr(eq + 1));
+  }
+
+  std::cout << "running " << experiment.schedule.jobs.size() << " jobs on "
+            << experiment.node_count << " nodes under the "
+            << core::to_string(experiment.policy) << " policy...\n";
+  const cluster::EmulationResult result = core::run_experiment(experiment);
+
+  util::TextTable table({"type", "jobs", "mean_slowdown", "sd"});
+  for (const auto& [type, stats] : result.slowdown_by_type()) {
+    table.add_row({type, std::to_string(stats.count()),
+                   util::TextTable::format_percent(stats.mean()),
+                   util::TextTable::format_percent(stats.stddev())});
+  }
+  table.print(std::cout);
+
+  if (!result.target_w.empty()) {
+    std::cout << "tracking: p90 error "
+              << util::TextTable::format_percent(result.tracking.p90_error)
+              << " of reserve-equivalent, within 30% "
+              << util::TextTable::format_percent(result.tracking.fraction_within_30)
+              << " of the time\n";
+  }
+  std::cout << "QoS worst 90th-pct degradation: "
+            << util::TextTable::format_double(result.qos.worst_quantile(), 2) << "\n";
+  if (args.has("out")) {
+    core::save_experiment_report(args.str("out"), result);
+    std::cout << "wrote experiment report to " << args.str("out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  sim::SimConfig config;
+  if (args.has("config")) {
+    config = sim::sim_config_from_json(util::load_json_file(args.str("config")));
+    if (config.job_types.empty()) {
+      std::cerr << "config file lists no job types\n";
+      return 2;
+    }
+  } else {
+    config.node_count = static_cast<int>(args.num("nodes", 1000));
+    config.duration_s = args.num("duration", 3600.0);
+    config.perf_variation_sigma =
+        platform::sigma_from_band99(args.num("variation", 0.0));
+    config.job_types =
+        sim::standard_sim_types(true, static_cast<int>(args.num("scale", 25)));
+    config.bid.average_power_w = config.node_count * args.num("mean-per-node", 150.0);
+    config.bid.reserve_w = config.node_count * args.num("reserve-per-node", 18.0);
+    config.tracking_warmup_s = 300.0;
+  }
+
+  sim::SimResult result;
+  if (args.has("table-log")) {
+    // Run with the per-step table log the paper's simulator appends
+    // (Sec. 5.6); thinned to every 10th step to keep files manageable.
+    std::ofstream log(args.str("table-log"));
+    if (!log) {
+      std::cerr << "cannot open " << args.str("table-log") << "\n";
+      return 1;
+    }
+    util::Rng rng(args.seed());
+    std::vector<workload::JobType> gen_types;
+    for (const auto& t : workload::nas_long_job_types()) gen_types.push_back(t);
+    workload::PoissonScheduleConfig sc;
+    sc.duration_s = config.duration_s;
+    sc.utilization = args.num("utilization", 0.75);
+    sc.cluster_nodes = config.node_count;
+    const auto schedule =
+        workload::generate_poisson_schedule(gen_types, sc, rng.child("schedule"));
+    sim::TabularSimulator simulator(config, schedule, rng.child("sim"));
+    simulator.set_table_log(&log, 10);
+    result = simulator.run();
+    std::cout << "table log written to " << args.str("table-log") << "\n";
+  } else {
+    result = sim::run_simulation(config, args.num("utilization", 0.75), args.seed());
+  }
+
+  std::cout << "completed " << result.jobs_completed << "/" << result.jobs_submitted
+            << " jobs, mean utilization "
+            << util::TextTable::format_percent(result.mean_utilization) << "\n";
+  util::TextTable table({"type", "q90"});
+  for (const auto& [type, q] : result.qos.percentile_by_type(90.0)) {
+    table.add_row({type, util::TextTable::format_double(q, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "tracking: p90 error "
+            << util::TextTable::format_percent(result.tracking.p90_error)
+            << ", within 30% " << util::TextTable::format_percent(
+                   result.tracking.fraction_within_30)
+            << " of the time\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const util::Json report = util::load_json_file(args.require("report"));
+  const util::JsonArray& jobs = report.at("jobs").as_array();
+
+  std::map<std::string, util::RunningStats> by_type;
+  for (const util::Json& job : jobs) {
+    by_type[job.at("type").as_string()].add(job.at("slowdown").as_number());
+  }
+  std::cout << "experiment report: " << jobs.size() << " jobs, "
+            << report.number_or("end_time_s", 0.0) << " virtual seconds\n";
+  util::TextTable table({"type", "jobs", "mean_slowdown", "sd"});
+  for (const auto& [type, stats] : by_type) {
+    table.add_row({type, std::to_string(stats.count()),
+                   util::TextTable::format_percent(stats.mean()),
+                   util::TextTable::format_percent(stats.stddev())});
+  }
+  table.print(std::cout);
+  if (report.contains("tracking")) {
+    const util::Json& tracking = report.at("tracking");
+    std::cout << "tracking: p90 error "
+              << util::TextTable::format_percent(tracking.number_or("p90_error", 0.0))
+              << ", within 30% "
+              << util::TextTable::format_percent(
+                     tracking.number_or("fraction_within_30", 0.0))
+              << " of the time\n";
+  }
+  if (report.contains("qos")) {
+    std::cout << "QoS worst p90 degradation: "
+              << util::TextTable::format_double(
+                     report.at("qos").number_or("worst_p90_degradation", 0.0), 2)
+              << (report.at("qos").bool_or("satisfied", false) ? " (satisfied)"
+                                                               : " (violated)")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_selftest() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "anorctl-selftest";
+  fs::create_directories(dir);
+  const std::string schedule_path = (dir / "schedule.json").string();
+  const std::string targets_path = (dir / "targets.json").string();
+
+  // gen-schedule (short horizon so the selftest stays fast)
+  {
+    const char* argv[] = {"anorctl", "gen-schedule", "--out", schedule_path.c_str(),
+                          "--duration", "300", "--utilization", "0.8", "--nodes", "8"};
+    Args args(10, const_cast<char**>(argv), 2);
+    if (cmd_gen_schedule(args) != 0) return 1;
+  }
+  // gen-targets scaled to 8 nodes
+  {
+    const char* argv[] = {"anorctl", "gen-targets", "--out", targets_path.c_str(),
+                          "--mean", "1650", "--reserve", "450", "--duration", "600"};
+    Args args(10, const_cast<char**>(argv), 2);
+    if (cmd_gen_targets(args) != 0) return 1;
+  }
+  // gen-targets in carbon mode (exercises the grid-signal path)
+  {
+    const std::string carbon_path = (dir / "carbon.json").string();
+    const char* argv[] = {"anorctl", "gen-targets", "--out", carbon_path.c_str(),
+                          "--mode", "carbon", "--duration", "600"};
+    Args args(8, const_cast<char**>(argv), 2);
+    if (cmd_gen_targets(args) != 0) return 1;
+  }
+  // run, writing the experiment report artifact
+  const std::string report_path = (dir / "report.json").string();
+  {
+    const char* argv[] = {"anorctl", "run", "--schedule", schedule_path.c_str(),
+                          "--targets", targets_path.c_str(), "--nodes", "8",
+                          "--policy", "adjusted", "--misclassify", "bt.D.x=is.D.x",
+                          "--out", report_path.c_str()};
+    Args args(14, const_cast<char**>(argv), 2);
+    if (cmd_run(args) != 0) return 1;
+  }
+  // the report parses back, holds per-job records, and replays
+  {
+    const util::Json report = util::load_json_file(report_path);
+    if (report.at("jobs").as_array().empty()) {
+      std::cerr << "selftest: report has no jobs\n";
+      return 1;
+    }
+    const char* argv[] = {"anorctl", "replay", "--report", report_path.c_str()};
+    Args args(4, const_cast<char**>(argv), 2);
+    if (cmd_replay(args) != 0) return 1;
+  }
+  // simulate (small)
+  {
+    const char* argv[] = {"anorctl", "simulate", "--nodes", "60", "--duration", "600",
+                          "--scale", "1", "--variation", "0.15"};
+    Args args(10, const_cast<char**>(argv), 2);
+    if (cmd_simulate(args) != 0) return 1;
+  }
+  std::cout << "selftest OK\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr
+      << "usage: anorctl <types|gen-schedule|gen-targets|run|simulate|replay|selftest> "
+         "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "types") return cmd_types();
+    if (command == "gen-schedule") return cmd_gen_schedule(args);
+    if (command == "gen-targets") return cmd_gen_targets(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "selftest") return cmd_selftest();
+  } catch (const std::exception& error) {
+    std::cerr << "anorctl: " << error.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
