@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backfill.dir/abl_backfill.cpp.o"
+  "CMakeFiles/abl_backfill.dir/abl_backfill.cpp.o.d"
+  "abl_backfill"
+  "abl_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_closed_loop.dir/abl_closed_loop.cpp.o"
+  "CMakeFiles/abl_closed_loop.dir/abl_closed_loop.cpp.o.d"
+  "abl_closed_loop"
+  "abl_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

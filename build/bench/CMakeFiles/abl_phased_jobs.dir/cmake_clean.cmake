@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_phased_jobs.dir/abl_phased_jobs.cpp.o"
+  "CMakeFiles/abl_phased_jobs.dir/abl_phased_jobs.cpp.o.d"
+  "abl_phased_jobs"
+  "abl_phased_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_phased_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_power_balancer.dir/abl_power_balancer.cpp.o"
+  "CMakeFiles/abl_power_balancer.dir/abl_power_balancer.cpp.o.d"
+  "abl_power_balancer"
+  "abl_power_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_power_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

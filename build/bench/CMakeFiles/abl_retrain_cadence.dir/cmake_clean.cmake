@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_retrain_cadence.dir/abl_retrain_cadence.cpp.o"
+  "CMakeFiles/abl_retrain_cadence.dir/abl_retrain_cadence.cpp.o.d"
+  "abl_retrain_cadence"
+  "abl_retrain_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_retrain_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

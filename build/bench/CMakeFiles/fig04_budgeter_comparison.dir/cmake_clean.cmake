@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_budgeter_comparison.dir/fig04_budgeter_comparison.cpp.o"
+  "CMakeFiles/fig04_budgeter_comparison.dir/fig04_budgeter_comparison.cpp.o.d"
+  "fig04_budgeter_comparison"
+  "fig04_budgeter_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_budgeter_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

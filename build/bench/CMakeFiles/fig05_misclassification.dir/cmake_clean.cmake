@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_misclassification.dir/fig05_misclassification.cpp.o"
+  "CMakeFiles/fig05_misclassification.dir/fig05_misclassification.cpp.o.d"
+  "fig05_misclassification"
+  "fig05_misclassification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_misclassification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bt_sp_shared_cap.dir/fig06_bt_sp_shared_cap.cpp.o"
+  "CMakeFiles/fig06_bt_sp_shared_cap.dir/fig06_bt_sp_shared_cap.cpp.o.d"
+  "fig06_bt_sp_shared_cap"
+  "fig06_bt_sp_shared_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bt_sp_shared_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_bt_sp_shared_cap.
+# This may be replaced when dependencies are built.

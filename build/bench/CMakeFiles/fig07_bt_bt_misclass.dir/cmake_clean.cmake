@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bt_bt_misclass.dir/fig07_bt_bt_misclass.cpp.o"
+  "CMakeFiles/fig07_bt_bt_misclass.dir/fig07_bt_bt_misclass.cpp.o.d"
+  "fig07_bt_bt_misclass"
+  "fig07_bt_bt_misclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bt_bt_misclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sp_sp_misclass.dir/fig08_sp_sp_misclass.cpp.o"
+  "CMakeFiles/fig08_sp_sp_misclass.dir/fig08_sp_sp_misclass.cpp.o.d"
+  "fig08_sp_sp_misclass"
+  "fig08_sp_sp_misclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sp_sp_misclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_power_tracking.cpp" "bench/CMakeFiles/fig09_power_tracking.dir/fig09_power_tracking.cpp.o" "gcc" "bench/CMakeFiles/fig09_power_tracking.dir/fig09_power_tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/anor_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geopm/CMakeFiles/anor_geopm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/anor_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

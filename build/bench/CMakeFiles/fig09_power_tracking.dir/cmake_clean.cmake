@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_power_tracking.dir/fig09_power_tracking.cpp.o"
+  "CMakeFiles/fig09_power_tracking.dir/fig09_power_tracking.cpp.o.d"
+  "fig09_power_tracking"
+  "fig09_power_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_power_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_policy_slowdown.dir/fig10_policy_slowdown.cpp.o"
+  "CMakeFiles/fig10_policy_slowdown.dir/fig10_policy_slowdown.cpp.o.d"
+  "fig10_policy_slowdown"
+  "fig10_policy_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_policy_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_trace_analysis.dir/qos_trace_analysis.cpp.o"
+  "CMakeFiles/qos_trace_analysis.dir/qos_trace_analysis.cpp.o.d"
+  "qos_trace_analysis"
+  "qos_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

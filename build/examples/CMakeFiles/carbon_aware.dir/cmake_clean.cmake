@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_aware.dir/carbon_aware.cpp.o"
+  "CMakeFiles/carbon_aware.dir/carbon_aware.cpp.o.d"
+  "carbon_aware"
+  "carbon_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

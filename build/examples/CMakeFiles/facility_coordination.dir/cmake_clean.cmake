@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_coordination.dir/facility_coordination.cpp.o"
+  "CMakeFiles/facility_coordination.dir/facility_coordination.cpp.o.d"
+  "facility_coordination"
+  "facility_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

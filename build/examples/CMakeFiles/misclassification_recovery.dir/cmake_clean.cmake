@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misclassification_recovery.dir/misclassification_recovery.cpp.o"
+  "CMakeFiles/misclassification_recovery.dir/misclassification_recovery.cpp.o.d"
+  "misclassification_recovery"
+  "misclassification_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misclassification_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

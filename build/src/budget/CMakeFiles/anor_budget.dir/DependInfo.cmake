@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/budget/budgeter.cpp" "src/budget/CMakeFiles/anor_budget.dir/budgeter.cpp.o" "gcc" "src/budget/CMakeFiles/anor_budget.dir/budgeter.cpp.o.d"
+  "/root/repo/src/budget/even_power.cpp" "src/budget/CMakeFiles/anor_budget.dir/even_power.cpp.o" "gcc" "src/budget/CMakeFiles/anor_budget.dir/even_power.cpp.o.d"
+  "/root/repo/src/budget/even_slowdown.cpp" "src/budget/CMakeFiles/anor_budget.dir/even_slowdown.cpp.o" "gcc" "src/budget/CMakeFiles/anor_budget.dir/even_slowdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_budget.dir/budgeter.cpp.o"
+  "CMakeFiles/anor_budget.dir/budgeter.cpp.o.d"
+  "CMakeFiles/anor_budget.dir/even_power.cpp.o"
+  "CMakeFiles/anor_budget.dir/even_power.cpp.o.d"
+  "CMakeFiles/anor_budget.dir/even_slowdown.cpp.o"
+  "CMakeFiles/anor_budget.dir/even_slowdown.cpp.o.d"
+  "libanor_budget.a"
+  "libanor_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_manager.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/cluster_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/cluster_manager.cpp.o.d"
+  "/root/repo/src/cluster/emulation.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/emulation.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/emulation.cpp.o.d"
+  "/root/repo/src/cluster/facility.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/facility.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/facility.cpp.o.d"
+  "/root/repo/src/cluster/job_endpoint.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/job_endpoint.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/job_endpoint.cpp.o.d"
+  "/root/repo/src/cluster/messages.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/messages.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/messages.cpp.o.d"
+  "/root/repo/src/cluster/tcp_transport.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/tcp_transport.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/tcp_transport.cpp.o.d"
+  "/root/repo/src/cluster/transport.cpp" "src/cluster/CMakeFiles/anor_cluster.dir/transport.cpp.o" "gcc" "src/cluster/CMakeFiles/anor_cluster.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geopm/CMakeFiles/anor_geopm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/anor_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_cluster.dir/cluster_manager.cpp.o"
+  "CMakeFiles/anor_cluster.dir/cluster_manager.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/emulation.cpp.o"
+  "CMakeFiles/anor_cluster.dir/emulation.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/facility.cpp.o"
+  "CMakeFiles/anor_cluster.dir/facility.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/job_endpoint.cpp.o"
+  "CMakeFiles/anor_cluster.dir/job_endpoint.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/messages.cpp.o"
+  "CMakeFiles/anor_cluster.dir/messages.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/tcp_transport.cpp.o"
+  "CMakeFiles/anor_cluster.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/anor_cluster.dir/transport.cpp.o"
+  "CMakeFiles/anor_cluster.dir/transport.cpp.o.d"
+  "libanor_cluster.a"
+  "libanor_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

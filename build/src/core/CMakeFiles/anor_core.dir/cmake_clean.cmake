@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_core.dir/framework.cpp.o"
+  "CMakeFiles/anor_core.dir/framework.cpp.o.d"
+  "CMakeFiles/anor_core.dir/policies.cpp.o"
+  "CMakeFiles/anor_core.dir/policies.cpp.o.d"
+  "libanor_core.a"
+  "libanor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

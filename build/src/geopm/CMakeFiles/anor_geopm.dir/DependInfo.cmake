@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geopm/comm_tree.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/comm_tree.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/comm_tree.cpp.o.d"
+  "/root/repo/src/geopm/controller.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/controller.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/controller.cpp.o.d"
+  "/root/repo/src/geopm/endpoint.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/endpoint.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/endpoint.cpp.o.d"
+  "/root/repo/src/geopm/platform_io.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/platform_io.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/platform_io.cpp.o.d"
+  "/root/repo/src/geopm/power_balancer.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/power_balancer.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/power_balancer.cpp.o.d"
+  "/root/repo/src/geopm/power_governor.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/power_governor.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/power_governor.cpp.o.d"
+  "/root/repo/src/geopm/report.cpp" "src/geopm/CMakeFiles/anor_geopm.dir/report.cpp.o" "gcc" "src/geopm/CMakeFiles/anor_geopm.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_geopm.dir/comm_tree.cpp.o"
+  "CMakeFiles/anor_geopm.dir/comm_tree.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/controller.cpp.o"
+  "CMakeFiles/anor_geopm.dir/controller.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/endpoint.cpp.o"
+  "CMakeFiles/anor_geopm.dir/endpoint.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/platform_io.cpp.o"
+  "CMakeFiles/anor_geopm.dir/platform_io.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/power_balancer.cpp.o"
+  "CMakeFiles/anor_geopm.dir/power_balancer.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/power_governor.cpp.o"
+  "CMakeFiles/anor_geopm.dir/power_governor.cpp.o.d"
+  "CMakeFiles/anor_geopm.dir/report.cpp.o"
+  "CMakeFiles/anor_geopm.dir/report.cpp.o.d"
+  "libanor_geopm.a"
+  "libanor_geopm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_geopm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

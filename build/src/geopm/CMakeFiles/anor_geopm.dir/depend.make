@@ -1,0 +1,2 @@
+# Empty dependencies file for anor_geopm.
+# This may be replaced when dependencies are built.

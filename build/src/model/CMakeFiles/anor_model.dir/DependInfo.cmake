@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/default_models.cpp" "src/model/CMakeFiles/anor_model.dir/default_models.cpp.o" "gcc" "src/model/CMakeFiles/anor_model.dir/default_models.cpp.o.d"
+  "/root/repo/src/model/modeler.cpp" "src/model/CMakeFiles/anor_model.dir/modeler.cpp.o" "gcc" "src/model/CMakeFiles/anor_model.dir/modeler.cpp.o.d"
+  "/root/repo/src/model/perf_model.cpp" "src/model/CMakeFiles/anor_model.dir/perf_model.cpp.o" "gcc" "src/model/CMakeFiles/anor_model.dir/perf_model.cpp.o.d"
+  "/root/repo/src/model/reclassify.cpp" "src/model/CMakeFiles/anor_model.dir/reclassify.cpp.o" "gcc" "src/model/CMakeFiles/anor_model.dir/reclassify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_model.dir/default_models.cpp.o"
+  "CMakeFiles/anor_model.dir/default_models.cpp.o.d"
+  "CMakeFiles/anor_model.dir/modeler.cpp.o"
+  "CMakeFiles/anor_model.dir/modeler.cpp.o.d"
+  "CMakeFiles/anor_model.dir/perf_model.cpp.o"
+  "CMakeFiles/anor_model.dir/perf_model.cpp.o.d"
+  "CMakeFiles/anor_model.dir/reclassify.cpp.o"
+  "CMakeFiles/anor_model.dir/reclassify.cpp.o.d"
+  "libanor_model.a"
+  "libanor_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

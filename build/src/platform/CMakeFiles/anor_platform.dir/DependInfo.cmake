@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cluster_hw.cpp" "src/platform/CMakeFiles/anor_platform.dir/cluster_hw.cpp.o" "gcc" "src/platform/CMakeFiles/anor_platform.dir/cluster_hw.cpp.o.d"
+  "/root/repo/src/platform/msr.cpp" "src/platform/CMakeFiles/anor_platform.dir/msr.cpp.o" "gcc" "src/platform/CMakeFiles/anor_platform.dir/msr.cpp.o.d"
+  "/root/repo/src/platform/node.cpp" "src/platform/CMakeFiles/anor_platform.dir/node.cpp.o" "gcc" "src/platform/CMakeFiles/anor_platform.dir/node.cpp.o.d"
+  "/root/repo/src/platform/package.cpp" "src/platform/CMakeFiles/anor_platform.dir/package.cpp.o" "gcc" "src/platform/CMakeFiles/anor_platform.dir/package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

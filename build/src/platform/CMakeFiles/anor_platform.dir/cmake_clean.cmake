@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_platform.dir/cluster_hw.cpp.o"
+  "CMakeFiles/anor_platform.dir/cluster_hw.cpp.o.d"
+  "CMakeFiles/anor_platform.dir/msr.cpp.o"
+  "CMakeFiles/anor_platform.dir/msr.cpp.o.d"
+  "CMakeFiles/anor_platform.dir/node.cpp.o"
+  "CMakeFiles/anor_platform.dir/node.cpp.o.d"
+  "CMakeFiles/anor_platform.dir/package.cpp.o"
+  "CMakeFiles/anor_platform.dir/package.cpp.o.d"
+  "libanor_platform.a"
+  "libanor_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/aqa_scheduler.cpp" "src/sched/CMakeFiles/anor_sched.dir/aqa_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/anor_sched.dir/aqa_scheduler.cpp.o.d"
+  "/root/repo/src/sched/bidder.cpp" "src/sched/CMakeFiles/anor_sched.dir/bidder.cpp.o" "gcc" "src/sched/CMakeFiles/anor_sched.dir/bidder.cpp.o.d"
+  "/root/repo/src/sched/qos.cpp" "src/sched/CMakeFiles/anor_sched.dir/qos.cpp.o" "gcc" "src/sched/CMakeFiles/anor_sched.dir/qos.cpp.o.d"
+  "/root/repo/src/sched/weight_trainer.cpp" "src/sched/CMakeFiles/anor_sched.dir/weight_trainer.cpp.o" "gcc" "src/sched/CMakeFiles/anor_sched.dir/weight_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_sched.dir/aqa_scheduler.cpp.o"
+  "CMakeFiles/anor_sched.dir/aqa_scheduler.cpp.o.d"
+  "CMakeFiles/anor_sched.dir/bidder.cpp.o"
+  "CMakeFiles/anor_sched.dir/bidder.cpp.o.d"
+  "CMakeFiles/anor_sched.dir/qos.cpp.o"
+  "CMakeFiles/anor_sched.dir/qos.cpp.o.d"
+  "CMakeFiles/anor_sched.dir/weight_trainer.cpp.o"
+  "CMakeFiles/anor_sched.dir/weight_trainer.cpp.o.d"
+  "libanor_sched.a"
+  "libanor_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/evaluators.cpp" "src/sim/CMakeFiles/anor_sim.dir/evaluators.cpp.o" "gcc" "src/sim/CMakeFiles/anor_sim.dir/evaluators.cpp.o.d"
+  "/root/repo/src/sim/sim_config.cpp" "src/sim/CMakeFiles/anor_sim.dir/sim_config.cpp.o" "gcc" "src/sim/CMakeFiles/anor_sim.dir/sim_config.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/anor_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/anor_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/tables.cpp" "src/sim/CMakeFiles/anor_sim.dir/tables.cpp.o" "gcc" "src/sim/CMakeFiles/anor_sim.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/anor_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_sim.dir/evaluators.cpp.o"
+  "CMakeFiles/anor_sim.dir/evaluators.cpp.o.d"
+  "CMakeFiles/anor_sim.dir/sim_config.cpp.o"
+  "CMakeFiles/anor_sim.dir/sim_config.cpp.o.d"
+  "CMakeFiles/anor_sim.dir/simulator.cpp.o"
+  "CMakeFiles/anor_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/anor_sim.dir/tables.cpp.o"
+  "CMakeFiles/anor_sim.dir/tables.cpp.o.d"
+  "libanor_sim.a"
+  "libanor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_util.dir/csv.cpp.o"
+  "CMakeFiles/anor_util.dir/csv.cpp.o.d"
+  "CMakeFiles/anor_util.dir/json.cpp.o"
+  "CMakeFiles/anor_util.dir/json.cpp.o.d"
+  "CMakeFiles/anor_util.dir/logging.cpp.o"
+  "CMakeFiles/anor_util.dir/logging.cpp.o.d"
+  "CMakeFiles/anor_util.dir/poly_fit.cpp.o"
+  "CMakeFiles/anor_util.dir/poly_fit.cpp.o.d"
+  "CMakeFiles/anor_util.dir/rng.cpp.o"
+  "CMakeFiles/anor_util.dir/rng.cpp.o.d"
+  "CMakeFiles/anor_util.dir/stats.cpp.o"
+  "CMakeFiles/anor_util.dir/stats.cpp.o.d"
+  "CMakeFiles/anor_util.dir/table.cpp.o"
+  "CMakeFiles/anor_util.dir/table.cpp.o.d"
+  "CMakeFiles/anor_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/anor_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/anor_util.dir/time_series.cpp.o"
+  "CMakeFiles/anor_util.dir/time_series.cpp.o.d"
+  "libanor_util.a"
+  "libanor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

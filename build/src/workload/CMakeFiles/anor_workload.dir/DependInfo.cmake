@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/grid_signals.cpp" "src/workload/CMakeFiles/anor_workload.dir/grid_signals.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/grid_signals.cpp.o.d"
+  "/root/repo/src/workload/job_type.cpp" "src/workload/CMakeFiles/anor_workload.dir/job_type.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/job_type.cpp.o.d"
+  "/root/repo/src/workload/phased_kernel.cpp" "src/workload/CMakeFiles/anor_workload.dir/phased_kernel.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/phased_kernel.cpp.o.d"
+  "/root/repo/src/workload/queue_trace.cpp" "src/workload/CMakeFiles/anor_workload.dir/queue_trace.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/queue_trace.cpp.o.d"
+  "/root/repo/src/workload/regulation.cpp" "src/workload/CMakeFiles/anor_workload.dir/regulation.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/regulation.cpp.o.d"
+  "/root/repo/src/workload/schedule.cpp" "src/workload/CMakeFiles/anor_workload.dir/schedule.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/schedule.cpp.o.d"
+  "/root/repo/src/workload/synthetic_kernel.cpp" "src/workload/CMakeFiles/anor_workload.dir/synthetic_kernel.cpp.o" "gcc" "src/workload/CMakeFiles/anor_workload.dir/synthetic_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anor_workload.dir/grid_signals.cpp.o"
+  "CMakeFiles/anor_workload.dir/grid_signals.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/job_type.cpp.o"
+  "CMakeFiles/anor_workload.dir/job_type.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/phased_kernel.cpp.o"
+  "CMakeFiles/anor_workload.dir/phased_kernel.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/queue_trace.cpp.o"
+  "CMakeFiles/anor_workload.dir/queue_trace.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/regulation.cpp.o"
+  "CMakeFiles/anor_workload.dir/regulation.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/schedule.cpp.o"
+  "CMakeFiles/anor_workload.dir/schedule.cpp.o.d"
+  "CMakeFiles/anor_workload.dir/synthetic_kernel.cpp.o"
+  "CMakeFiles/anor_workload.dir/synthetic_kernel.cpp.o.d"
+  "libanor_workload.a"
+  "libanor_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anor_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anor_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_test.dir/budget/budgeter_property_test.cpp.o"
+  "CMakeFiles/budget_test.dir/budget/budgeter_property_test.cpp.o.d"
+  "CMakeFiles/budget_test.dir/budget/even_power_test.cpp.o"
+  "CMakeFiles/budget_test.dir/budget/even_power_test.cpp.o.d"
+  "CMakeFiles/budget_test.dir/budget/even_slowdown_test.cpp.o"
+  "CMakeFiles/budget_test.dir/budget/even_slowdown_test.cpp.o.d"
+  "budget_test"
+  "budget_test.pdb"
+  "budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

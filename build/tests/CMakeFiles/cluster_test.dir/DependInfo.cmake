@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/cluster_manager_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_manager_test.cpp.o.d"
+  "/root/repo/tests/cluster/emulation_invariants_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/emulation_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/emulation_invariants_test.cpp.o.d"
+  "/root/repo/tests/cluster/emulation_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/emulation_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/emulation_test.cpp.o.d"
+  "/root/repo/tests/cluster/facility_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/facility_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/facility_test.cpp.o.d"
+  "/root/repo/tests/cluster/failure_injection_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/cluster/job_endpoint_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/job_endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/job_endpoint_test.cpp.o.d"
+  "/root/repo/tests/cluster/messages_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/messages_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/messages_test.cpp.o.d"
+  "/root/repo/tests/cluster/tcp_integration_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_integration_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_integration_test.cpp.o.d"
+  "/root/repo/tests/cluster/tcp_transport_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_transport_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_transport_test.cpp.o.d"
+  "/root/repo/tests/cluster/transport_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/transport_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/transport_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/anor_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geopm/CMakeFiles/anor_geopm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/anor_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster/cluster_manager_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/cluster_manager_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/emulation_invariants_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/emulation_invariants_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/emulation_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/emulation_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/facility_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/facility_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/job_endpoint_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/job_endpoint_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/messages_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/messages_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/tcp_integration_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/tcp_integration_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/tcp_transport_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/tcp_transport_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/transport_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/transport_test.cpp.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geopm_test.dir/geopm/comm_tree_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/comm_tree_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/controller_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/controller_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/endpoint_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/endpoint_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/platform_io_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/platform_io_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/power_balancer_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/power_balancer_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/power_governor_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/power_governor_test.cpp.o.d"
+  "CMakeFiles/geopm_test.dir/geopm/report_test.cpp.o"
+  "CMakeFiles/geopm_test.dir/geopm/report_test.cpp.o.d"
+  "geopm_test"
+  "geopm_test.pdb"
+  "geopm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geopm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/aggregate_test.cpp" "tests/CMakeFiles/model_test.dir/model/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/model_test.dir/model/aggregate_test.cpp.o.d"
+  "/root/repo/tests/model/default_models_test.cpp" "tests/CMakeFiles/model_test.dir/model/default_models_test.cpp.o" "gcc" "tests/CMakeFiles/model_test.dir/model/default_models_test.cpp.o.d"
+  "/root/repo/tests/model/modeler_test.cpp" "tests/CMakeFiles/model_test.dir/model/modeler_test.cpp.o" "gcc" "tests/CMakeFiles/model_test.dir/model/modeler_test.cpp.o.d"
+  "/root/repo/tests/model/perf_model_test.cpp" "tests/CMakeFiles/model_test.dir/model/perf_model_test.cpp.o" "gcc" "tests/CMakeFiles/model_test.dir/model/perf_model_test.cpp.o.d"
+  "/root/repo/tests/model/reclassify_test.cpp" "tests/CMakeFiles/model_test.dir/model/reclassify_test.cpp.o" "gcc" "tests/CMakeFiles/model_test.dir/model/reclassify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/anor_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geopm/CMakeFiles/anor_geopm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/anor_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/budget/CMakeFiles/anor_budget.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/anor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/anor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/anor_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

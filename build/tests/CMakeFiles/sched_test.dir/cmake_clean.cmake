@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/aqa_scheduler_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/aqa_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/bidder_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/bidder_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/qos_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/qos_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/weight_trainer_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/weight_trainer_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

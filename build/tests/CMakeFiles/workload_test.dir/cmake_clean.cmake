@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/grid_signals_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/grid_signals_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/job_type_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/job_type_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/phased_kernel_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/phased_kernel_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/queue_trace_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/queue_trace_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/regulation_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/regulation_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/schedule_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/schedule_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/synthetic_kernel_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/synthetic_kernel_test.cpp.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

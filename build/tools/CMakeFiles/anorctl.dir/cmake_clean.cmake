@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anorctl.dir/anorctl.cpp.o"
+  "CMakeFiles/anorctl.dir/anorctl.cpp.o.d"
+  "anorctl"
+  "anorctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anorctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
