@@ -13,6 +13,7 @@
 #include "workload/schedule.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_backfill");
   using namespace anor;
   bench::print_header("Ablation", "EASY backfill vs strict queue order (3 seeds)");
 

@@ -45,6 +45,7 @@ util::TrackingErrorStats run_with_gain(bool closed_loop, double gain, double lim
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_closed_loop");
   bench::print_header("Ablation",
                       "closed-loop budget correction gain (Fig. 9 scenario)");
 

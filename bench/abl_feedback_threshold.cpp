@@ -11,6 +11,7 @@
 #include "emu_common.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_feedback_threshold");
   using namespace anor;
   bench::print_header("Ablation", "feedback divergence threshold (BT misclassified as IS)");
 

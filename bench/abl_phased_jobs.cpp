@@ -56,6 +56,7 @@ double run(core::PolicyKind policy, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_phased_jobs");
   bench::print_header("Ablation",
                       "phased job (IS-phase then BT-phase) classified as IS, "
                       "75%-of-TDP shared budget (3 trials)");

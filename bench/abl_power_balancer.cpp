@@ -54,6 +54,7 @@ double run_job(geopm::AgentKind agent, double sigma, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_power_balancer");
   bench::print_header("Ablation",
                       "power_balancer vs power_governor on an 8-node job at a "
                       "200 W/node budget (5 trials)");

@@ -14,6 +14,7 @@
 #include "workload/job_type.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("abl_retrain_cadence");
   using namespace anor;
   bench::print_header("Ablation", "modeler retrain cadence (epochs between refits)");
 

@@ -1,10 +1,13 @@
 // Shared helpers for the figure-reproduction binaries.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -28,5 +31,43 @@ inline void print_csv(const std::vector<std::string>& header,
 }
 
 inline void print_note(const std::string& note) { std::cout << note << "\n"; }
+
+/// Per-run telemetry artifact for a bench binary.  Construct at the top
+/// of main(): resets the global metric values and the trace ring so the
+/// artifact describes this run only, then writes
+/// `$ANOR_ARTIFACT_DIR/<name>` (default `artifacts/<name>`) at scope
+/// exit.  Emulation/simulator runs inside the scope add the time series
+/// when they are given the writer via `scope.writer()`.
+class ArtifactScope {
+ public:
+  explicit ArtifactScope(const std::string& name) {
+    const char* base = std::getenv("ANOR_ARTIFACT_DIR");
+    telemetry::RunArtifactConfig config;
+    config.dir = (base != nullptr ? std::string(base) : std::string("artifacts")) + "/" + name;
+    config.run_name = name;
+    telemetry::MetricsRegistry::global().reset_values();
+    telemetry::TraceRecorder::global().clear();
+    writer_ = std::make_unique<telemetry::RunArtifactWriter>(
+        config, telemetry::MetricsRegistry::global(), &telemetry::TraceRecorder::global());
+  }
+
+  ~ArtifactScope() {
+    if (writer_ == nullptr) return;
+    try {
+      writer_->finalize();
+      std::cout << "[telemetry] run artifacts in " << writer_->dir() << "\n";
+    } catch (...) {
+      // Losing the artifact must not fail the bench.
+    }
+  }
+
+  ArtifactScope(const ArtifactScope&) = delete;
+  ArtifactScope& operator=(const ArtifactScope&) = delete;
+
+  telemetry::RunArtifactWriter* writer() { return writer_.get(); }
+
+ private:
+  std::unique_ptr<telemetry::RunArtifactWriter> writer_;
+};
 
 }  // namespace anor::bench

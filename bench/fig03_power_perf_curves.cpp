@@ -34,6 +34,7 @@ double measure_run(const workload::JobType& type, double cap_w, std::uint64_t se
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig03_power_perf_curves");
   bench::print_header("Figure 3",
                       "relative execution time vs node power cap (10 runs, mean±sd)");
 

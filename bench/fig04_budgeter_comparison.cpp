@@ -32,6 +32,7 @@ std::vector<budget::JobPowerProfile> one_of_each() {
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig04_budgeter_comparison");
   bench::print_header("Figure 4",
                       "estimated slowdown vs shared cluster budget, "
                       "even-slowdown (ideal) vs even power caps");

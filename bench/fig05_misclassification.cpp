@@ -88,6 +88,7 @@ void run_panel(const std::string& title, int unknown_nodes, int known_nodes,
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig05_misclassification");
   bench::print_header("Figure 5",
                       "misclassifying the unknown job's (FT) power sensitivity, "
                       "co-scheduled with EP (high) and IS (low)");

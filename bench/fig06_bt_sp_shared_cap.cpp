@@ -9,6 +9,7 @@
 #include "emu_common.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig06_bt_sp_shared_cap");
   using namespace anor;
   bench::print_header("Figure 6",
                       "BT + SP under a shared 75%-of-TDP budget (3 trials, mean±sd)");

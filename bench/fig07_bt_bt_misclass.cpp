@@ -8,6 +8,7 @@
 #include "emu_common.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig07_bt_bt_misclass");
   using namespace anor;
   bench::print_header("Figure 7",
                       "BT + BT, one misclassified as IS (3 trials, mean±sd)");

@@ -7,6 +7,7 @@
 #include "emu_common.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig08_sp_sp_misclass");
   using namespace anor;
   bench::print_header("Figure 8",
                       "SP + SP, one misclassified as EP (6 trials, mean±sd)");

@@ -46,6 +46,7 @@ util::TrackingErrorStats tracking_after_warmup(const cluster::EmulationResult& r
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig09_power_tracking");
   bench::print_header("Figure 9",
                       "1-hour time-varying power-target tracking, 16 nodes, "
                       "6 job types at 95% utilization");

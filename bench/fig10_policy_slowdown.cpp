@@ -45,6 +45,7 @@ std::map<std::string, util::RunningStats> run_policy(core::PolicyKind policy,
 }  // namespace
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig10_policy_slowdown");
   bench::print_header("Figure 10",
                       "mean slowdown per job type under 1-hour time-varying caps "
                       "(95% CI over jobs)");

@@ -13,6 +13,7 @@
 #include "util/thread_pool.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("fig11_variation_qos");
   using namespace anor;
   bench::print_header("Figure 11",
                       "90th-pct QoS degradation vs performance variation "

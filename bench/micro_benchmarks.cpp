@@ -1,6 +1,7 @@
 // Microbenchmarks (google-benchmark) for the framework's hot paths:
 // budgeter solves, simulator steps, quadratic fitting, the endpoint
-// mailbox, MSR encode/decode, and the agent tree reduce.
+// mailbox, MSR encode/decode, the agent tree reduce, and the telemetry
+// primitives that sit on the control hot path.
 #include <benchmark/benchmark.h>
 
 #include "budget/budgeter.hpp"
@@ -10,6 +11,7 @@
 #include "model/default_models.hpp"
 #include "platform/msr.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/poly_fit.hpp"
 #include "util/rng.hpp"
 #include "workload/job_type.hpp"
@@ -142,5 +144,55 @@ void BM_AgentTreeReduce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * node_count);
 }
 BENCHMARK(BM_AgentTreeReduce)->Arg(4)->Arg(16)->Arg(64);
+
+// Acceptance bound for the telemetry tentpole: a counter update must stay
+// in the tens of nanoseconds so instrumented MSR accesses and control
+// steps are unaffected.
+void BM_MetricsCounterInc(benchmark::State& state) {
+  auto& counter = telemetry::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsGaugeSet(benchmark::State& state) {
+  auto& gauge = telemetry::MetricsRegistry::global().gauge("bench.gauge");
+  double v = 0.0;
+  for (auto _ : state) {
+    gauge.set(v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(gauge.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsGaugeSet);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  auto& histogram = telemetry::MetricsRegistry::global().histogram(
+      "bench.histogram", telemetry::exponential_bounds(1.0, 2.0, 12));
+  double v = 0.5;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v < 4000.0 ? v * 1.7 : 0.5;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_TraceInstant(benchmark::State& state) {
+  telemetry::TraceRecorder recorder(1 << 12);
+  double t = 0.0;
+  for (auto _ : state) {
+    recorder.instant("bench.event", "bench", t);
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(recorder.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceInstant);
 
 }  // namespace

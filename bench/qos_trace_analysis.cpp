@@ -9,6 +9,7 @@
 #include "workload/queue_trace.hpp"
 
 int main() {
+  anor::bench::ArtifactScope artifacts("qos_trace_analysis");
   using namespace anor;
   bench::print_header("Sec. 5.2", "synthetic queue-trace wait/exec analysis");
 

@@ -2,8 +2,47 @@
 
 #include "budget/even_power.hpp"
 #include "budget/even_slowdown.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace anor::budget {
+
+namespace {
+
+/// Decorator recording every distribute() call in the global telemetry
+/// registry.  `make_budgeter` wraps both concrete policies with it, so
+/// every consumer (cluster manager, simulator, benches) is instrumented
+/// without knowing about telemetry.
+class InstrumentedBudgeter final : public Budgeter {
+ public:
+  explicit InstrumentedBudgeter(std::unique_ptr<Budgeter> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
+                          double budget_w) const override {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static auto& distributions = registry.counter("cluster.budget.distributions");
+    static auto& allocated = registry.gauge("cluster.budget.allocated_w");
+    static auto& balance = registry.gauge("cluster.budget.balance_point");
+    static auto& job_count = registry.histogram(
+        "cluster.budget.jobs_per_distribution", telemetry::linear_bounds(0.0, 4.0, 16));
+    BudgetResult result = inner_->distribute(jobs, budget_w);
+    distributions.inc();
+    allocated.set(result.allocated_w);
+    balance.set(result.balance_point);
+    job_count.observe(static_cast<double>(jobs.size()));
+    auto& tracer = telemetry::TraceRecorder::global();
+    tracer.instant("budget.distribute", "cluster", tracer.clock_now(), result.allocated_w);
+    return result;
+  }
+
+ private:
+  std::unique_ptr<Budgeter> inner_;
+};
+
+}  // namespace
 
 std::string to_string(BudgeterKind kind) {
   switch (kind) {
@@ -14,11 +53,15 @@ std::string to_string(BudgeterKind kind) {
 }
 
 std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind) {
+  std::unique_ptr<Budgeter> inner;
   switch (kind) {
-    case BudgeterKind::kEvenPower: return std::make_unique<EvenPowerBudgeter>();
-    case BudgeterKind::kEvenSlowdown: return std::make_unique<EvenSlowdownBudgeter>();
+    case BudgeterKind::kEvenPower: inner = std::make_unique<EvenPowerBudgeter>(); break;
+    case BudgeterKind::kEvenSlowdown:
+      inner = std::make_unique<EvenSlowdownBudgeter>();
+      break;
   }
-  return nullptr;
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<InstrumentedBudgeter>(std::move(inner));
 }
 
 double total_min_power_w(const std::vector<JobPowerProfile>& jobs) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
@@ -34,7 +36,10 @@ model::PowerPerfModel ClusterManager::initial_model_for(const std::string& class
 }
 
 bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
+  auto& registry = telemetry::MetricsRegistry::global();
   if (const auto* hello = std::get_if<JobHelloMsg>(&message)) {
+    static auto& hellos = registry.counter("cluster.manager.msgs", {{"type", "hello"}});
+    hellos.inc();
     ManagedJob job;
     job.job_name = hello->job_name;
     job.classified_as = hello->classified_as;
@@ -47,6 +52,9 @@ bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
     util::log_debug("cluster-manager", "registered job " + hello->job_name + " as " +
                                            hello->classified_as);
   } else if (const auto* update = std::get_if<ModelUpdateMsg>(&message)) {
+    static auto& updates =
+        registry.counter("cluster.manager.msgs", {{"type", "model_update"}});
+    updates.inc();
     if (!config_.accept_model_updates) return false;
     const auto it = jobs_.find(update->job_id);
     if (it == jobs_.end()) return false;
@@ -56,6 +64,8 @@ bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
     // Force a cap refresh on the next control step.
     it->second.last_sent_cap_w = -1.0;
   } else if (const auto* bye = std::get_if<JobGoodbyeMsg>(&message)) {
+    static auto& byes = registry.counter("cluster.manager.msgs", {{"type", "goodbye"}});
+    byes.inc();
     jobs_.erase(bye->job_id);
     return true;  // channel lifecycle complete
   }
@@ -96,6 +106,9 @@ void ClusterManager::report_measured_power(double now_s, double measured_w) {
     correction_w_ += config_.integral_gain_per_s * (*target - measured_w) * dt;
     correction_w_ = std::clamp(correction_w_, -config_.correction_limit_w,
                                config_.correction_limit_w);
+    static auto& correction =
+        telemetry::MetricsRegistry::global().gauge("cluster.manager.correction_w");
+    correction.set(correction_w_);
   }
   last_measurement_s_ = now_s;
 }
@@ -109,6 +122,11 @@ double ClusterManager::job_budget_at(double target_w) const {
 
 void ClusterManager::rebudget(double now_s) {
   if (jobs_.empty()) return;
+  auto& registry = telemetry::MetricsRegistry::global();
+  static auto& rebudgets = registry.counter("cluster.manager.rebudgets");
+  rebudgets.inc();
+  telemetry::TraceRecorder::global().instant("rebudget", "cluster", now_s,
+                                             static_cast<double>(jobs_.size()));
   const std::optional<double> target = target_at(now_s);
 
   std::map<int, double> caps;
@@ -142,6 +160,10 @@ void ClusterManager::rebudget(double now_s) {
     msg.timestamp_s = now_s;
     if (job.channel != nullptr && job.channel->send(msg)) {
       job.last_sent_cap_w = it->second;
+      static auto& budget_msgs = registry.counter("cluster.manager.budget_msgs_sent");
+      budget_msgs.inc();
+      registry.gauge("cluster.manager.job_cap_w", {{"job", std::to_string(id)}})
+          .set(it->second);
     }
   }
 }

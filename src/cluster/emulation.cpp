@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "model/default_models.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -57,6 +59,11 @@ EmulatedCluster::EmulatedCluster(EmulationConfig config, workload::Schedule sche
               return a.submit_time_s < b.submit_time_s;
             });
   result_.qos = sched::QosEvaluator(config_.qos);
+}
+
+EmulatedCluster::~EmulatedCluster() {
+  telemetry::TraceRecorder::global().bind_clock(nullptr);
+  util::Logger::instance().attach_clock(nullptr);
 }
 
 void EmulatedCluster::set_power_targets(util::TimeSeries targets) {
@@ -211,6 +218,11 @@ void EmulatedCluster::finish_completed_jobs() {
 
 bool EmulatedCluster::step() {
   if (done_) return false;
+  // Trace events and log lines recorded anywhere in the control stack
+  // pick up this run's virtual timeline.  Re-bound every step (cheap) so
+  // the binding survives a pre-run move of the cluster object.
+  telemetry::TraceRecorder::global().bind_clock(&clock_);
+  util::Logger::instance().attach_clock(&clock_);
   const double dt = config_.step_s;
   clock_.advance(dt);
   hw_->step(dt);
@@ -229,10 +241,24 @@ bool EmulatedCluster::step() {
   manager_.step(now);
 
   if (now + 1e-9 >= next_log_s_) {
-    result_.power_w.add(now, hw_->total_power_w());
+    auto& registry = telemetry::MetricsRegistry::global();
+    static auto& power = registry.gauge("cluster.power_w");
+    static auto& target_gauge = registry.gauge("cluster.target_w");
+    static auto& running = registry.gauge("cluster.running_jobs");
+    static auto& free_nodes = registry.gauge("cluster.free_nodes");
+    const double measured = hw_->total_power_w();
+    result_.power_w.add(now, measured);
+    power.set(measured);
+    running.set(static_cast<double>(running_.size()));
+    free_nodes.set(static_cast<double>(free_nodes_.size()));
+    auto& tracer = telemetry::TraceRecorder::global();
+    tracer.counter("cluster.power_w", "cluster", now, measured);
     if (const auto target = manager_.target_at(now)) {
       result_.target_w.add(now, *target);
+      target_gauge.set(*target);
+      tracer.counter("cluster.target_w", "cluster", now, *target);
     }
+    if (artifacts_ != nullptr) artifacts_->maybe_sample(now);
     next_log_s_ = now + config_.log_period_s;
   }
 

@@ -23,6 +23,7 @@
 #include "platform/cluster_hw.hpp"
 #include "sched/aqa_scheduler.hpp"
 #include "sched/qos.hpp"
+#include "telemetry/artifact.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -92,10 +93,20 @@ double uncapped_runtime_s(const workload::JobType& type,
 class EmulatedCluster {
  public:
   EmulatedCluster(EmulationConfig config, workload::Schedule schedule);
+  /// Unbinds the global trace recorder from this run's clock.
+  ~EmulatedCluster();
+  /// Movable so factories can return by value (step() re-binds the trace
+  /// clock, so a move before the run starts is safe).
+  EmulatedCluster(EmulatedCluster&&) = default;
 
   /// Time-varying cluster power targets (watts).  Optional: without them
   /// the cluster runs unconstrained.
   void set_power_targets(util::TimeSeries targets);
+
+  /// Sample the given artifact writer at the power-log cadence for the
+  /// rest of the run.  The writer must outlive the cluster (or be
+  /// detached with nullptr); the caller finalizes it.
+  void attach_artifacts(telemetry::RunArtifactWriter* artifacts) { artifacts_ = artifacts; }
 
   /// Run until the schedule drains (or max_duration_s).
   EmulationResult run();
@@ -145,6 +156,7 @@ class EmulatedCluster {
   std::set<int> free_nodes_;
 
   EmulationResult result_;
+  telemetry::RunArtifactWriter* artifacts_ = nullptr;
   double next_log_s_ = 0.0;
   bool done_ = false;
 };

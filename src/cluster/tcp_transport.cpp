@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace anor::cluster {
@@ -64,6 +65,12 @@ bool TcpChannel::send(const Message& message) {
     close_socket();
     return false;
   }
+  static auto& messages =
+      telemetry::MetricsRegistry::global().counter("cluster.transport.tcp.messages_sent");
+  static auto& bytes =
+      telemetry::MetricsRegistry::global().counter("cluster.transport.tcp.bytes_sent");
+  messages.inc();
+  bytes.inc(frame.size());
   return true;
 }
 
@@ -96,6 +103,12 @@ std::optional<Message> TcpChannel::receive() {
   if (in_buffer_.size() < 4 + len) return std::nullopt;
   const std::string payload(in_buffer_.begin() + 4, in_buffer_.begin() + 4 + len);
   in_buffer_.erase(in_buffer_.begin(), in_buffer_.begin() + 4 + len);
+  static auto& messages = telemetry::MetricsRegistry::global().counter(
+      "cluster.transport.tcp.messages_received");
+  static auto& bytes =
+      telemetry::MetricsRegistry::global().counter("cluster.transport.tcp.bytes_received");
+  messages.inc();
+  bytes.inc(4 + static_cast<std::uint64_t>(len));
   return decode_text(payload);
 }
 

@@ -1,5 +1,7 @@
 #include "cluster/transport.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace anor::cluster {
 
 namespace {
@@ -39,6 +41,9 @@ class InprocChannel final : public MessageChannel {
     std::lock_guard<std::mutex> lock(out_->mutex);
     if (!out_->open) return false;
     out_->queue.push_back(TimedMessage{clock_->now() + latency_s_, message});
+    static auto& sent =
+        telemetry::MetricsRegistry::global().counter("cluster.transport.inproc.sent");
+    sent.inc();
     return true;
   }
 
@@ -48,6 +53,9 @@ class InprocChannel final : public MessageChannel {
     if (in_->queue.front().deliver_at_s > clock_->now()) return std::nullopt;
     Message message = std::move(in_->queue.front().message);
     in_->queue.pop_front();
+    static auto& received =
+        telemetry::MetricsRegistry::global().counter("cluster.transport.inproc.received");
+    received.inc();
     return message;
   }
 

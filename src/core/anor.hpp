@@ -33,6 +33,7 @@
 #include "sched/weight_trainer.hpp"
 #include "sim/evaluators.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/job_type.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace anor::core {
@@ -126,7 +127,20 @@ cluster::EmulatedCluster make_cluster(const Experiment& experiment) {
 
 cluster::EmulationResult run_experiment(const Experiment& experiment) {
   cluster::EmulatedCluster emu = make_cluster(experiment);
-  return emu.run();
+  if (experiment.artifact_dir.empty()) return emu.run();
+
+  telemetry::RunArtifactConfig artifact_config;
+  artifact_config.dir = experiment.artifact_dir;
+  artifact_config.cadence_s = experiment.artifact_cadence_s;
+  artifact_config.run_name = "experiment";
+  telemetry::RunArtifactWriter artifacts(artifact_config,
+                                         telemetry::MetricsRegistry::global(),
+                                         &telemetry::TraceRecorder::global());
+  emu.attach_artifacts(&artifacts);
+  cluster::EmulationResult result = emu.run();
+  emu.attach_artifacts(nullptr);
+  artifacts.finalize();
+  return result;
 }
 
 }  // namespace anor::core

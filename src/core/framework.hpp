@@ -39,6 +39,12 @@ struct Experiment {
   double perf_variation_sigma = 0.0;
   std::uint64_t seed = 1;
 
+  /// Non-empty: write a run artifact directory (metrics.csv time series,
+  /// metrics.json, trace.json, trace.jsonl, manifest.json) sampled from
+  /// the global telemetry registry at `artifact_cadence_s`.
+  std::string artifact_dir;
+  double artifact_cadence_s = 1.0;
+
   /// Advanced knobs (defaults match the paper's setup).
   cluster::EmulationConfig base;
 };

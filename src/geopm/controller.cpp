@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "geopm/signals.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace anor::geopm {
 
@@ -61,6 +63,11 @@ JobController::JobController(std::string job_name, workload::JobType type,
   topology.fanout = config_.tree_fanout;
   tree_ = std::make_unique<AgentTree>(topology, std::move(agent_ptrs));
 
+  auto& registry = telemetry::MetricsRegistry::global();
+  power_gauge_ = &registry.gauge("job.power_w", {{"job", name_}});
+  cap_gauge_ = &registry.gauge("job.cap_w", {{"job", name_}});
+  epoch_gauge_ = &registry.gauge("job.epoch_count", {{"job", name_}});
+
   // Jobs inherit whatever RAPL limit the nodes already carry (a fresh
   // node powers up at TDP; a recycled node keeps its last cap, which sits
   // near the cluster's balance point) — the first budget from the cluster
@@ -76,6 +83,11 @@ JobController::~JobController() {
 void JobController::control_step(double now_s) {
   if (torn_down_ || now_s + 1e-12 < next_step_s_) return;
   next_step_s_ = now_s + config_.control_period_s;
+  static auto& steps =
+      telemetry::MetricsRegistry::global().counter("job.controller.control_steps");
+  static auto& cap_changes =
+      telemetry::MetricsRegistry::global().counter("job.controller.cap_changes");
+  steps.inc();
 
   // 1. Apply the newest pending policy from the endpoint, if any, then
   // redistribute the current policy through the tree.  Redistribution
@@ -89,6 +101,8 @@ void JobController::control_step(double now_s) {
         cap_weighted_integral_ += current_cap_w_ * (now_s - last_cap_change_s_);
         last_cap_change_s_ = now_s;
         current_cap_w_ = cap;
+        cap_changes.inc();
+        telemetry::TraceRecorder::global().instant("cap_change " + name_, "job", now_s, cap);
       }
     }
   }
@@ -96,6 +110,9 @@ void JobController::control_step(double now_s) {
 
   // 2. Sample the tree and publish the root sample.
   std::vector<double> sample = tree_->reduce_samples();
+  power_gauge_->set(sample[kSamplePower]);
+  cap_gauge_->set(current_cap_w_);
+  epoch_gauge_->set(sample[kSampleEpochCount]);
   if (config_.trace_enabled) {
     TraceRow row;
     row.t_s = now_s;
@@ -137,6 +154,10 @@ void JobController::teardown(double now_s) {
   end_time_s_ = now_s;
   cap_weighted_integral_ += current_cap_w_ * (now_s - last_cap_change_s_);
   for (platform::Node* n : nodes_) n->detach_load();
+  // One complete ("X") span per job lifetime; X events tolerate overlap
+  // on a shared track, unlike B/E pairs.
+  telemetry::TraceRecorder::global().complete(name_, "job", start_time_s_,
+                                              now_s - start_time_s_);
 }
 
 JobReport JobController::report() const {

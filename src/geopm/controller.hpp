@@ -19,6 +19,7 @@
 #include "geopm/power_governor.hpp"
 #include "geopm/report.hpp"
 #include "platform/node.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/phased_kernel.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -130,6 +131,12 @@ class JobController {
   double cap_weighted_integral_ = 0.0;
   double last_cap_change_s_ = 0.0;
   bool torn_down_ = false;
+
+  // Per-job cells in the global metrics registry (registry-owned; valid
+  // for the process lifetime).
+  telemetry::Gauge* power_gauge_ = nullptr;
+  telemetry::Gauge* cap_gauge_ = nullptr;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
 };
 
 }  // namespace anor::geopm

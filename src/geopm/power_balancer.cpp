@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+
 namespace anor::geopm {
 
 PowerBalancerAgent::PowerBalancerAgent(PlatformIO& pio, BalancerConfig config)
@@ -44,6 +46,14 @@ std::vector<std::vector<double>> PowerBalancerAgent::split_policy(
   const auto count = static_cast<std::size_t>(child_count);
   std::vector<std::vector<double>> split(count, policy);
   if (policy.empty() || child_lag_.size() != count) return split;
+
+  static auto& splits = telemetry::MetricsRegistry::global().counter("job.balancer.splits");
+  static auto& max_lag =
+      telemetry::MetricsRegistry::global().gauge("job.balancer.max_abs_lag");
+  splits.inc();
+  double lag_peak = 0.0;
+  for (const double lag : child_lag_) lag_peak = std::max(lag_peak, std::abs(lag));
+  max_lag.set(lag_peak);
 
   const double avg_cap = policy[kPolicyPowerCap];
   std::vector<double> caps(count);

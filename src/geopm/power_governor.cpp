@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace anor::geopm {
@@ -34,12 +35,20 @@ void PowerGovernorAgent::validate_policy(const std::vector<double>& policy) cons
 
 void PowerGovernorAgent::adjust_platform(const std::vector<double>& policy) {
   validate_policy(policy);
+  static auto& cap_writes =
+      telemetry::MetricsRegistry::global().counter("job.governor.cap_writes");
+  static auto& suppressed =
+      telemetry::MetricsRegistry::global().counter("job.governor.cap_writes_suppressed");
   const double requested = policy[kPolicyPowerCap];
-  if (requested == last_cap_request_w_) return;  // nothing new to write
+  if (requested == last_cap_request_w_) {
+    suppressed.inc();
+    return;  // nothing new to write
+  }
   last_cap_request_w_ = requested;
   pio_->adjust(ctl_power_limit_, requested);
   pio_->write_batch();
   applied_cap_w_ = pio_->node().effective_cap_w();
+  cap_writes.inc();
 }
 
 std::vector<double> PowerGovernorAgent::sample_platform() {

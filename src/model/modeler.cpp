@@ -4,10 +4,20 @@
 #include <cmath>
 #include <map>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace anor::model {
+
+namespace {
+
+telemetry::Counter& refit_rejected_counter(const char* reason) {
+  return telemetry::MetricsRegistry::global().counter("job.modeler.refit_rejected",
+                                                      {{"reason", reason}});
+}
+
+}  // namespace
 
 std::vector<CapAggregate> aggregate_by_cap(const std::vector<EpochObservation>& observations,
                                            double bucket_w) {
@@ -141,6 +151,9 @@ void OnlineModeler::maybe_detect_phase_change() {
         fitted_ = false;  // any previous refit described the old phase
         epochs_since_train_ = 0;
         ++phase_changes_;
+        static auto& phase_changes =
+            telemetry::MetricsRegistry::global().counter("job.modeler.phase_changes");
+        phase_changes.inc();
         return;
       }
     }
@@ -191,8 +204,19 @@ std::vector<EpochObservation> OnlineModeler::clean_observations() const {
 }
 
 bool OnlineModeler::retrain() {
+  static auto& attempts =
+      telemetry::MetricsRegistry::global().counter("job.modeler.refit_attempts");
+  static auto& accepted =
+      telemetry::MetricsRegistry::global().counter("job.modeler.refit_accepted");
+  static auto& fit_r2 = telemetry::MetricsRegistry::global().gauge("job.modeler.fit_r2");
+  static auto& fit_error =
+      telemetry::MetricsRegistry::global().gauge("job.modeler.refit_error");
+  attempts.inc();
   const std::vector<EpochObservation> clean = clean_observations();
-  if (clean.size() < config_.min_fit_observations) return false;
+  if (clean.size() < config_.min_fit_observations) {
+    refit_rejected_counter("too_few_observations").inc();
+    return false;
+  }
   // Fit against cap-pooled rates (quantization-free), weighting each cap
   // level by the epochs observed there.
   const std::vector<CapAggregate> aggregates = aggregate_by_cap(clean);
@@ -210,11 +234,13 @@ bool OnlineModeler::retrain() {
     // Reject non-physical fits (time increasing with power) — noise at
     // nearly identical caps can produce them.
     if (refit.time_at(refit.p_min_w()) + 1e-12 < refit.time_at(refit.p_max_w())) {
+      refit_rejected_counter("non_physical").inc();
       return false;
     }
     // Reject poorly conditioned fits: observations clustered at one or
     // two caps produce wild quadratics with near-zero R².
     if (refit.r2() < config_.min_r2) {
+      refit_rejected_counter("low_r2").inc();
       return false;
     }
     // Reject fits that do not actually explain the raw observations —
@@ -228,15 +254,22 @@ bool OnlineModeler::retrain() {
                    obs.sec_per_epoch;
       ++counted;
     }
-    if (counted == 0 || raw_error / static_cast<double>(counted) > config_.max_refit_error) {
+    const double mean_error =
+        counted > 0 ? raw_error / static_cast<double>(counted) : 0.0;
+    if (counted == 0 || mean_error > config_.max_refit_error) {
+      refit_rejected_counter("high_refit_error").inc();
       return false;
     }
     model_ = refit;
     fitted_ = true;
+    accepted.inc();
+    fit_r2.set(refit.r2());
+    fit_error.set(mean_error);
     return true;
   } catch (const util::NumericalError&) {
     // Not enough cap diversity yet (e.g. the job has run under a single
     // cap so far); keep serving the current model.
+    refit_rejected_counter("numerical").inc();
     return false;
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+
 namespace anor::platform {
 
 namespace {
@@ -85,16 +87,24 @@ MsrFile::MsrFile() {
 }
 
 std::uint64_t MsrFile::read(std::uint32_t address) const {
+  static auto& reads = telemetry::MetricsRegistry::global().counter("node.msr.reads");
+  static auto& denied = telemetry::MetricsRegistry::global().counter("node.msr.denied");
   if (readable_.count(address) == 0) {
+    denied.inc();
     throw util::MsrAccessError("MSR read denied by allowlist: " + hex_of(address));
   }
+  reads.inc();
   return raw_read(address);
 }
 
 void MsrFile::write(std::uint32_t address, std::uint64_t value) {
+  static auto& writes = telemetry::MetricsRegistry::global().counter("node.msr.writes");
+  static auto& denied = telemetry::MetricsRegistry::global().counter("node.msr.denied");
   if (writable_.count(address) == 0) {
+    denied.inc();
     throw util::MsrAccessError("MSR write denied by allowlist: " + hex_of(address));
   }
+  writes.inc();
   raw_write(address, value);
 }
 

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace anor::platform {
 
 Node::Node(int node_id, const NodeConfig& config) : id_(node_id), config_(config) {
@@ -23,10 +26,19 @@ double Node::max_cap_w() const {
 double Node::tdp_w() const { return config_.package.tdp_w * package_count(); }
 
 void Node::set_power_cap(double node_cap_w) {
+  static auto& limit_writes =
+      telemetry::MetricsRegistry::global().counter("node.rapl.limit_writes");
+  static auto& clamped = telemetry::MetricsRegistry::global().counter("node.rapl.cap_clamped");
   const double per_package = node_cap_w / package_count();
+  if (per_package < config_.package.min_cap_w || per_package > config_.package.max_cap_w) {
+    clamped.inc();
+    auto& tracer = telemetry::TraceRecorder::global();
+    tracer.instant("node.rapl.cap_clamped", "platform", tracer.clock_now(), per_package);
+  }
   for (auto& pkg : packages_) {
     const PkgPowerLimit limit{per_package, 1.0, true, true};
     pkg->msr().write(kMsrPkgPowerLimit, limit.encode(pkg->units()));
+    limit_writes.inc();
   }
 }
 

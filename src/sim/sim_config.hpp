@@ -82,6 +82,10 @@ struct SimConfig {
 
   /// Queue weights for the scheduler (type name -> weight, default 1).
   std::map<std::string, double> queue_weights;
+
+  /// Record tick counts and per-phase wall-clock timing in the global
+  /// metrics registry (sim.ticks, sim.phase_us{phase=...}).
+  bool telemetry_enabled = true;
 };
 
 /// The six-type / eight-type standard mixes, as SimJobTypes.

@@ -1,12 +1,45 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace anor::sim {
+
+namespace {
+
+/// Wall-clock (not virtual) duration of one simulator phase, recorded
+/// into a shared sim.phase_us histogram keyed by phase name.
+class PhaseTimer {
+ public:
+  PhaseTimer(bool enabled, telemetry::Histogram& histogram)
+      : enabled_(enabled), histogram_(&histogram) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (!enabled_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  bool enabled_;
+  telemetry::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+telemetry::Histogram& phase_histogram(const char* phase) {
+  return telemetry::MetricsRegistry::global().histogram(
+      "sim.phase_us", telemetry::exponential_bounds(1.0, 4.0, 10), {{"phase", phase}});
+}
+
+}  // namespace
 
 TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule,
                                    util::Rng rng)
@@ -286,21 +319,63 @@ void TabularSimulator::append_table_log() {
 bool TabularSimulator::step() {
   if (done_) return false;
   const double dt = config_.step_s;
+  const bool telemetry_on = config_.telemetry_enabled;
+  static auto& ticks = telemetry::MetricsRegistry::global().counter("sim.ticks");
+  static auto& h_update = phase_histogram("update_nodes");
+  static auto& h_complete = phase_histogram("complete");
+  static auto& h_admit = phase_histogram("admit");
+  static auto& h_control = phase_histogram("control");
+  static auto& h_log = phase_histogram("log");
+  if (telemetry_on) ticks.inc();
+  // Phase timing reads the wall clock twice per phase, which would
+  // dominate a ~50 us tick if done every step; sampling every 8th tick
+  // keeps the sim.phase_us distribution representative at <1 % overhead.
+  const bool time_phases = telemetry_on && (step_index_ % 8) == 0;
 
   // 1. node update
-  update_nodes(dt);
+  {
+    PhaseTimer timer(time_phases, h_update);
+    update_nodes(dt);
+  }
   // 2. completions + policy view refresh
-  complete_finished_jobs();
-  admit_arrivals();
+  {
+    PhaseTimer timer(time_phases, h_complete);
+    complete_finished_jobs();
+  }
+  {
+    PhaseTimer timer(time_phases, h_admit);
+    admit_arrivals();
+  }
   // 3. schedule and cap (at the control cadence)
   if (now_s_ + 1e-9 >= next_control_s_) {
+    PhaseTimer timer(time_phases, h_control);
     schedule_and_cap();
     next_control_s_ = now_s_ + config_.control_period_s;
   }
   // 4. log
-  result_.power_w.add(now_s_, nodes_.total_power_w());
-  if (regulation_ != nullptr) result_.target_w.add(now_s_, current_target_w());
-  append_table_log();
+  {
+    PhaseTimer timer(time_phases, h_log);
+    const double power_w = nodes_.total_power_w();
+    result_.power_w.add(now_s_, power_w);
+    if (regulation_ != nullptr) result_.target_w.add(now_s_, current_target_w());
+    append_table_log();
+    if (telemetry_on) {
+      auto& registry = telemetry::MetricsRegistry::global();
+      static auto& power = registry.gauge("sim.power_w");
+      static auto& running = registry.gauge("sim.running_jobs");
+      power.set(power_w);
+      // Counting running jobs scans the job table, so refresh it on the
+      // same sampling cadence as the phase timers.
+      if (time_phases) {
+        std::size_t running_count = 0;
+        for (const JobRow& row : jobs_.rows()) {
+          if (row.started() && !row.finished()) ++running_count;
+        }
+        running.set(static_cast<double>(running_count));
+      }
+    }
+    if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s_);
+  }
 
   ++step_index_;
   now_s_ += dt;
@@ -331,7 +406,8 @@ SimResult TabularSimulator::run() {
   return result_;
 }
 
-SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed) {
+SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed,
+                         telemetry::RunArtifactWriter* artifacts) {
   util::Rng rng(seed);
   std::vector<workload::JobType> gen_types;
   gen_types.reserve(config.job_types.size());
@@ -350,6 +426,7 @@ SimResult run_simulation(const SimConfig& config, double utilization, std::uint6
   const workload::Schedule schedule =
       workload::generate_poisson_schedule(gen_types, sched_config, rng.child("schedule"));
   TabularSimulator simulator(config, schedule, rng.child("sim"));
+  simulator.set_artifacts(artifacts);
   return simulator.run();
 }
 

@@ -15,6 +15,7 @@
 #include "sched/aqa_scheduler.hpp"
 #include "sched/qos.hpp"
 #include "sim/sim_config.hpp"
+#include "telemetry/artifact.hpp"
 #include "sim/tables.hpp"
 #include "util/rng.hpp"
 #include "util/time_series.hpp"
@@ -55,6 +56,11 @@ class TabularSimulator {
   /// `every_n_steps` thins the output (1 = every step).
   void set_table_log(std::ostream* out, int every_n_steps = 1);
 
+  /// Sample the given artifact writer once per simulated second for the
+  /// rest of the run.  The writer must outlive the simulator (or be
+  /// detached with nullptr); the caller finalizes it.
+  void set_artifacts(telemetry::RunArtifactWriter* artifacts) { artifacts_ = artifacts; }
+
   double now_s() const { return now_s_; }
   const NodeTable& node_table() const { return nodes_; }
   const JobTable& job_table() const { return jobs_; }
@@ -93,11 +99,14 @@ class TabularSimulator {
   std::ostream* table_log_ = nullptr;
   int table_log_stride_ = 1;
   long step_index_ = 0;
+  telemetry::RunArtifactWriter* artifacts_ = nullptr;
 };
 
 /// Convenience wrapper: build schedule + simulator from a config and seed,
 /// run, and return the result.  Used by benches and the bid/weight
-/// evaluators.
-SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed);
+/// evaluators.  A non-null `artifacts` writer is sampled once per
+/// simulated second (the caller finalizes it).
+SimResult run_simulation(const SimConfig& config, double utilization, std::uint64_t seed,
+                         telemetry::RunArtifactWriter* artifacts = nullptr);
 
 }  // namespace anor::sim

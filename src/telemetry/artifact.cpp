@@ -1,0 +1,95 @@
+#include "telemetry/artifact.hpp"
+
+#include <filesystem>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace anor::telemetry {
+
+RunArtifactWriter::RunArtifactWriter(RunArtifactConfig config, MetricsRegistry& registry,
+                                     TraceRecorder* recorder)
+    : config_(std::move(config)), registry_(&registry), recorder_(recorder) {
+  if (config_.dir.empty()) throw util::ConfigError("RunArtifactWriter: empty directory");
+  std::filesystem::create_directories(config_.dir);
+}
+
+RunArtifactWriter::~RunArtifactWriter() {
+  try {
+    finalize();
+  } catch (...) {
+    // Destructors must not throw; a failed artifact write loses the
+    // artifact, not the run.
+  }
+}
+
+void RunArtifactWriter::open_series() {
+  if (series_open_) return;
+  series_.open(config_.dir + "/metrics.csv");
+  if (!series_) {
+    throw util::ConfigError("RunArtifactWriter: cannot open " + config_.dir + "/metrics.csv");
+  }
+  util::CsvWriter writer(series_);
+  writer.write_header({"t_s", "metric", "type", "value"});
+  series_open_ = true;
+}
+
+void RunArtifactWriter::maybe_sample(double t_s) {
+  if (sampled_once_ && t_s + 1e-12 < next_sample_s_) return;
+  sample(t_s);
+}
+
+void RunArtifactWriter::sample(double t_s) {
+  open_series();
+  util::CsvWriter writer(series_);
+  for (const MetricSnapshot& snap : registry_->snapshot()) {
+    // Histograms only make sense as final distributions; the time series
+    // carries the scalar metrics.
+    if (snap.kind == MetricKind::kHistogram) continue;
+    writer.write_row({util::CsvWriter::format(t_s), snap.key,
+                      std::string(to_string(snap.kind)), util::CsvWriter::format(snap.value)});
+  }
+  sampled_once_ = true;
+  next_sample_s_ = t_s + config_.cadence_s;
+}
+
+void RunArtifactWriter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (series_open_) series_.flush();
+
+  util::save_json_file(config_.dir + "/metrics.json", registry_->to_json());
+  {
+    std::ofstream out(config_.dir + "/metrics_final.csv");
+    registry_->write_csv(out);
+  }
+  if (recorder_ != nullptr) {
+    {
+      std::ofstream out(config_.dir + "/trace.json");
+      recorder_->export_chrome_json(out);
+    }
+    {
+      std::ofstream out(config_.dir + "/trace.jsonl");
+      recorder_->export_jsonl(out);
+    }
+  }
+
+  util::JsonObject manifest;
+  manifest["run"] = util::Json(config_.run_name);
+  manifest["cadence_s"] = util::Json(config_.cadence_s);
+  manifest["metric_count"] = util::Json(static_cast<double>(registry_->size()));
+  util::JsonArray files;
+  files.push_back(util::Json(std::string("metrics.json")));
+  files.push_back(util::Json(std::string("metrics_final.csv")));
+  if (series_open_) files.push_back(util::Json(std::string("metrics.csv")));
+  if (recorder_ != nullptr) {
+    files.push_back(util::Json(std::string("trace.json")));
+    files.push_back(util::Json(std::string("trace.jsonl")));
+    manifest["trace_events"] = util::Json(static_cast<double>(recorder_->size()));
+    manifest["trace_dropped"] = util::Json(static_cast<double>(recorder_->dropped()));
+  }
+  manifest["files"] = util::Json(std::move(files));
+  util::save_json_file(config_.dir + "/manifest.json", util::Json(std::move(manifest)));
+}
+
+}  // namespace anor::telemetry

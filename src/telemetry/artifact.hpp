@@ -1,0 +1,68 @@
+// Run artifacts: machine-readable snapshots of a run's telemetry.
+//
+// A RunArtifactWriter owns one artifact directory and fills it with:
+//   metrics.csv   — long-format time series (t_s,metric,type,value), one
+//                   row per registered counter/gauge per sampling tick
+//   metrics.json  — final registry snapshot (histograms included)
+//   metrics_final.csv — final registry snapshot as CSV
+//   trace.json    — Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   trace.jsonl   — the same events, one JSON object per line
+//   manifest.json — what this artifact is and what it contains
+//
+// The emulation engine and the tabular simulator call maybe_sample() on
+// their log cadence; benches wrap a run in bench::ArtifactScope, which
+// finalizes on scope exit.  Downstream: `anorctl metrics dump` and
+// `anorctl trace export` read these directories.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace anor::telemetry {
+
+struct RunArtifactConfig {
+  std::string dir;        // created if missing
+  double cadence_s = 1.0; // minimum virtual-time spacing of CSV samples
+  std::string run_name;   // recorded in the manifest
+};
+
+class RunArtifactWriter {
+ public:
+  /// Registry (and recorder, if given) must outlive the writer.
+  RunArtifactWriter(RunArtifactConfig config, MetricsRegistry& registry,
+                    TraceRecorder* recorder = nullptr);
+  ~RunArtifactWriter();
+
+  RunArtifactWriter(const RunArtifactWriter&) = delete;
+  RunArtifactWriter& operator=(const RunArtifactWriter&) = delete;
+
+  const std::string& dir() const { return config_.dir; }
+
+  /// Append one row per counter/gauge to metrics.csv if at least
+  /// cadence_s has passed since the last sample.
+  void maybe_sample(double t_s);
+  /// Append unconditionally.
+  void sample(double t_s);
+
+  /// Write the final snapshot files (metrics.json, metrics_final.csv,
+  /// trace.json, trace.jsonl, manifest.json).  Idempotent; also invoked
+  /// by the destructor.
+  void finalize();
+
+ private:
+  void open_series();
+
+  RunArtifactConfig config_;
+  MetricsRegistry* registry_;
+  TraceRecorder* recorder_;
+  std::ofstream series_;
+  bool series_open_ = false;
+  double next_sample_s_ = 0.0;
+  bool sampled_once_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace anor::telemetry

@@ -1,0 +1,195 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace anor::telemetry {
+
+std::string metric_key(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> linear_bounds(double start, double step, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) bounds.push_back(start + step * static_cast<double>(i));
+  return bounds;
+}
+
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        const MetricLabels& labels,
+                                                        MetricKind kind,
+                                                        std::vector<double>* bounds) {
+  std::string key = metric_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw util::ConfigError("MetricsRegistry: '" + key + "' already registered as " +
+                              std::string(to_string(it->second.kind)));
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.labels = labels;
+  std::sort(entry.labels.begin(), entry.labels.end());
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(std::move(*bounds));
+      break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const MetricLabels& labels) {
+  return *find_or_create(name, labels, MetricKind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const MetricLabels& labels) {
+  return *find_or_create(name, labels, MetricKind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds,
+                                      const MetricLabels& labels) {
+  return *find_or_create(name, labels, MetricKind::kHistogram, &upper_bounds).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter: entry.counter->reset(); break;
+      case MetricKind::kGauge: entry.gauge->reset(); break;
+      case MetricKind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.key = key;
+    snap.name = entry.name;
+    snap.labels = entry.labels;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        snap.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.value = static_cast<double>(h.count());
+        snap.sum = h.sum();
+        snap.bounds = h.bounds();
+        snap.buckets.reserve(h.bucket_size());
+        for (std::size_t i = 0; i < h.bucket_size(); ++i) {
+          snap.buckets.push_back(h.bucket_count(i));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  util::JsonObject root;
+  for (const MetricSnapshot& snap : snapshot()) {
+    util::JsonObject m;
+    m["type"] = util::Json(std::string(to_string(snap.kind)));
+    m["value"] = util::Json(snap.value);
+    if (snap.kind == MetricKind::kHistogram) {
+      m["sum"] = util::Json(snap.sum);
+      util::JsonArray bounds;
+      for (double b : snap.bounds) bounds.push_back(util::Json(b));
+      m["bounds"] = util::Json(std::move(bounds));
+      util::JsonArray buckets;
+      for (std::uint64_t c : snap.buckets) {
+        buckets.push_back(util::Json(static_cast<double>(c)));
+      }
+      m["buckets"] = util::Json(std::move(buckets));
+    }
+    root[snap.key] = util::Json(std::move(m));
+  }
+  return util::Json(std::move(root));
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  writer.write_header({"metric", "type", "value", "sum"});
+  for (const MetricSnapshot& snap : snapshot()) {
+    writer.write_row({snap.key, std::string(to_string(snap.kind)),
+                      util::CsvWriter::format(snap.value), util::CsvWriter::format(snap.sum)});
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace anor::telemetry

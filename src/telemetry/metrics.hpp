@@ -1,0 +1,179 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// The control stack publishes what it did — MSR writes, cap clamps,
+// budget redistributions, model refits, message counts — through one
+// process-global registry so benches and the emulation can emit
+// machine-readable run artifacts (src/telemetry/artifact.hpp).  Updates
+// are cheap enough for the control hot path: a counter increment is one
+// relaxed atomic add, a histogram observation is a short linear scan over
+// preallocated buckets, and nothing allocates after registration.
+// Registration (name + label set -> cell) takes a mutex and should be
+// done once, up front; call sites keep the returned reference.
+//
+// Metric names follow `tier.component.metric` (see DESIGN.md
+// "Observability"): `node.*` for the hardware layer, `job.*` for the
+// per-job GEOPM-like runtime, `cluster.*` for the head-node tier, and
+// `sim.*` for the tabular simulator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace anor::telemetry {
+
+/// Label set attached to a metric, e.g. {{"job", "bt.D.x#4"}}.  Sorted by
+/// key when the metric is registered so label order never splits a series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series key: `name` or `name{k=v,k2=v2}` with sorted keys.
+std::string metric_key(std::string_view name, const MetricLabels& labels);
+
+/// Monotonic event count.  inc() is a single relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (power, cap, budget, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations v <= bounds[i]
+/// (upper-inclusive); one implicit overflow bucket catches the rest.
+/// Buckets are preallocated at registration; observe() never allocates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) {
+    std::size_t i = 0;
+    const std::size_t n = bounds_.size();
+    while (i < n && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i; i == bounds().size() is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t bucket_size() const { return bounds_.size() + 1; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Bucket-bound helpers for histogram registration.
+std::vector<double> linear_bounds(double start, double step, std::size_t count);
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count);
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricKind kind);
+
+/// Point-in-time copy of one metric, used by exporters and artifacts.
+struct MetricSnapshot {
+  std::string key;  // canonical name{labels}
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram observation count
+  double sum = 0.0;    // histogram only
+  std::vector<double> bounds;          // histogram only
+  std::vector<std::uint64_t> buckets;  // histogram only (bounds.size() + 1)
+};
+
+/// Thread-safe name -> cell registry.  Cells live for the registry's
+/// lifetime; references returned by counter()/gauge()/histogram() stay
+/// valid across reset_values().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  Throws util::ConfigError if the key is already
+  /// registered as a different kind.  Histogram bounds are fixed by the
+  /// first registration; later calls return the existing cell.
+  Counter& counter(std::string_view name, const MetricLabels& labels = {});
+  Gauge& gauge(std::string_view name, const MetricLabels& labels = {});
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       const MetricLabels& labels = {});
+
+  std::size_t size() const;
+
+  /// Zero every cell but keep all registrations (handles stay valid).
+  void reset_values();
+
+  /// Snapshot in deterministic (key-sorted) order.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Object keyed by canonical metric key; histogram entries carry
+  /// count/sum/bounds/buckets.
+  util::Json to_json() const;
+
+  /// Final-value CSV: `metric,type,value,sum` (histogram value = count).
+  void write_csv(std::ostream& out) const;
+
+  /// Process-global registry used by the instrumented framework layers.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, const MetricLabels& labels, MetricKind kind,
+                        std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace anor::telemetry

@@ -1,0 +1,15 @@
+// Umbrella header for the telemetry subsystem.
+//
+// Most instrumentation sites need only this include plus two lines:
+//
+//   static auto& writes = telemetry::MetricsRegistry::global()
+//                             .counter("node.msr.writes");
+//   writes.inc();
+//
+// See DESIGN.md "Observability" for the metric naming scheme and the run
+// artifact layout.
+#pragma once
+
+#include "telemetry/artifact.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

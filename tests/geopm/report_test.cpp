@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "geopm/controller.hpp"
 #include "geopm/signals.hpp"
@@ -41,6 +43,56 @@ TEST(JobReport, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(parsed.package_energy_j, original.package_energy_j);
   EXPECT_EQ(parsed.epoch_count, original.epoch_count);
   EXPECT_DOUBLE_EQ(parsed.average_cap_w, original.average_cap_w);
+}
+
+// Deployment round-trip: the report is written to a file and parsed back
+// by downstream tooling, so the serialized *text* must survive hostile
+// job names, not just the in-memory Json value.
+TEST(JobReport, JsonTextRoundTripSurvivesHostileJobName) {
+  JobReport original = sample_report();
+  original.job_name = "bt.\"D\".x\\#3\n(second line)\ttabbed";
+  const std::string text = original.to_json().dump(2);
+  const JobReport parsed = JobReport::from_json(util::Json::parse(text));
+  EXPECT_EQ(parsed.job_name, original.job_name);
+  EXPECT_EQ(parsed.agent_name, original.agent_name);
+  EXPECT_EQ(parsed.node_count, original.node_count);
+  EXPECT_DOUBLE_EQ(parsed.runtime_s, original.runtime_s);
+  EXPECT_DOUBLE_EQ(parsed.compute_runtime_s, original.compute_runtime_s);
+  EXPECT_DOUBLE_EQ(parsed.package_energy_j, original.package_energy_j);
+  EXPECT_DOUBLE_EQ(parsed.average_power_w, original.average_power_w);
+  EXPECT_EQ(parsed.epoch_count, original.epoch_count);
+  EXPECT_DOUBLE_EQ(parsed.average_cap_w, original.average_cap_w);
+}
+
+TEST(JobReport, JsonKeyOrderIsStable) {
+  const std::string text = sample_report().to_json().dump(0);
+  // Keys are emitted in sorted order (std::map), so two dumps of the
+  // same report are byte-identical and diffs stay reviewable.
+  const std::vector<std::string> keys = {
+      "agent",          "average_cap_w", "average_power_w", "compute_runtime_s",
+      "epoch_count",    "job",           "nodes",           "package_energy_j",
+      "runtime_s"};
+  std::size_t pos = 0;
+  for (const auto& key : keys) {
+    const std::size_t found = text.find('"' + key + '"', pos);
+    ASSERT_NE(found, std::string::npos) << "missing key " << key;
+    EXPECT_GE(found, pos) << "key " << key << " out of order";
+    pos = found;
+  }
+  EXPECT_EQ(text, sample_report().to_json().dump(0));
+}
+
+TEST(JobReport, MissingOptionalFieldsUseDefaults) {
+  const auto json = util::Json::parse(
+      R"({"job":"min#1","nodes":4,"runtime_s":10.0,"package_energy_j":5000.0,"epoch_count":7})");
+  const JobReport report = JobReport::from_json(json);
+  EXPECT_EQ(report.job_name, "min#1");
+  EXPECT_EQ(report.agent_name, "power_governor");
+  EXPECT_EQ(report.node_count, 4);
+  EXPECT_DOUBLE_EQ(report.compute_runtime_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.average_power_w, 0.0);
+  EXPECT_DOUBLE_EQ(report.average_cap_w, 0.0);
+  EXPECT_EQ(report.epoch_count, 7);
 }
 
 TEST(JobReport, SlowdownVsReference) {

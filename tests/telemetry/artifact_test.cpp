@@ -1,0 +1,155 @@
+#include "telemetry/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace anor::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "anor_artifact_test/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RunArtifactWriter, EmptyDirIsRejected) {
+  MetricsRegistry registry;
+  EXPECT_THROW(RunArtifactWriter({}, registry), util::ConfigError);
+}
+
+// Golden-file check: the long-format time series downstream tooling
+// parses (`t_s,metric,type,value`, one row per scalar metric per tick).
+TEST(RunArtifactWriter, MetricsCsvGolden) {
+  const std::string dir = fresh_dir("csv_golden");
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c.events");
+  Gauge& gauge = registry.gauge("g.power_w");
+  registry.histogram("h.skipped", {1.0}).observe(0.5);  // excluded from the series
+
+  {
+    RunArtifactWriter writer({dir, 1.0, "golden"}, registry);
+    counter.inc(3);
+    gauge.set(245.5);
+    writer.sample(0.0);
+    counter.inc(2);
+    gauge.set(250.0);
+    writer.sample(2.0);
+    writer.finalize();
+  }
+
+  const std::vector<std::string> expected = {
+      "t_s,metric,type,value",
+      "0,c.events,counter,3",
+      "0,g.power_w,gauge,245.5",
+      "2,c.events,counter,5",
+      "2,g.power_w,gauge,250",
+  };
+  EXPECT_EQ(lines_of(slurp(dir + "/metrics.csv")), expected);
+}
+
+TEST(RunArtifactWriter, MaybeSampleHonoursCadence) {
+  const std::string dir = fresh_dir("cadence");
+  MetricsRegistry registry;
+  registry.counter("c");
+  RunArtifactWriter writer({dir, 1.0, "cadence"}, registry);
+  writer.maybe_sample(0.0);   // taken (first sample)
+  writer.maybe_sample(0.25);  // too soon
+  writer.maybe_sample(0.5);   // too soon
+  writer.maybe_sample(1.0);   // taken
+  writer.maybe_sample(1.5);   // too soon
+  writer.maybe_sample(2.5);   // taken
+  writer.finalize();
+  // header + 3 samples x 1 metric
+  EXPECT_EQ(lines_of(slurp(dir + "/metrics.csv")).size(), 4u);
+}
+
+TEST(RunArtifactWriter, FinalizeWritesSnapshotTraceAndManifest) {
+  const std::string dir = fresh_dir("finalize");
+  MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  TraceRecorder recorder(8);
+  recorder.instant("moment", "test", 1.0);
+  {
+    RunArtifactWriter writer({dir, 1.0, "my_run"}, registry, &recorder);
+    writer.sample(0.0);
+  }  // destructor finalizes
+
+  const util::Json metrics = util::Json::parse(slurp(dir + "/metrics.json"));
+  EXPECT_DOUBLE_EQ(metrics.at("c").at("value").as_number(), 7.0);
+
+  const std::string final_csv = slurp(dir + "/metrics_final.csv");
+  EXPECT_NE(final_csv.find("metric,type,value,sum"), std::string::npos);
+  EXPECT_NE(final_csv.find("c,counter,7"), std::string::npos);
+
+  const util::Json trace = util::Json::parse(slurp(dir + "/trace.json"));
+  ASSERT_EQ(trace.at("traceEvents").as_array().size(), 1u);
+  EXPECT_EQ(lines_of(slurp(dir + "/trace.jsonl")).size(), 1u);
+
+  const util::Json manifest = util::Json::parse(slurp(dir + "/manifest.json"));
+  EXPECT_EQ(manifest.at("run").as_string(), "my_run");
+  EXPECT_DOUBLE_EQ(manifest.at("cadence_s").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(manifest.at("metric_count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(manifest.at("trace_events").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(manifest.at("trace_dropped").as_number(), 0.0);
+  const auto& files = manifest.at("files").as_array();
+  std::vector<std::string> names;
+  for (const auto& f : files) names.push_back(f.as_string());
+  EXPECT_EQ(names, (std::vector<std::string>{"metrics.json", "metrics_final.csv", "metrics.csv",
+                                             "trace.json", "trace.jsonl"}));
+}
+
+TEST(RunArtifactWriter, NoSeriesFileWithoutSamples) {
+  const std::string dir = fresh_dir("no_series");
+  MetricsRegistry registry;
+  registry.counter("c");
+  {
+    RunArtifactWriter writer({dir, 1.0, "snap_only"}, registry);
+  }
+  EXPECT_FALSE(fs::exists(dir + "/metrics.csv"));
+  EXPECT_TRUE(fs::exists(dir + "/metrics.json"));
+  const util::Json manifest = util::Json::parse(slurp(dir + "/manifest.json"));
+  for (const auto& f : manifest.at("files").as_array()) {
+    EXPECT_NE(f.as_string(), "metrics.csv");
+  }
+}
+
+TEST(RunArtifactWriter, FinalizeIsIdempotent) {
+  const std::string dir = fresh_dir("idempotent");
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  counter.inc(1);
+  RunArtifactWriter writer({dir, 1.0, "idem"}, registry);
+  writer.finalize();
+  counter.inc(100);
+  writer.finalize();  // no-op: snapshot not rewritten
+  const util::Json metrics = util::Json::parse(slurp(dir + "/metrics.json"));
+  EXPECT_DOUBLE_EQ(metrics.at("c").at("value").as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace anor::telemetry

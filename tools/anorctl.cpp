@@ -18,6 +18,12 @@
 //       Run the tabular cluster simulator and print QoS/tracking stats.
 //   anorctl replay --report FILE
 //       Summarize a saved experiment report (produced by run --out).
+//   anorctl metrics dump --dir DIR
+//       Print the final metric snapshot of a run artifact directory
+//       (written by run/simulate --artifacts, or any RunArtifactWriter).
+//   anorctl trace export --dir DIR [--out FILE]
+//       Rebuild Chrome trace_event JSON from an artifact's trace.jsonl
+//       (load the result in chrome://tracing or ui.perfetto.dev).
 //   anorctl selftest
 //       Exercise the whole flow in a temporary directory (used by ctest).
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -182,10 +189,15 @@ int cmd_run(const Args& args) {
     workload::misclassify(experiment.schedule, spec.substr(0, eq), spec.substr(eq + 1));
   }
 
+  if (args.has("artifacts")) experiment.artifact_dir = args.str("artifacts");
+
   std::cout << "running " << experiment.schedule.jobs.size() << " jobs on "
             << experiment.node_count << " nodes under the "
             << core::to_string(experiment.policy) << " policy...\n";
   const cluster::EmulationResult result = core::run_experiment(experiment);
+  if (!experiment.artifact_dir.empty()) {
+    std::cout << "wrote run artifacts to " << experiment.artifact_dir << "\n";
+  }
 
   util::TextTable table({"type", "jobs", "mean_slowdown", "sd"});
   for (const auto& [type, stats] : result.slowdown_by_type()) {
@@ -231,6 +243,16 @@ int cmd_simulate(const Args& args) {
     config.tracking_warmup_s = 300.0;
   }
 
+  std::unique_ptr<telemetry::RunArtifactWriter> artifacts;
+  if (args.has("artifacts")) {
+    telemetry::RunArtifactConfig artifact_config;
+    artifact_config.dir = args.str("artifacts");
+    artifact_config.run_name = "simulate";
+    artifacts = std::make_unique<telemetry::RunArtifactWriter>(
+        artifact_config, telemetry::MetricsRegistry::global(),
+        &telemetry::TraceRecorder::global());
+  }
+
   sim::SimResult result;
   if (args.has("table-log")) {
     // Run with the per-step table log the paper's simulator appends
@@ -251,10 +273,16 @@ int cmd_simulate(const Args& args) {
         workload::generate_poisson_schedule(gen_types, sc, rng.child("schedule"));
     sim::TabularSimulator simulator(config, schedule, rng.child("sim"));
     simulator.set_table_log(&log, 10);
+    simulator.set_artifacts(artifacts.get());
     result = simulator.run();
     std::cout << "table log written to " << args.str("table-log") << "\n";
   } else {
-    result = sim::run_simulation(config, args.num("utilization", 0.75), args.seed());
+    result = sim::run_simulation(config, args.num("utilization", 0.75), args.seed(),
+                                 artifacts.get());
+  }
+  if (artifacts != nullptr) {
+    artifacts->finalize();
+    std::cout << "wrote run artifacts to " << artifacts->dir() << "\n";
   }
 
   std::cout << "completed " << result.jobs_completed << "/" << result.jobs_submitted
@@ -310,6 +338,64 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_metrics_dump(const Args& args) {
+  const std::string dir = args.require("dir");
+  const util::Json metrics = util::load_json_file(dir + "/metrics.json");
+  util::TextTable table({"metric", "type", "value", "sum"});
+  for (const auto& [key, entry] : metrics.as_object()) {
+    const std::string type = entry.at("type").as_string();
+    table.add_row({key, type,
+                   util::TextTable::format_double(entry.number_or("value", 0.0), 3),
+                   type == "histogram"
+                       ? util::TextTable::format_double(entry.number_or("sum", 0.0), 3)
+                       : ""});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_trace_export(const Args& args) {
+  const std::string dir = args.require("dir");
+  std::ifstream in(dir + "/trace.jsonl");
+  if (!in) {
+    std::cerr << "cannot open " << dir << "/trace.jsonl\n";
+    return 1;
+  }
+  // Count events first so the rebuilt ring never overwrites.
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  telemetry::TraceRecorder recorder(std::max<std::size_t>(lines.size(), 1));
+  for (const std::string& line : lines) {
+    const util::Json event = util::Json::parse(line);
+    const std::string ph = event.at("ph").as_string();
+    const double t_s = event.number_or("t_s", 0.0);
+    const std::string name = event.at("name").as_string();
+    const std::string cat = event.at("cat").as_string();
+    if (ph == "B") {
+      recorder.begin(name, cat, t_s);
+    } else if (ph == "E") {
+      recorder.end(name, cat, t_s);
+    } else if (ph == "X") {
+      recorder.complete(name, cat, t_s, event.number_or("dur_s", 0.0));
+    } else if (ph == "C") {
+      recorder.counter(name, cat, t_s, event.number_or("value", 0.0));
+    } else {
+      recorder.instant(name, cat, t_s, event.number_or("value", 0.0));
+    }
+  }
+  const std::string out_path = args.str("out", dir + "/trace_export.json");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  recorder.export_chrome_json(out);
+  std::cout << "exported " << lines.size() << " trace events to " << out_path << "\n";
+  return 0;
+}
+
 int cmd_selftest() {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "anorctl-selftest";
@@ -339,15 +425,33 @@ int cmd_selftest() {
     Args args(8, const_cast<char**>(argv), 2);
     if (cmd_gen_targets(args) != 0) return 1;
   }
-  // run, writing the experiment report artifact
+  // run, writing the experiment report + telemetry artifacts
   const std::string report_path = (dir / "report.json").string();
+  const std::string artifact_dir = (dir / "artifacts").string();
   {
     const char* argv[] = {"anorctl", "run", "--schedule", schedule_path.c_str(),
                           "--targets", targets_path.c_str(), "--nodes", "8",
                           "--policy", "adjusted", "--misclassify", "bt.D.x=is.D.x",
-                          "--out", report_path.c_str()};
-    Args args(14, const_cast<char**>(argv), 2);
+                          "--out", report_path.c_str(),
+                          "--artifacts", artifact_dir.c_str()};
+    Args args(16, const_cast<char**>(argv), 2);
     if (cmd_run(args) != 0) return 1;
+  }
+  // the telemetry artifacts load back: final metrics dump + trace export
+  {
+    const char* argv[] = {"anorctl", "metrics", "dump", "--dir", artifact_dir.c_str()};
+    Args args(5, const_cast<char**>(argv), 3);
+    if (cmd_metrics_dump(args) != 0) return 1;
+  }
+  {
+    const char* argv[] = {"anorctl", "trace", "export", "--dir", artifact_dir.c_str()};
+    Args args(5, const_cast<char**>(argv), 3);
+    if (cmd_trace_export(args) != 0) return 1;
+    const util::Json trace = util::load_json_file(artifact_dir + "/trace_export.json");
+    if (trace.at("traceEvents").as_array().empty()) {
+      std::cerr << "selftest: exported trace has no events\n";
+      return 1;
+    }
   }
   // the report parses back, holds per-job records, and replays
   {
@@ -372,9 +476,9 @@ int cmd_selftest() {
 }
 
 void usage() {
-  std::cerr
-      << "usage: anorctl <types|gen-schedule|gen-targets|run|simulate|replay|selftest> "
-         "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
+  std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|simulate|replay|"
+               "metrics|trace|selftest> "
+               "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
 
 }  // namespace
@@ -385,6 +489,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  // `metrics` and `trace` take a subcommand word before the flags.
+  if (command == "metrics" || command == "trace") {
+    const std::string sub = argc > 2 ? argv[2] : "";
+    const Args sub_args(argc, argv, 3);
+    try {
+      if (command == "metrics" && sub == "dump") return cmd_metrics_dump(sub_args);
+      if (command == "trace" && sub == "export") return cmd_trace_export(sub_args);
+    } catch (const std::exception& error) {
+      std::cerr << "anorctl: " << error.what() << "\n";
+      return 1;
+    }
+    std::cerr << "usage: anorctl metrics dump --dir DIR | anorctl trace export --dir DIR "
+                 "[--out FILE]\n";
+    return 2;
+  }
   const Args args(argc, argv, 2);
   try {
     if (command == "types") return cmd_types();

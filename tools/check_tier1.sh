@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the tier-1 verify from ROADMAP.md plus a sanitizer pass
+# over the telemetry suite (its registry/ring are the only components
+# updated concurrently from control loops, so they get the ASan/UBSan
+# treatment on every merge).
+#
+# Usage: tools/check_tier1.sh [build-dir]
+#   build-dir defaults to `build`; the sanitizer build goes to
+#   `<build-dir>-asan`.  Exits non-zero on the first failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cd "$repo_root"
+
+echo "== tier-1: configure =="
+cmake -B "$build_dir" -S .
+
+echo "== tier-1: build =="
+cmake --build "$build_dir" -j"$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+
+echo "== sanitizers: ASan/UBSan telemetry suite =="
+asan_dir="${build_dir}-asan"
+cmake -B "$asan_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$asan_dir" -j"$jobs" --target telemetry_test util_test
+"$asan_dir/tests/telemetry_test"
+"$asan_dir/tests/util_test" --gtest_filter='Logger.*:VirtualClock.*'
+
+echo "== check_tier1: all green =="
