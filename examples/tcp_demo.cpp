@@ -46,7 +46,10 @@ int main() {
   hello.job_name = "bt.D.x#1";
   hello.classified_as = "is.D.x";  // wrong on purpose
   hello.nodes = 2;
-  channel->send(hello);
+  if (!channel->send(hello)) {
+    std::cerr << "job tier: hello send failed\n";
+    return 1;
+  }
   std::cout << "job tier: sent hello (classified as is.D.x)\n";
 
   const auto wait_for_budget = [&channel]() -> double {
@@ -75,7 +78,10 @@ int main() {
   update.p_max_w = bt.p_max_w();
   update.r2 = bt.r2();
   update.from_feedback = true;
-  channel->send(update);
+  if (!channel->send(update)) {
+    std::cerr << "job tier: model update send failed\n";
+    return 1;
+  }
   std::cout << "job tier: published corrected BT model over TCP\n";
 
   const double after = wait_for_budget();
@@ -83,7 +89,7 @@ int main() {
 
   cluster::JobGoodbyeMsg bye;
   bye.job_id = 1;
-  channel->send(bye);
+  if (!channel->send(bye)) std::cerr << "job tier: goodbye send failed\n";
   head_node.join();
 
   if (after > before) {

@@ -20,7 +20,12 @@ void ClusterManager::load_power_targets(const std::string& path) {
 }
 
 void ClusterManager::attach_channel(std::unique_ptr<MessageChannel> channel) {
-  channels_.push_back(std::move(channel));
+  ReliableChannelConfig retry = config_.retry;
+  // Decorrelate jitter streams across channels while staying deterministic
+  // for a fixed attach order.
+  retry.jitter_seed = util::splitmix64(retry.jitter_seed ^ (channels_attached_ + 1));
+  ++channels_attached_;
+  channels_.push_back(std::make_unique<ReliableChannel>(std::move(channel), retry));
 }
 
 std::optional<double> ClusterManager::target_at(double now_s) const {
@@ -35,20 +40,32 @@ model::PowerPerfModel ClusterManager::initial_model_for(const std::string& class
   return model::default_model(config_.default_model);
 }
 
-bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
+bool ClusterManager::handle(const Message& message, MessageChannel& channel, double now_s) {
   auto& registry = telemetry::MetricsRegistry::global();
+  // Any message refreshes the sender's liveness lease.
+  const auto lease_it = jobs_.find(job_id_of(message));
+  if (lease_it != jobs_.end()) lease_it->second.last_heard_s = now_s;
+
   if (const auto* hello = std::get_if<JobHelloMsg>(&message)) {
     static auto& hellos = registry.counter("cluster.manager.msgs", {{"type", "hello"}});
     hellos.inc();
+    const bool rejoin = jobs_.count(hello->job_id) != 0;
     ManagedJob job;
     job.job_name = hello->job_name;
     job.classified_as = hello->classified_as;
     job.nodes = hello->nodes;
     job.model = initial_model_for(hello->classified_as);
     job.channel = &channel;
+    job.last_heard_s = now_s;
+    job.model_updated_s = now_s;
     jobs_[hello->job_id] = std::move(job);
     // Budget the newcomer right away instead of waiting out the period.
     next_control_s_ = 0.0;
+    if (rejoin) {
+      static auto& rejoins = registry.counter("liveness.rejoins");
+      rejoins.inc();
+      util::log_info("cluster-manager", "job " + hello->job_name + " rejoined");
+    }
     util::log_debug("cluster-manager", "registered job " + hello->job_name + " as " +
                                            hello->classified_as);
   } else if (const auto* update = std::get_if<ModelUpdateMsg>(&message)) {
@@ -58,11 +75,27 @@ bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
     if (!config_.accept_model_updates) return false;
     const auto it = jobs_.find(update->job_id);
     if (it == jobs_.end()) return false;
-    it->second.model = model::PowerPerfModel(update->a, update->b, update->c,
-                                             update->p_min_w, update->p_max_w);
+    const model::PowerPerfModel incoming(update->a, update->b, update->c, update->p_min_w,
+                                         update->p_max_w);
+    it->second.model_updated_s = now_s;
+    if (it->second.model_from_feedback == update->from_feedback &&
+        incoming.a() == it->second.model.a() && incoming.b() == it->second.model.b() &&
+        incoming.c() == it->second.model.c()) {
+      return false;  // periodic republish of the same model: TTL refresh only
+    }
+    it->second.model = incoming;
     it->second.model_from_feedback = update->from_feedback;
     // Force a cap refresh on the next control step.
     it->second.last_sent_cap_w = -1.0;
+  } else if (const auto* hb = std::get_if<HeartbeatMsg>(&message)) {
+    static auto& beats = registry.counter("liveness.heartbeats_received");
+    beats.inc();
+    if (jobs_.count(hb->job_id) == 0) {
+      // A heartbeat from a job we expired: the endpoint is alive but not
+      // registered.  It will notice our silence and re-send its hello.
+      static auto& orphans = registry.counter("liveness.orphan_heartbeats");
+      orphans.inc();
+    }
   } else if (const auto* bye = std::get_if<JobGoodbyeMsg>(&message)) {
     static auto& byes = registry.counter("cluster.manager.msgs", {{"type", "goodbye"}});
     byes.inc();
@@ -73,15 +106,81 @@ bool ClusterManager::handle(const Message& message, MessageChannel& channel) {
   return false;
 }
 
+void ClusterManager::expire_leases(double now_s) {
+  if (config_.lease_s <= 0.0) return;
+  auto& registry = telemetry::MetricsRegistry::global();
+  static auto& expired = registry.counter("liveness.lease_expired");
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    ManagedJob& job = it->second;
+    if (now_s - job.last_heard_s <= config_.lease_s) {
+      ++it;
+      continue;
+    }
+    expired.inc();
+    ++leases_expired_;
+    telemetry::TraceRecorder::global().instant("lease_expired", "liveness", now_s,
+                                               static_cast<double>(it->first));
+    util::log_warn("cluster-manager",
+                   "job " + job.job_name + " silent for over " +
+                       std::to_string(config_.lease_s) +
+                       " s; declaring dead and reclaiming its budget");
+    registry.gauge("cluster.manager.job_cap_w", {{"job", std::to_string(it->first)}})
+        .set(0.0);
+    it = jobs_.erase(it);
+    // Redistribute the reclaimed budget immediately.
+    next_control_s_ = 0.0;
+  }
+}
+
+void ClusterManager::expire_stale_models(double now_s) {
+  if (config_.model_ttl_s <= 0.0) return;
+  static auto& expired =
+      telemetry::MetricsRegistry::global().counter("liveness.model_expired");
+  for (auto& [id, job] : jobs_) {
+    if (!job.model_from_feedback) continue;
+    if (now_s - job.model_updated_s <= config_.model_ttl_s) continue;
+    expired.inc();
+    telemetry::TraceRecorder::global().instant("model_expired", "liveness", now_s,
+                                               static_cast<double>(id));
+    util::log_warn("cluster-manager", "job " + job.job_name +
+                                          ": feedback model stale; reverting to the " +
+                                          job.classified_as + " classification");
+    job.model = initial_model_for(job.classified_as);
+    job.model_from_feedback = false;
+    job.model_updated_s = now_s;
+    job.last_sent_cap_w = -1.0;
+  }
+}
+
+void ClusterManager::send_heartbeats(double now_s) {
+  if (config_.heartbeat_period_s <= 0.0) return;
+  if (now_s + 1e-12 < next_heartbeat_s_) return;
+  next_heartbeat_s_ = now_s + config_.heartbeat_period_s;
+  static auto& beats =
+      telemetry::MetricsRegistry::global().counter("liveness.heartbeats_sent");
+  for (auto& [id, job] : jobs_) {
+    if (job.channel == nullptr) continue;
+    HeartbeatMsg beat;
+    beat.job_id = id;
+    beat.timestamp_s = now_s;
+    // job.channel is a ReliableChannel: a failed send is queued for
+    // retry, so the return value carries no signal here.
+    (void)job.channel->send(beat);
+    beats.inc();
+  }
+}
+
 void ClusterManager::step(double now_s) {
   for (auto it = channels_.begin(); it != channels_.end();) {
-    MessageChannel* channel = it->get();
+    ReliableChannel* channel = it->get();
+    channel->poll(now_s);
     bool done = false;
     while (auto message = channel->receive()) {
-      done = handle(*message, *channel) || done;
+      done = handle(*message, *channel, now_s) || done;
     }
     // Drop channels whose job said goodbye or whose peer vanished; any
-    // job still referencing the channel loses its send path.
+    // job still referencing the channel loses its send path (and its
+    // lease keeps counting down toward reclamation).
     if (done || !channel->connected()) {
       for (auto& [id, job] : jobs_) {
         if (job.channel == channel) job.channel = nullptr;
@@ -91,7 +190,30 @@ void ClusterManager::step(double now_s) {
       ++it;
     }
   }
+
+  expire_leases(now_s);
+
+  // Integral protection: while any job is past half its lease with no
+  // word, the measured-power gap is dominated by the partition, not by
+  // allocation error — freeze the integrator until liveness resolves.
+  liveness_suspect_ = false;
+  const double suspect_after =
+      config_.lease_s > 0.0 ? 0.5 * config_.lease_s
+                            : (config_.heartbeat_period_s > 0.0
+                                   ? 3.0 * config_.heartbeat_period_s
+                                   : 0.0);
+  if (suspect_after > 0.0) {
+    for (const auto& [id, job] : jobs_) {
+      if (now_s - job.last_heard_s > suspect_after) {
+        liveness_suspect_ = true;
+        break;
+      }
+    }
+  }
+
+  send_heartbeats(now_s);
   if (now_s + 1e-12 >= next_control_s_) {
+    expire_stale_models(now_s);
     rebudget(now_s);
     next_control_s_ = now_s + config_.control_period_s;
   }
@@ -102,13 +224,21 @@ void ClusterManager::report_measured_power(double now_s, double measured_w) {
   const std::optional<double> target = target_at(now_s);
   if (!target) return;
   if (last_measurement_s_ >= 0.0 && now_s > last_measurement_s_) {
-    const double dt = std::min(now_s - last_measurement_s_, 5.0);
-    correction_w_ += config_.integral_gain_per_s * (*target - measured_w) * dt;
-    correction_w_ = std::clamp(correction_w_, -config_.correction_limit_w,
-                               config_.correction_limit_w);
-    static auto& correction =
-        telemetry::MetricsRegistry::global().gauge("cluster.manager.correction_w");
-    correction.set(correction_w_);
+    const double dt = now_s - last_measurement_s_;
+    const bool stale =
+        config_.measurement_stale_s > 0.0 && dt > config_.measurement_stale_s;
+    if (stale || liveness_suspect_) {
+      static auto& frozen =
+          telemetry::MetricsRegistry::global().counter("cluster.manager.integral_frozen");
+      frozen.inc();
+    } else {
+      correction_w_ += config_.integral_gain_per_s * (*target - measured_w) * dt;
+      correction_w_ = std::clamp(correction_w_, -config_.correction_limit_w,
+                                 config_.correction_limit_w);
+      static auto& correction =
+          telemetry::MetricsRegistry::global().gauge("cluster.manager.correction_w");
+      correction.set(correction_w_);
+    }
   }
   last_measurement_s_ = now_s;
 }
@@ -148,22 +278,34 @@ void ClusterManager::rebudget(double now_s) {
     caps = result.node_cap_w;
   }
 
+  static auto& no_channel = registry.counter("cluster.manager.send_no_channel");
   for (auto& [id, job] : jobs_) {
     const auto it = caps.find(id);
     if (it == caps.end()) continue;
     if (job.last_sent_cap_w >= 0.0 && std::abs(it->second - job.last_sent_cap_w) < 0.25) {
       continue;  // suppress no-op chatter
     }
+    if (job.channel == nullptr) {
+      // Disconnected but not yet lease-expired: nothing to send on; the
+      // lease will reclaim the budget if the peer never comes back.
+      no_channel.inc();
+      continue;
+    }
     PowerBudgetMsg msg;
     msg.job_id = id;
     msg.node_cap_w = it->second;
     msg.timestamp_s = now_s;
-    if (job.channel != nullptr && job.channel->send(msg)) {
+    if (job.channel->send(msg)) {
       job.last_sent_cap_w = it->second;
       static auto& budget_msgs = registry.counter("cluster.manager.budget_msgs_sent");
       budget_msgs.inc();
       registry.gauge("cluster.manager.job_cap_w", {{"job", std::to_string(id)}})
           .set(it->second);
+    } else {
+      static auto& failed = registry.counter("cluster.manager.budget_send_failed");
+      failed.inc();
+      util::log_warn("cluster-manager",
+                     "budget send to " + job.job_name + " failed; will retry");
     }
   }
 }

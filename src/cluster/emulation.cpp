@@ -127,6 +127,34 @@ void EmulatedCluster::admit_arrivals() {
   }
 }
 
+void EmulatedCluster::make_endpoint(RunningJob& job) {
+  const workload::JobRequest& request = job.request;
+  InprocPair pair = make_inproc_pair(clock_, config_.inproc_latency_s);
+  std::unique_ptr<MessageChannel> manager_side = std::move(pair.a);
+  std::unique_ptr<MessageChannel> endpoint_side = std::move(pair.b);
+  if (channel_decorator_) {
+    manager_side = channel_decorator_(std::move(manager_side), request.job_id, true);
+    endpoint_side = channel_decorator_(std::move(endpoint_side), request.job_id, false);
+  }
+  manager_.attach_channel(std::move(manager_side));
+  job.endpoint_channel = std::move(endpoint_side);
+
+  // The endpoint process starts from the *classified* model — what the
+  // batch system believes the job is.
+  const std::string& classified = request.effective_class();
+  model::PowerPerfModel initial_model;
+  if (workload::try_find_job_type(classified)) {
+    initial_model = model::model_for_class(classified);
+  } else {
+    initial_model = model::default_model(config_.manager.default_model);
+  }
+  job.endpoint = std::make_unique<JobEndpointProcess>(
+      request.job_id, request.type_name + "#" + std::to_string(request.job_id), classified,
+      request.nodes, std::move(initial_model), job.controller->endpoint(),
+      *job.endpoint_channel, clock_.now(), config_.endpoint,
+      job.controller->current_cap_w());
+}
+
 void EmulatedCluster::start_jobs() {
   const std::vector<workload::JobRequest> to_start = scheduler_.schedule(make_view());
   for (const workload::JobRequest& request : to_start) {
@@ -156,26 +184,51 @@ void EmulatedCluster::start_jobs() {
         std::move(nodes), clock_,
         rng_.child(static_cast<std::uint64_t>(request.job_id) + 1000), controller_config);
 
-    job->channels = make_inproc_pair(clock_, config_.inproc_latency_s);
-    manager_.attach_channel(std::move(job->channels.a));
-
-    // The endpoint process starts from the *classified* model — what the
-    // batch system believes the job is.
-    const std::string& classified = request.effective_class();
-    model::PowerPerfModel initial_model;
-    if (workload::try_find_job_type(classified)) {
-      initial_model = model::model_for_class(classified);
-    } else {
-      initial_model = model::default_model(config_.manager.default_model);
-    }
-    job->endpoint = std::make_unique<JobEndpointProcess>(
-        request.job_id, request.type_name + "#" + std::to_string(request.job_id), classified,
-        request.nodes, std::move(initial_model), job->controller->endpoint(),
-        *job->channels.b, clock_.now(), config_.endpoint,
-        job->controller->current_cap_w());
-
+    make_endpoint(*job);
     running_.push_back(std::move(job));
   }
+}
+
+bool EmulatedCluster::crash_job_endpoint(int job_id) {
+  for (auto& job : running_) {
+    if (job->request.job_id != job_id || !job->endpoint) continue;
+    // No goodbye: the process just dies.  Destroying the endpoint-side
+    // channel closes the pipe pair, so the manager sees a disconnect; the
+    // job record itself lingers until the liveness lease reaps it.
+    job->endpoint.reset();
+    job->endpoint_channel.reset();
+    util::log_warn("emulation", "job " + std::to_string(job_id) + ": endpoint crashed");
+    telemetry::TraceRecorder::global().instant("endpoint_crash", "fault", clock_.now(),
+                                               static_cast<double>(job_id));
+    return true;
+  }
+  return false;
+}
+
+bool EmulatedCluster::restart_job_endpoint(int job_id) {
+  for (auto& job : running_) {
+    if (job->request.job_id != job_id || job->endpoint) continue;
+    make_endpoint(*job);
+    util::log_info("emulation", "job " + std::to_string(job_id) + ": endpoint restarted");
+    telemetry::TraceRecorder::global().instant("endpoint_restart", "fault", clock_.now(),
+                                               static_cast<double>(job_id));
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> EmulatedCluster::running_job_ids() const {
+  std::vector<int> ids;
+  ids.reserve(running_.size());
+  for (const auto& job : running_) ids.push_back(job->request.job_id);
+  return ids;
+}
+
+JobEndpointProcess* EmulatedCluster::endpoint(int job_id) {
+  for (auto& job : running_) {
+    if (job->request.job_id == job_id) return job->endpoint.get();
+  }
+  return nullptr;
 }
 
 void EmulatedCluster::finish_completed_jobs() {
@@ -188,8 +241,9 @@ void EmulatedCluster::finish_completed_jobs() {
     }
     job.controller->teardown(now);
     // The goodbye survives the endpoint's destruction: the channel pipes
-    // are shared, so the manager drains it on a later step.
-    job.endpoint->finish(now);
+    // are shared, so the manager drains it on a later step.  A crashed
+    // endpoint has no goodbye to send; the lease reaps it instead.
+    if (job.endpoint) job.endpoint->finish(now);
 
     CompletedJob record;
     record.request = job.request;
@@ -231,10 +285,11 @@ bool EmulatedCluster::step() {
   admit_arrivals();
   finish_completed_jobs();
   start_jobs();
+  if (step_hook_) step_hook_(*this, now);
 
   for (auto& job : running_) {
     job->controller->control_step(now);
-    job->endpoint->step(now);
+    if (job->endpoint) job->endpoint->step(now);
   }
   // Facility metering: the head node sees the cluster's CPU power.
   manager_.report_measured_power(now, hw_->total_power_w());

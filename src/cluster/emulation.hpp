@@ -10,6 +10,7 @@
 // wall time while exercising the same code paths a deployment would.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -92,6 +93,14 @@ double uncapped_runtime_s(const workload::JobType& type,
 
 class EmulatedCluster {
  public:
+  /// Wraps a tier channel at creation time (fault injection decorates
+  /// here).  `manager_side` distinguishes the two directions of a pair.
+  using ChannelDecorator = std::function<std::unique_ptr<MessageChannel>(
+      std::unique_ptr<MessageChannel> inner, int job_id, bool manager_side)>;
+  /// Invoked once per engine step after jobs are admitted/started and
+  /// before the control stack runs (fault schedules fire here).
+  using StepHook = std::function<void(EmulatedCluster& cluster, double now_s)>;
+
   EmulatedCluster(EmulationConfig config, workload::Schedule schedule);
   /// Unbinds the global trace recorder from this run's clock.
   ~EmulatedCluster();
@@ -116,9 +125,32 @@ class EmulatedCluster {
 
   const util::VirtualClock& clock() const { return clock_; }
   const platform::ClusterHw& hardware() const { return *hw_; }
+  /// Mutable hardware access (fault injection installs MSR fault hooks).
+  platform::ClusterHw& hardware_mut() { return *hw_; }
   ClusterManager& manager() { return manager_; }
   std::size_t running_jobs() const { return running_.size(); }
   bool finished() const { return done_; }
+
+  /// Install a decorator applied to every tier channel created from now
+  /// on (both sides of each job's pair).  Set before run().
+  void set_channel_decorator(ChannelDecorator decorator) {
+    channel_decorator_ = std::move(decorator);
+  }
+  /// Install a hook invoked each engine step (crash schedules, probes).
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
+  /// Abruptly kill a running job's endpoint process: no goodbye, its
+  /// channel drops, the manager's lease must reap the job.  The job's
+  /// kernels keep running at their last applied cap.  Returns false when
+  /// the job is not running or already crashed.
+  bool crash_job_endpoint(int job_id);
+  /// Restart a crashed endpoint on a fresh channel; it re-sends JobHello
+  /// and rejoins the manager.  Returns false when not running/crashed.
+  bool restart_job_endpoint(int job_id);
+  /// IDs of currently running jobs (in start order).
+  std::vector<int> running_job_ids() const;
+  /// The job's endpoint process; nullptr when not running or crashed.
+  JobEndpointProcess* endpoint(int job_id);
 
   /// Feasible power envelope right now: the floor is busy nodes at their
   /// minimum caps plus idle nodes at idle power; the ceiling is each
@@ -131,7 +163,9 @@ class EmulatedCluster {
   struct RunningJob {
     workload::JobRequest request;
     std::vector<int> node_ids;
-    InprocPair channels;  // a = manager side, b = endpoint side
+    /// Endpoint-side channel (possibly decorated); the manager side is
+    /// handed to the manager at start.
+    std::unique_ptr<MessageChannel> endpoint_channel;
     std::unique_ptr<geopm::JobController> controller;
     std::unique_ptr<JobEndpointProcess> endpoint;
   };
@@ -139,6 +173,9 @@ class EmulatedCluster {
   void admit_arrivals();
   void start_jobs();
   void finish_completed_jobs();
+  /// Create the channel pair (decorated), attach the manager side, and
+  /// build the endpoint process.  Used at job start and endpoint restart.
+  void make_endpoint(RunningJob& job);
   sched::SchedulerView make_view() const;
 
   EmulationConfig config_;
@@ -157,6 +194,8 @@ class EmulatedCluster {
 
   EmulationResult result_;
   telemetry::RunArtifactWriter* artifacts_ = nullptr;
+  ChannelDecorator channel_decorator_;
+  StepHook step_hook_;
   double next_log_s_ = 0.0;
   bool done_ = false;
 };

@@ -3,9 +3,23 @@
 #include <algorithm>
 
 #include "geopm/signals.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace anor::cluster {
+
+namespace {
+
+ReliableChannelConfig endpoint_retry_config(const JobEndpointConfig& config, int job_id) {
+  ReliableChannelConfig retry = config.retry;
+  // Decorrelate jitter across endpoints while keeping a fixed seed per job.
+  retry.jitter_seed =
+      util::splitmix64(retry.jitter_seed ^ (static_cast<std::uint64_t>(job_id) + 0x9e37ULL));
+  return retry;
+}
+
+}  // namespace
 
 JobEndpointProcess::JobEndpointProcess(int job_id, std::string job_name,
                                        std::string classified_as, int nodes,
@@ -20,22 +34,36 @@ JobEndpointProcess::JobEndpointProcess(int job_id, std::string job_name,
       endpoint_(&endpoint),
       channel_(&channel),
       config_(config),
+      reliable_(channel, endpoint_retry_config(config, job_id)),
       modeler_(initial_model),
       reclassifier_(model::standard_candidates(), config.reclassifier),
       served_model_(std::move(initial_model)) {
-  JobHelloMsg hello;
-  hello.job_id = job_id_;
-  hello.job_name = job_name_;
-  hello.classified_as = classified_as_;
-  hello.nodes = nodes_;
-  channel_->send(hello);
+  reliable_.poll(start_time_s);
+  send_hello(start_time_s);
   next_step_s_ = start_time_s;
+  last_mgr_heard_s_ = start_time_s;  // grace: the lease clock starts now
+  next_heartbeat_s_ = start_time_s;
   // Record the cap the nodes already carry so the first epoch
   // observations attribute to the right power level.  No policy write is
   // needed until the cap changes.
   current_cap_w_ = initial_cap_w;
   applied_cap_w_ = initial_cap_w;
   modeler_.record_cap(start_time_s, initial_cap_w);
+}
+
+void JobEndpointProcess::send_hello(double now_s) {
+  JobHelloMsg hello;
+  hello.job_id = job_id_;
+  hello.job_name = job_name_;
+  hello.classified_as = classified_as_;
+  hello.nodes = nodes_;
+  hello.timestamp_s = now_s;
+  reliable_.send(hello);
+}
+
+double JobEndpointProcess::safe_cap_w() const {
+  if (config_.safe_cap_w > 0.0) return config_.safe_cap_w;
+  return served_model_.p_min_w();
 }
 
 void JobEndpointProcess::publish_model(double now_s, const model::PowerPerfModel& model,
@@ -50,8 +78,11 @@ void JobEndpointProcess::publish_model(double now_s, const model::PowerPerfModel
   msg.r2 = model.r2();
   msg.from_feedback = from_feedback;
   msg.timestamp_s = now_s;
-  channel_->send(msg);
+  reliable_.send(msg);
   if (from_feedback) published_feedback_ = true;
+  if (config_.model_republish_s > 0.0) {
+    next_model_republish_s_ = now_s + config_.model_republish_s;
+  }
 }
 
 void JobEndpointProcess::apply_cap(double now_s) {
@@ -71,19 +102,79 @@ void JobEndpointProcess::apply_cap(double now_s) {
   }
 }
 
+void JobEndpointProcess::check_manager_liveness(double now_s) {
+  if (config_.manager_quiet_after_s <= 0.0) return;
+  auto& registry = telemetry::MetricsRegistry::global();
+  if (now_s - last_mgr_heard_s_ <= config_.manager_quiet_after_s) {
+    if (degraded_) {
+      degraded_ = false;
+      static auto& recovered = registry.counter("liveness.manager_recovered");
+      recovered.inc();
+      telemetry::TraceRecorder::global().instant("manager_recovered", "liveness", now_s,
+                                                 static_cast<double>(job_id_));
+      util::log_info("job-endpoint", job_name_ + ": manager back; leaving degraded mode");
+    }
+    return;
+  }
+  if (!degraded_) {
+    degraded_ = true;
+    next_hello_retry_s_ = now_s;  // start rejoin attempts immediately
+    static auto& quiet = registry.counter("liveness.manager_quiet");
+    quiet.inc();
+    telemetry::TraceRecorder::global().instant("manager_quiet", "liveness", now_s,
+                                               static_cast<double>(job_id_));
+    util::log_warn("job-endpoint",
+                   job_name_ + ": manager silent for over " +
+                       std::to_string(config_.manager_quiet_after_s) +
+                       " s; holding cap and decaying toward the safe cap");
+  }
+  // Hold-last-value already elapsed (the quiet window); now walk the cap
+  // toward the safe cap so an unaccounted job sheds its allocation.
+  const double floor = safe_cap_w();
+  if (current_cap_w_ > floor && config_.safe_cap_decay_w_per_s > 0.0) {
+    current_cap_w_ = std::max(
+        floor, current_cap_w_ - config_.safe_cap_decay_w_per_s * config_.period_s);
+    static auto& decays = registry.counter("liveness.safe_cap_decays");
+    decays.inc();
+  }
+  // Rejoin: a quiet manager may have expired our lease; re-announce.
+  if (now_s + 1e-9 >= next_hello_retry_s_) {
+    send_hello(now_s);
+    next_hello_retry_s_ = now_s + config_.manager_quiet_after_s;
+    static auto& rejoin = registry.counter("liveness.rejoin_hellos");
+    rejoin.inc();
+  }
+}
+
 void JobEndpointProcess::step(double now_s) {
   if (now_s + 1e-12 < next_step_s_) return;
   next_step_s_ = now_s + config_.period_s;
 
+  // 0. Drive pending retries on the virtual clock.
+  reliable_.poll(now_s);
+
   // 1. Budgets from the cluster manager -> agent policy + cap history.
-  while (auto message = channel_->receive()) {
+  //    Every inbound message (heartbeats included) refreshes the
+  //    manager-liveness clock.
+  while (auto message = reliable_.receive()) {
+    last_mgr_heard_s_ = now_s;
     if (const auto* budget = std::get_if<PowerBudgetMsg>(&*message)) {
       current_cap_w_ = budget->node_cap_w;
     }
   }
+  check_manager_liveness(now_s);
   apply_cap(now_s);
 
-  // 2. Agent samples -> modeler observations.  Spans use the precise
+  // 2. Heartbeat upward so the manager's lease on this job stays fresh.
+  if (config_.heartbeat_period_s > 0.0 && now_s + 1e-12 >= next_heartbeat_s_) {
+    HeartbeatMsg beat;
+    beat.job_id = job_id_;
+    beat.timestamp_s = now_s;
+    reliable_.send(beat);
+    next_heartbeat_s_ = now_s + config_.heartbeat_period_s;
+  }
+
+  // 3. Agent samples -> modeler observations.  Spans use the precise
   // epoch-completion timestamps GEOPM reports, not the coarser sample
   // times — the difference is the sampling-grid quantization that
   // otherwise blurs seconds-per-epoch (paper Sec. 7.2).
@@ -95,8 +186,14 @@ void JobEndpointProcess::step(double now_s) {
                               epoch_count);
   }
 
-  // 3. Feedback upward.
+  // 4. Feedback upward.
   if (config_.feedback_enabled) run_feedback(now_s);
+
+  // 5. Keep the manager's model TTL fresh while we are the model source.
+  if (published_feedback_ && config_.model_republish_s > 0.0 &&
+      now_s + 1e-9 >= next_model_republish_s_) {
+    publish_model(now_s, served_model_, true);
+  }
 }
 
 void JobEndpointProcess::run_feedback(double now_s) {
@@ -179,10 +276,11 @@ void JobEndpointProcess::run_feedback(double now_s) {
 }
 
 void JobEndpointProcess::finish(double now_s) {
+  reliable_.poll(now_s);
   JobGoodbyeMsg bye;
   bye.job_id = job_id_;
   bye.timestamp_s = now_s;
-  channel_->send(bye);
+  reliable_.send(bye);
 }
 
 }  // namespace anor::cluster

@@ -8,6 +8,16 @@
 // mechanisms mirror the paper: a quadratic refit once observations span
 // enough caps (Sec. 4.2), and misclassification detection against the
 // precharacterized curves (Sec. 6.1.2) for the static-cap regime.
+//
+// Failure model: all sends go through a ReliableChannel (sequence
+// stamping, retry with backoff, bounded outbox), the endpoint heartbeats
+// the manager so its liveness lease stays fresh, and it republishes its
+// served feedback model periodically so the manager's staleness TTL does
+// not lapse while the job is healthy.  When the manager goes quiet the
+// endpoint holds its last cap for the quiet window, then decays the
+// applied cap toward a safe cap — a partitioned job must not keep burning
+// a power allocation nobody is accounting for — and re-sends its hello to
+// rejoin cleanly once the partition heals.
 #pragma once
 
 #include <memory>
@@ -15,6 +25,7 @@
 #include <string>
 
 #include "cluster/messages.hpp"
+#include "cluster/reliable_channel.hpp"
 #include "cluster/transport.hpp"
 #include "geopm/endpoint.hpp"
 #include "model/modeler.hpp"
@@ -45,6 +56,22 @@ struct JobEndpointConfig {
   /// error).  Epoch rates resolve to well under 1 % per cap level, so
   /// near-ties are within measurement noise — probing separates them.
   double decision_margin = 0.015;
+
+  /// Liveness heartbeat cadence toward the manager (0 disables).
+  double heartbeat_period_s = 2.0;
+  /// Degrade after the manager has been silent this long (0 disables).
+  double manager_quiet_after_s = 10.0;
+  /// While degraded, walk the applied cap toward the safe cap at this
+  /// rate; hello is also re-sent at the quiet cadence to rejoin.
+  double safe_cap_decay_w_per_s = 4.0;
+  /// Fallback cap while partitioned; 0 derives it from the served model's
+  /// p_min (the lowest cap the job is characterized at).
+  double safe_cap_w = 0.0;
+  /// Republish the served feedback model at this cadence so the manager's
+  /// model-staleness TTL stays fresh (0 disables).
+  double model_republish_s = 20.0;
+  /// Retry/backoff/dedup settings for the channel to the manager.
+  ReliableChannelConfig retry;
 };
 
 class JobEndpointProcess {
@@ -68,20 +95,29 @@ class JobEndpointProcess {
   bool published_feedback() const { return published_feedback_; }
   double current_cap_w() const { return current_cap_w_; }
   bool probing() const { return probing_; }
+  /// True while the manager has been silent past the quiet window and the
+  /// endpoint is decaying toward the safe cap.
+  bool degraded() const { return degraded_; }
+  /// The cap the endpoint falls back to while partitioned.
+  double safe_cap_w() const;
+  const ReliableChannel& reliable() const { return reliable_; }
 
   /// One iteration of the endpoint loop at virtual time `now_s`:
-  /// 1. apply any budget messages from the manager to the agent,
-  /// 2. drain agent samples into the modeler,
-  /// 3. if feedback produced a better model, publish it.
+  /// 1. retry pending sends and apply any budget messages to the agent,
+  /// 2. heartbeat the manager / detect a quiet manager and degrade,
+  /// 3. drain agent samples into the modeler,
+  /// 4. if feedback produced a better model, publish it.
   void step(double now_s);
 
   /// Send JobGoodbye (call at job completion).
   void finish(double now_s);
 
  private:
+  void send_hello(double now_s);
   void publish_model(double now_s, const model::PowerPerfModel& model, bool from_feedback);
   /// Push cap (+ probe dither when active) into the agent policy.
   void apply_cap(double now_s);
+  void check_manager_liveness(double now_s);
   void run_feedback(double now_s);
 
   int job_id_;
@@ -91,6 +127,7 @@ class JobEndpointProcess {
   geopm::Endpoint* endpoint_;
   MessageChannel* channel_;
   JobEndpointConfig config_;
+  ReliableChannel reliable_;
 
   model::OnlineModeler modeler_;
   model::Reclassifier reclassifier_;
@@ -101,6 +138,13 @@ class JobEndpointProcess {
   double current_cap_w_ = 0.0;
   bool published_feedback_ = false;
   std::optional<std::string> reclassified_to_;
+
+  // Liveness state.
+  double last_mgr_heard_s_ = 0.0;
+  bool degraded_ = false;
+  double next_heartbeat_s_ = 0.0;
+  double next_hello_retry_s_ = 0.0;
+  double next_model_republish_s_ = 0.0;
 
   // Probe state.
   bool probing_ = false;

@@ -15,12 +15,10 @@ util::Json encode(const Message& message) {
           obj["job_name"] = util::Json(msg.job_name);
           obj["classified_as"] = util::Json(msg.classified_as);
           obj["nodes"] = util::Json(msg.nodes);
-          obj["t"] = util::Json(msg.timestamp_s);
         } else if constexpr (std::is_same_v<T, PowerBudgetMsg>) {
           obj["type"] = util::Json("budget");
           obj["job_id"] = util::Json(msg.job_id);
           obj["node_cap_w"] = util::Json(msg.node_cap_w);
-          obj["t"] = util::Json(msg.timestamp_s);
         } else if constexpr (std::is_same_v<T, ModelUpdateMsg>) {
           obj["type"] = util::Json("model");
           obj["job_id"] = util::Json(msg.job_id);
@@ -31,12 +29,15 @@ util::Json encode(const Message& message) {
           obj["p_max_w"] = util::Json(msg.p_max_w);
           obj["r2"] = util::Json(msg.r2);
           obj["from_feedback"] = util::Json(msg.from_feedback);
-          obj["t"] = util::Json(msg.timestamp_s);
         } else if constexpr (std::is_same_v<T, JobGoodbyeMsg>) {
           obj["type"] = util::Json("goodbye");
           obj["job_id"] = util::Json(msg.job_id);
-          obj["t"] = util::Json(msg.timestamp_s);
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          obj["type"] = util::Json("hb");
+          obj["job_id"] = util::Json(msg.job_id);
         }
+        obj["t"] = util::Json(msg.timestamp_s);
+        if (msg.seq != 0) obj["seq"] = util::Json(static_cast<double>(msg.seq));
       },
       message);
   return util::Json(std::move(obj));
@@ -44,6 +45,7 @@ util::Json encode(const Message& message) {
 
 Message decode(const util::Json& json) {
   const std::string& type = json.at("type").as_string();
+  const auto seq = static_cast<std::uint64_t>(json.number_or("seq", 0.0));
   if (type == "hello") {
     JobHelloMsg msg;
     msg.job_id = static_cast<int>(json.at("job_id").as_int());
@@ -51,6 +53,7 @@ Message decode(const util::Json& json) {
     msg.classified_as = json.at("classified_as").as_string();
     msg.nodes = static_cast<int>(json.at("nodes").as_int());
     msg.timestamp_s = json.at("t").as_number();
+    msg.seq = seq;
     return msg;
   }
   if (type == "budget") {
@@ -58,6 +61,7 @@ Message decode(const util::Json& json) {
     msg.job_id = static_cast<int>(json.at("job_id").as_int());
     msg.node_cap_w = json.at("node_cap_w").as_number();
     msg.timestamp_s = json.at("t").as_number();
+    msg.seq = seq;
     return msg;
   }
   if (type == "model") {
@@ -71,12 +75,21 @@ Message decode(const util::Json& json) {
     msg.r2 = json.at("r2").as_number();
     msg.from_feedback = json.bool_or("from_feedback", false);
     msg.timestamp_s = json.at("t").as_number();
+    msg.seq = seq;
     return msg;
   }
   if (type == "goodbye") {
     JobGoodbyeMsg msg;
     msg.job_id = static_cast<int>(json.at("job_id").as_int());
     msg.timestamp_s = json.at("t").as_number();
+    msg.seq = seq;
+    return msg;
+  }
+  if (type == "hb") {
+    HeartbeatMsg msg;
+    msg.job_id = static_cast<int>(json.at("job_id").as_int());
+    msg.timestamp_s = json.at("t").as_number();
+    msg.seq = seq;
     return msg;
   }
   throw util::ConfigError("decode: unknown message type '" + type + "'");
@@ -88,6 +101,73 @@ Message decode_text(const std::string& text) { return decode(util::Json::parse(t
 
 int job_id_of(const Message& message) {
   return std::visit([](const auto& msg) { return msg.job_id; }, message);
+}
+
+double timestamp_of(const Message& message) {
+  return std::visit([](const auto& msg) { return msg.timestamp_s; }, message);
+}
+
+std::uint64_t seq_of(const Message& message) {
+  return std::visit([](const auto& msg) { return msg.seq; }, message);
+}
+
+void set_seq(Message& message, std::uint64_t seq) {
+  std::visit([seq](auto& msg) { msg.seq = seq; }, message);
+}
+
+std::string_view type_name_of(const Message& message) {
+  return std::visit(
+      [](const auto& msg) -> std::string_view {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, JobHelloMsg>) return "hello";
+        if constexpr (std::is_same_v<T, PowerBudgetMsg>) return "budget";
+        if constexpr (std::is_same_v<T, ModelUpdateMsg>) return "model";
+        if constexpr (std::is_same_v<T, JobGoodbyeMsg>) return "goodbye";
+        if constexpr (std::is_same_v<T, HeartbeatMsg>) return "hb";
+        return "unknown";
+      },
+      message);
+}
+
+std::uint32_t message_checksum(std::string_view payload_text) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (char c : payload_text) {
+    h ^= static_cast<std::uint32_t>(static_cast<unsigned char>(c));
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::string encode_framed_text(const Message& message) {
+  const std::string payload = encode_text(message);
+  util::JsonObject frame;
+  frame["crc"] = util::Json(static_cast<double>(message_checksum(payload)));
+  frame["msg"] = encode(message);
+  return util::Json(std::move(frame)).dump();
+}
+
+Message decode_framed_text(const std::string& text) {
+  util::Json json;
+  try {
+    json = util::Json::parse(text);
+  } catch (const util::ConfigError& error) {
+    throw util::TransportError(std::string("corrupt frame: ") + error.what());
+  }
+  if (!json.is_object()) throw util::TransportError("corrupt frame: not an object");
+  try {
+    // Legacy/unframed texts carry the message at the top level.
+    if (json.contains("type")) return decode(json);
+    const auto expected = static_cast<std::uint32_t>(json.at("crc").as_number());
+    const std::string payload = json.at("msg").dump();
+    if (message_checksum(payload) != expected) {
+      throw util::TransportError("corrupt frame: checksum mismatch");
+    }
+    return decode(json.at("msg"));
+  } catch (const util::TransportError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw util::TransportError(std::string("corrupt frame: ") + error.what());
+  }
 }
 
 }  // namespace anor::cluster

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace anor::cluster {
 
@@ -41,7 +43,7 @@ void TcpChannel::close_socket() {
 
 bool TcpChannel::send(const Message& message) {
   if (fd_ < 0) return false;
-  const std::string payload = encode_text(message);
+  const std::string payload = encode_framed_text(message);
   std::vector<std::uint8_t> frame(4 + payload.size());
   const auto len = static_cast<std::uint32_t>(payload.size());
   frame[0] = static_cast<std::uint8_t>(len >> 24);
@@ -50,16 +52,32 @@ bool TcpChannel::send(const Message& message) {
   frame[3] = static_cast<std::uint8_t>(len);
   std::memcpy(frame.data() + 4, payload.data(), payload.size());
 
+  // Bounded write: a full socket buffer is waited out with poll() rather
+  // than spun on, and a peer that stays wedged past the budget gets the
+  // socket closed — once part of a frame is on the wire, giving up
+  // mid-frame would desynchronize the length-prefixed stream anyway.
   std::size_t sent = 0;
+  int wait_budget_ms = kSendBudgetMs;
   while (sent < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Loopback control traffic is tiny; spin briefly rather than
-      // maintaining an output queue.
+      if (wait_budget_ms <= 0) {
+        static auto& timeouts = telemetry::MetricsRegistry::global().counter(
+            "cluster.transport.tcp.send_timeouts");
+        timeouts.inc();
+        util::log_warn("tcp-transport", "send stalled past budget; closing socket");
+        close_socket();
+        return false;
+      }
+      const int slice_ms = wait_budget_ms < 50 ? wait_budget_ms : 50;
+      pollfd pfd{fd_, POLLOUT, 0};
+      ::poll(&pfd, 1, slice_ms);
+      wait_budget_ms -= slice_ms;
       continue;
     }
     close_socket();
@@ -72,6 +90,13 @@ bool TcpChannel::send(const Message& message) {
   messages.inc();
   bytes.inc(frame.size());
   return true;
+}
+
+bool TcpChannel::wait_readable(int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
 void TcpChannel::pump_input() {
@@ -95,21 +120,43 @@ void TcpChannel::pump_input() {
 
 std::optional<Message> TcpChannel::receive() {
   pump_input();
-  if (in_buffer_.size() < 4) return std::nullopt;
-  const std::uint32_t len = (static_cast<std::uint32_t>(in_buffer_[0]) << 24) |
-                            (static_cast<std::uint32_t>(in_buffer_[1]) << 16) |
-                            (static_cast<std::uint32_t>(in_buffer_[2]) << 8) |
-                            static_cast<std::uint32_t>(in_buffer_[3]);
-  if (in_buffer_.size() < 4 + len) return std::nullopt;
-  const std::string payload(in_buffer_.begin() + 4, in_buffer_.begin() + 4 + len);
-  in_buffer_.erase(in_buffer_.begin(), in_buffer_.begin() + 4 + len);
-  static auto& messages = telemetry::MetricsRegistry::global().counter(
-      "cluster.transport.tcp.messages_received");
-  static auto& bytes =
-      telemetry::MetricsRegistry::global().counter("cluster.transport.tcp.bytes_received");
-  messages.inc();
-  bytes.inc(4 + static_cast<std::uint64_t>(len));
-  return decode_text(payload);
+  // A frame that fails the checksum or fails to parse is dropped and the
+  // next one tried; a hostile length prefix kills the connection (there
+  // is no way to find the next frame boundary after that).
+  while (in_buffer_.size() >= 4) {
+    const std::uint32_t len = (static_cast<std::uint32_t>(in_buffer_[0]) << 24) |
+                              (static_cast<std::uint32_t>(in_buffer_[1]) << 16) |
+                              (static_cast<std::uint32_t>(in_buffer_[2]) << 8) |
+                              static_cast<std::uint32_t>(in_buffer_[3]);
+    if (len > kMaxFrameBytes) {
+      static auto& rejected = telemetry::MetricsRegistry::global().counter(
+          "cluster.transport.tcp.frames_rejected");
+      rejected.inc();
+      util::log_warn("tcp-transport",
+                     "frame length " + std::to_string(len) + " exceeds limit; closing");
+      close_socket();
+      in_buffer_.clear();
+      return std::nullopt;
+    }
+    if (in_buffer_.size() < 4 + len) return std::nullopt;
+    const std::string payload(in_buffer_.begin() + 4, in_buffer_.begin() + 4 + len);
+    in_buffer_.erase(in_buffer_.begin(), in_buffer_.begin() + 4 + len);
+    static auto& messages = telemetry::MetricsRegistry::global().counter(
+        "cluster.transport.tcp.messages_received");
+    static auto& bytes = telemetry::MetricsRegistry::global().counter(
+        "cluster.transport.tcp.bytes_received");
+    messages.inc();
+    bytes.inc(4 + static_cast<std::uint64_t>(len));
+    try {
+      return decode_framed_text(payload);
+    } catch (const util::TransportError& err) {
+      static auto& rejected = telemetry::MetricsRegistry::global().counter(
+          "cluster.transport.tcp.frames_rejected");
+      rejected.inc();
+      util::log_warn("tcp-transport", std::string("dropping bad frame: ") + err.what());
+    }
+  }
+  return std::nullopt;
 }
 
 TcpListener::TcpListener(std::uint16_t port) {

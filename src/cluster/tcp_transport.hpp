@@ -6,6 +6,15 @@
 // non-blocking loopback socket.  The deterministic experiments use the
 // in-process transport; this one backs the integration tests and the
 // examples/tcp_demo binary to show the protocol survives a real socket.
+//
+// Failure hardening: payloads carry a checksum envelope
+// (encode_framed_text) and a frame that fails the checksum, fails to
+// parse, or claims an absurd length is dropped and counted
+// (cluster.transport.tcp.frames_rejected) instead of poisoning the
+// stream.  Writes never block forever: a full socket buffer is waited out
+// with poll() up to a bounded budget, after which the socket is closed
+// (a half-written frame cannot be resynchronized).  SIGPIPE is never
+// raised (MSG_NOSIGNAL).
 #pragma once
 
 #include <cstdint>
@@ -32,7 +41,18 @@ class TcpChannel final : public MessageChannel {
   std::optional<Message> receive() override;
   bool connected() const override { return fd_ >= 0; }
 
+  /// Block up to `timeout_ms` for the socket to become readable (or the
+  /// peer to hang up).  Returns false on timeout or when closed.  Lets
+  /// pollers sleep in the kernel instead of spinning on receive().
+  bool wait_readable(int timeout_ms);
+
   int fd() const { return fd_; }
+
+  /// Total wall-clock budget send() may spend waiting out a full socket
+  /// buffer before declaring the peer wedged and closing (milliseconds).
+  static constexpr int kSendBudgetMs = 2000;
+  /// Frames larger than this are treated as stream corruption.
+  static constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
 
  private:
   void pump_input();

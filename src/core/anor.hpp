@@ -15,6 +15,7 @@
 //   sim/       — tabular 1000-node cluster simulator
 //   cluster/   — tier messaging (in-process + TCP), cluster manager,
 //                job endpoints, end-to-end emulation
+//   fault/     — fault plans, faulty-channel injection, chaos runs
 //   core/      — policies and the experiment facade
 #pragma once
 
@@ -23,6 +24,10 @@
 #include "cluster/facility.hpp"
 #include "core/framework.hpp"
 #include "core/policies.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_channel.hpp"
 #include "geopm/controller.hpp"
 #include "model/modeler.hpp"
 #include "model/reclassify.hpp"

@@ -1,0 +1,133 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/job_type.hpp"
+#include "workload/schedule.hpp"
+
+namespace anor::fault {
+
+namespace {
+
+/// Fill the cluster with long-running jobs submitted at t = 0.  Two-node
+/// types first, single-node CG plugs the remainder, and the kernel's
+/// perf multiplier stretches every job past the chaos horizon so power
+/// tracking is never disturbed by a draining schedule.
+workload::Schedule chaos_schedule(int node_count) {
+  static const char* kTypes[] = {"bt.D.x", "lu.D.x", "sp.D.x", "ft.D.x"};
+  workload::Schedule schedule;
+  int used = 0;
+  int next_type = 0;
+  int job_id = 1;
+  while (used < node_count) {
+    const workload::JobType* type =
+        &workload::find_job_type(kTypes[next_type % 4]);
+    if (used + type->nodes > node_count) {
+      type = &workload::find_job_type("cg.D.x");  // 1 node
+    } else {
+      ++next_type;
+    }
+    workload::JobRequest request;
+    request.job_id = job_id++;
+    request.type_name = type->name;
+    request.submit_time_s = 0.0;
+    schedule.jobs.push_back(request);
+    used += type->nodes;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosConfig& config) {
+  cluster::EmulationConfig emu = config.base;
+  emu.node_count = config.node_count;
+  emu.seed = config.seed;
+  emu.max_duration_s = config.duration_s;
+  // Stretch job runtimes past the horizon (shortest type is CG at 120 s
+  // uncapped) so the job population is constant while faults fly.
+  emu.controller.kernel.perf_multiplier =
+      std::max(emu.controller.kernel.perf_multiplier, config.duration_s / 100.0);
+
+  workload::Schedule schedule = chaos_schedule(config.node_count);
+  schedule.duration_s = config.duration_s;
+
+  // A mid-range static target every job mix can reach: 200 W per node
+  // inside the [140, 280] cap range.
+  const double target_w = 200.0 * config.node_count;
+  util::TimeSeries targets;
+  targets.add(0.0, target_w);
+
+  cluster::EmulatedCluster emulated(std::move(emu), std::move(schedule));
+  emulated.set_power_targets(targets);
+
+  FaultInjector injector(config.plan);
+  injector.arm(emulated);
+
+  const cluster::EmulationResult run = emulated.run();
+
+  ChaosResult result;
+  result.target_w = target_w;
+  result.end_time_s = run.end_time_s;
+  result.power_w = run.power_w;
+  result.target_series_w = targets;
+  result.fault_events = injector.log().size();
+  result.leases_expired = emulated.manager().leases_expired();
+  result.event_trace = injector.event_trace();
+  result.tracking = util::tracking_error(run.power_w, targets, target_w);
+
+  // Budget leaked to the dead: manager job records with no live endpoint
+  // behind them still holding a cap at the end of the run.
+  for (const auto& [id, job] : emulated.manager().jobs()) {
+    if (emulated.endpoint(id) == nullptr && job.last_sent_cap_w > 0.0) {
+      result.leaked_budget_w += job.last_sent_cap_w * job.nodes;
+    }
+  }
+
+  // Recovery accounting on the logged power series.  Settling: ignore
+  // everything before tracking first entered the band (job setup ramps
+  // power from idle; that transient is not a fault).
+  const double band_w = config.recovery_band_frac * target_w;
+  const std::size_t n = run.power_w.size();
+  double settled_s = -1.0;
+  double last_violation_s = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = run.power_w.times()[i];
+    const double err = std::abs(run.power_w.values()[i] - target_w);
+    if (settled_s < 0.0) {
+      if (err <= band_w) settled_s = t;
+      continue;
+    }
+    if (err > band_w) last_violation_s = t;
+  }
+
+  if (n > 0) {
+    const double tail_from = run.end_time_s - 0.1 * config.duration_s;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (run.power_w.times()[i] < tail_from) continue;
+      sum += std::abs(run.power_w.values()[i] - target_w) / target_w;
+      ++count;
+    }
+    if (count > 0) result.final_error_frac = sum / count;
+  }
+
+  const bool ends_in_band = settled_s >= 0.0 &&
+                            result.final_error_frac <= config.recovery_band_frac;
+  result.recovered = ends_in_band;
+  if (ends_in_band) {
+    const double disruption_s = injector.last_scheduled_disruption_s();
+    if (last_violation_s < 0.0) {
+      result.recovery_latency_s = 0.0;  // never left the band after settling
+    } else if (disruption_s >= 0.0) {
+      result.recovery_latency_s = std::max(0.0, last_violation_s - disruption_s);
+    } else {
+      result.recovery_latency_s = 0.0;  // no scheduled disruption to measure from
+    }
+  }
+  return result;
+}
+
+}  // namespace anor::fault

@@ -1,0 +1,61 @@
+// Closed-loop chaos runs: the full two-tier stack under a fault plan.
+//
+// run_chaos builds a small emulated cluster with long-running jobs, a
+// static power target, and a FaultInjector armed with the given plan,
+// then measures what the hardening delivers: power-tracking error while
+// faults fly, recovery latency after the last scheduled disruption, and
+// whether any budget stays allocated to dead jobs (leaked watts).  The
+// `anorctl chaos` command and the chaos smoke stage of check_tier1.sh
+// drive this; the acceptance bar is recovery to within 5 % of target
+// with zero leaked budget under the drop10_crash1 plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/emulation.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/time_series.hpp"
+
+namespace anor::fault {
+
+struct ChaosConfig {
+  FaultPlan plan;
+  /// Emulation seed (separate from the plan's fault seed).
+  std::uint64_t seed = 1;
+  double duration_s = 240.0;
+  int node_count = 8;
+  /// Recovery threshold as a fraction of the target.
+  double recovery_band_frac = 0.05;
+  /// Advanced overrides applied on top of the built-in scenario.
+  cluster::EmulationConfig base;
+};
+
+struct ChaosResult {
+  /// Error statistics over the whole run (reserve = recovery band).
+  util::TrackingErrorStats tracking;
+  /// |measured - target| / target averaged over the final 10 % of the run.
+  double final_error_frac = 1.0;
+  /// Seconds from the last scheduled disruption (crash/restart/disconnect
+  /// end) until tracking re-entered the recovery band for good; 0 when it
+  /// never left, -1 when it never recovered.
+  double recovery_latency_s = -1.0;
+  /// Watts of budget still assigned to jobs with no live endpoint at the
+  /// end of the run.
+  double leaked_budget_w = 0.0;
+  bool recovered = false;
+  std::size_t fault_events = 0;
+  std::uint64_t leases_expired = 0;
+  double target_w = 0.0;
+  double end_time_s = 0.0;
+  /// Canonical fault-event trace (the determinism witness).
+  std::string event_trace;
+  util::TimeSeries power_w;
+  util::TimeSeries target_series_w;
+};
+
+/// Run the chaos scenario to completion.
+ChaosResult run_chaos(const ChaosConfig& config);
+
+}  // namespace anor::fault

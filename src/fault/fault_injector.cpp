@@ -1,0 +1,147 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "platform/msr.hpp"
+#include "util/logging.hpp"
+
+namespace anor::fault {
+
+namespace {
+
+std::uint64_t channel_seed(std::uint64_t plan_seed, int job_id, bool manager_side) {
+  const auto lane = static_cast<std::uint64_t>(job_id) * 2 + (manager_side ? 1 : 0);
+  return util::splitmix64(plan_seed ^ util::splitmix64(lane + 0xFA017ULL));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const NodeCrashSpec& spec : plan_.crashes) {
+    CrashState state;
+    state.spec = spec;
+    state.resolved_job_id = spec.job_id;
+    crashes_.push_back(state);
+  }
+}
+
+double FaultInjector::last_scheduled_disruption_s() const {
+  double last = -1.0;
+  for (const CrashState& crash : crashes_) {
+    last = std::max(last, crash.spec.restart_s > 0.0 ? crash.spec.restart_s
+                                                     : crash.spec.crash_s);
+  }
+  if (plan_.channel.disconnect_until_s > plan_.channel.disconnect_from_s) {
+    last = std::max(last, plan_.channel.disconnect_until_s);
+  }
+  return last;
+}
+
+void FaultInjector::arm(cluster::EmulatedCluster& cluster) {
+  if (plan_.channel.any()) {
+    const ChannelFaultSpec spec = plan_.channel;
+    const std::uint64_t seed = plan_.seed;
+    FaultEventLog* log = &log_;
+    const util::VirtualClock* clock = &cluster.clock();
+    cluster.set_channel_decorator(
+        [spec, seed, log, clock](std::unique_ptr<cluster::MessageChannel> inner, int job_id,
+                                 bool manager_side) -> std::unique_ptr<cluster::MessageChannel> {
+          if (manager_side && !spec.manager_side) return inner;
+          if (!manager_side && !spec.endpoint_side) return inner;
+          return std::make_unique<FaultyChannel>(
+              std::move(inner), spec, util::Rng(channel_seed(seed, job_id, manager_side)),
+              *clock, job_id, manager_side ? "mgr" : "ep", log);
+        });
+  }
+
+  if (plan_.msr.any()) {
+    const MsrFaultSpec spec = plan_.msr;
+    const util::VirtualClock* clock = &cluster.clock();
+    FaultEventLog* log = &log_;
+    platform::ClusterHw& hw = cluster.hardware_mut();
+    for (int n = 0; n < hw.node_count(); ++n) {
+      platform::Node& node = hw.node(n);
+      for (int p = 0; p < node.package_count(); ++p) {
+        // One stream per package so fault timing on one node never shifts
+        // another's.
+        auto rng = std::make_shared<util::Rng>(util::splitmix64(
+            plan_.seed ^ util::splitmix64(static_cast<std::uint64_t>(n) * 64 +
+                                          static_cast<std::uint64_t>(p) + 0x355EULL)));
+        const int node_id = n;
+        node.package(p).msr().set_fault_hook(
+            [spec, clock, rng, log, node_id](std::uint32_t, bool is_write) {
+              if (!spec.active_at(clock->now())) return false;
+              const double prob = is_write ? spec.write_fault_prob : spec.read_fault_prob;
+              if (prob <= 0.0 || !rng->coin(prob)) return false;
+              if (log != nullptr) {
+                FaultEvent event;
+                event.t_s = clock->now();
+                event.side = "msr";
+                event.kind = is_write ? "msr_write" : "msr_read";
+                event.msg_type = "-";
+                event.job_id = node_id;
+                log->record(std::move(event));
+              }
+              return true;
+            });
+      }
+    }
+    msr_armed_ = true;
+  }
+
+  if (!crashes_.empty()) {
+    cluster.set_step_hook([this](cluster::EmulatedCluster& c, double now_s) {
+      on_step(c, now_s);
+    });
+  }
+}
+
+void FaultInjector::on_step(cluster::EmulatedCluster& cluster, double now_s) {
+  for (CrashState& crash : crashes_) {
+    if (!crash.crashed && now_s >= crash.spec.crash_s) {
+      int target = crash.spec.job_id;
+      if (target < 0) {
+        const std::vector<int> running = cluster.running_job_ids();
+        if (running.empty()) {
+          // Nothing to crash yet; give the schedule a grace window, then
+          // drop the crash so the plan cannot spin forever.
+          if (now_s > crash.spec.crash_s + 30.0) crash.crashed = true;
+          continue;
+        }
+        target = *std::min_element(running.begin(), running.end());
+      }
+      if (cluster.crash_job_endpoint(target)) {
+        crash.resolved_job_id = target;
+        crash.crashed = true;
+        FaultEvent event;
+        event.t_s = now_s;
+        event.side = "node";
+        event.kind = "crash";
+        event.msg_type = "-";
+        event.job_id = target;
+        log_.record(std::move(event));
+      } else if (now_s > crash.spec.crash_s + 30.0) {
+        crash.crashed = true;  // job never became crashable; give up
+      }
+    }
+    if (crash.crashed && !crash.restarted && crash.spec.restart_s > 0.0 &&
+        now_s >= crash.spec.restart_s && crash.resolved_job_id >= 0) {
+      if (cluster.restart_job_endpoint(crash.resolved_job_id)) {
+        crash.restarted = true;
+        FaultEvent event;
+        event.t_s = now_s;
+        event.side = "node";
+        event.kind = "restart";
+        event.msg_type = "-";
+        event.job_id = crash.resolved_job_id;
+        log_.record(std::move(event));
+      } else {
+        // The job completed while its endpoint was down; nothing to
+        // restart.
+        crash.restarted = true;
+      }
+    }
+  }
+}
+
+}  // namespace anor::fault

@@ -1,0 +1,57 @@
+// FaultInjector: binds a FaultPlan to an EmulatedCluster.
+//
+// arm() installs the three injection points the emulation exposes:
+//   * a channel decorator wrapping each tier channel in a FaultyChannel
+//     (child Rng per job and direction, so adding a job never perturbs
+//     another job's fault stream),
+//   * a step hook that drives the crash/restart schedule on the virtual
+//     clock,
+//   * MSR fault hooks on every package of every node for transient
+//     read/write failures.
+// The injector owns the FaultEventLog; event_trace() is the canonical
+// determinism witness (same plan + seed => byte-identical text).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/emulation.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_channel.hpp"
+
+namespace anor::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Install the plan's hooks on the cluster.  The injector must outlive
+  /// the cluster's run.  Call once, before the first step.
+  void arm(cluster::EmulatedCluster& cluster);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultEventLog& log() const { return log_; }
+  std::string event_trace() const { return log_.to_text(); }
+  /// Virtual time of the last disruptive event (crash, restart, or the
+  /// end of the disconnect window) — recovery latency is measured from
+  /// here.  -1 when the plan has no scheduled disruption.
+  double last_scheduled_disruption_s() const;
+
+ private:
+  void on_step(cluster::EmulatedCluster& cluster, double now_s);
+
+  FaultPlan plan_;
+  FaultEventLog log_;
+
+  struct CrashState {
+    NodeCrashSpec spec;
+    int resolved_job_id = -1;
+    bool crashed = false;
+    bool restarted = false;
+  };
+  std::vector<CrashState> crashes_;
+  bool msr_armed_ = false;
+};
+
+}  // namespace anor::fault

@@ -1,0 +1,100 @@
+// Fault plans: declarative, seeded descriptions of what goes wrong.
+//
+// A FaultPlan names the faults a chaos run injects — per-message channel
+// faults (drop/delay/duplicate/reorder/corrupt and a hard disconnect
+// window), endpoint-process crashes with optional restarts, and transient
+// MSR access failures.  Plans round-trip through JSON so experiments can
+// version them alongside schedules and power targets, and every random
+// decision derives from the plan's seed on the virtual clock, so the same
+// plan and seed replay byte-identical fault-event traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace anor::fault {
+
+/// Per-message faults applied on the sending side of a tier channel.
+/// Probabilities are per message and independent; `delay_s` is the extra
+/// virtual latency a delayed message suffers.  The disconnect window
+/// [disconnect_from_s, disconnect_until_s) fails every send outright, as
+/// a dead TCP link would — the retry layer has to carry traffic across
+/// it.
+struct ChannelFaultSpec {
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double reorder_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_s = 1.0;
+  double disconnect_from_s = 0.0;
+  double disconnect_until_s = 0.0;
+  /// Which directions the faults apply to (manager->endpoint, uplink).
+  bool manager_side = true;
+  bool endpoint_side = true;
+
+  bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || corrupt_prob > 0.0 ||
+           reorder_prob > 0.0 || delay_prob > 0.0 ||
+           disconnect_until_s > disconnect_from_s;
+  }
+
+  util::Json to_json() const;
+  static ChannelFaultSpec from_json(const util::Json& json);
+};
+
+/// Kill a job's endpoint process at crash_s (no goodbye, channel drops);
+/// restart it at restart_s (0 = never).  job_id -1 targets the
+/// lowest-numbered job running at crash time.
+struct NodeCrashSpec {
+  int job_id = -1;
+  double crash_s = 0.0;
+  double restart_s = 0.0;
+
+  util::Json to_json() const;
+  static NodeCrashSpec from_json(const util::Json& json);
+};
+
+/// Transient MSR read/write failures (msr-safe EIO under contention),
+/// active in [from_s, until_s) — until_s 0 means the whole run.
+struct MsrFaultSpec {
+  double read_fault_prob = 0.0;
+  double write_fault_prob = 0.0;
+  double from_s = 0.0;
+  double until_s = 0.0;
+
+  bool any() const { return read_fault_prob > 0.0 || write_fault_prob > 0.0; }
+  bool active_at(double now_s) const {
+    return any() && now_s >= from_s && (until_s <= 0.0 || now_s < until_s);
+  }
+
+  util::Json to_json() const;
+  static MsrFaultSpec from_json(const util::Json& json);
+};
+
+struct FaultPlan {
+  std::string name = "none";
+  /// Root seed for every fault decision (child streams per channel/node).
+  std::uint64_t seed = 1;
+  ChannelFaultSpec channel;
+  std::vector<NodeCrashSpec> crashes;
+  MsrFaultSpec msr;
+
+  bool any() const { return channel.any() || !crashes.empty() || msr.any(); }
+
+  util::Json to_json() const;
+  static FaultPlan from_json(const util::Json& json);
+  /// Load from a JSON file; throws ConfigError on I/O or shape errors.
+  static FaultPlan load(const std::string& path);
+
+  /// Named presets: "none", "drop10" (10 % message drop), "drop10_crash1"
+  /// (the acceptance scenario: 10 % drop plus one crash/restart), "chaos"
+  /// (everything at once).  Throws ConfigError for unknown names.
+  static FaultPlan preset(const std::string& name);
+  static std::vector<std::string> preset_names();
+};
+
+}  // namespace anor::fault

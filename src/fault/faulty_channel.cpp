@@ -1,0 +1,131 @@
+#include "fault/faulty_channel.hpp"
+
+#include <cstdio>
+
+#include "cluster/messages.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
+
+namespace anor::fault {
+
+void FaultEventLog::record(FaultEvent event) {
+  telemetry::MetricsRegistry::global().counter("fault." + event.kind).inc();
+  telemetry::MetricsRegistry::global().counter("fault.injected").inc();
+  events_.push_back(std::move(event));
+}
+
+std::string FaultEventLog::to_text() const {
+  std::string out;
+  char line[160];
+  for (const FaultEvent& event : events_) {
+    std::snprintf(line, sizeof line, "t=%.3f side=%s kind=%s msg=%s job=%d seq=%llu\n",
+                  event.t_s, event.side.c_str(), event.kind.c_str(),
+                  event.msg_type.c_str(), event.job_id,
+                  static_cast<unsigned long long>(event.seq));
+    out += line;
+  }
+  return out;
+}
+
+FaultyChannel::FaultyChannel(std::unique_ptr<cluster::MessageChannel> inner,
+                             ChannelFaultSpec spec, util::Rng rng,
+                             const util::VirtualClock& clock, int job_id,
+                             std::string side_label, FaultEventLog* log)
+    : inner_(std::move(inner)),
+      spec_(spec),
+      rng_(rng),
+      clock_(&clock),
+      job_id_(job_id),
+      side_(std::move(side_label)),
+      log_(log) {}
+
+void FaultyChannel::note(const char* kind, const cluster::Message& message) {
+  if (log_ == nullptr) return;
+  FaultEvent event;
+  event.t_s = clock_->now();
+  event.side = side_;
+  event.kind = kind;
+  event.msg_type = std::string(cluster::type_name_of(message));
+  event.job_id = job_id_;
+  event.seq = cluster::seq_of(message);
+  log_->record(std::move(event));
+}
+
+void FaultyChannel::flush_delayed() {
+  const double now = clock_->now();
+  while (!delayed_.empty() && delayed_.front().release_s <= now) {
+    (void)inner_->send(delayed_.front().message);
+    delayed_.pop_front();
+  }
+}
+
+bool FaultyChannel::send(const cluster::Message& message) {
+  flush_delayed();
+  const double now = clock_->now();
+
+  // Disconnect window: the link is down, the sender finds out.  This is
+  // the fault the retry/backoff path exists for.
+  if (spec_.disconnect_until_s > spec_.disconnect_from_s &&
+      now >= spec_.disconnect_from_s && now < spec_.disconnect_until_s) {
+    note("disconnect", message);
+    return false;
+  }
+
+  // The remaining faults are silent: the sender believes delivery
+  // happened.  Draw order is fixed so traces replay exactly.
+  if (spec_.drop_prob > 0.0 && rng_.coin(spec_.drop_prob)) {
+    note("drop", message);
+    return true;
+  }
+  if (spec_.corrupt_prob > 0.0 && rng_.coin(spec_.corrupt_prob)) {
+    // Emulate on-the-wire corruption end to end: encode the frame, flip a
+    // byte, and deliver only if the checksum still accepts it (it never
+    // does — the receiver's rejection path is what this exercises).
+    std::string wire = cluster::encode_framed_text(message);
+    if (!wire.empty()) {
+      const auto at = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+      wire[at] = static_cast<char>(wire[at] ^ 0x20);
+    }
+    try {
+      const cluster::Message survived = cluster::decode_framed_text(wire);
+      (void)inner_->send(survived);
+    } catch (const util::TransportError&) {
+      note("corrupt", message);
+    }
+    return true;
+  }
+  if (spec_.reorder_prob > 0.0 && rng_.coin(spec_.reorder_prob)) {
+    // Hold this message; the next send overtakes it.
+    note("reorder", message);
+    reorder_hold_.push_back(message);
+    return true;
+  }
+  if (spec_.delay_prob > 0.0 && rng_.coin(spec_.delay_prob)) {
+    note("delay", message);
+    Delayed held;
+    held.release_s = now + spec_.delay_s;
+    held.message = message;
+    delayed_.push_back(std::move(held));
+    return true;
+  }
+
+  const bool ok = inner_->send(message);
+  if (ok && spec_.duplicate_prob > 0.0 && rng_.coin(spec_.duplicate_prob)) {
+    note("duplicate", message);
+    (void)inner_->send(message);
+  }
+  // Release anything a reorder was holding — it now arrives late.
+  while (ok && !reorder_hold_.empty()) {
+    (void)inner_->send(reorder_hold_.front());
+    reorder_hold_.pop_front();
+  }
+  return ok;
+}
+
+std::optional<cluster::Message> FaultyChannel::receive() {
+  flush_delayed();
+  return inner_->receive();
+}
+
+}  // namespace anor::fault

@@ -1,0 +1,87 @@
+// FaultyChannel: a MessageChannel decorator that misbehaves on purpose.
+//
+// Wraps any channel and applies the per-message faults of a
+// ChannelFaultSpec on the sending side: drop (message vanishes, sender
+// believes it delivered), delay (held and released after delay_s of
+// virtual time), duplicate, reorder (held until the next send overtakes
+// it), corrupt (the encoded frame gets a bit flip; delivery only happens
+// if the checksum somehow still validates — i.e. never), and a
+// disconnect window during which every send fails outright.  All
+// decisions come from a seeded Rng and the shared virtual clock, and
+// every injected fault is appended to a FaultEventLog whose text form is
+// the determinism witness: same plan + seed => byte-identical trace.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/transport.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace anor::fault {
+
+struct FaultEvent {
+  double t_s = 0.0;
+  std::string side;      // "mgr" or "ep" (which direction's sender)
+  std::string kind;      // drop, delay, duplicate, reorder, corrupt, disconnect, crash, restart, msr
+  std::string msg_type;  // message type tag ("budget", "hb", ...) or "-"
+  int job_id = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Shared, append-only record of every injected fault.  Events are
+/// appended in virtual-time order (the emulation is single-threaded), so
+/// to_text() is a canonical replay witness.
+class FaultEventLog {
+ public:
+  void record(FaultEvent event);
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  /// One line per event: "t=<t> side=<s> kind=<k> msg=<m> job=<id> seq=<n>".
+  std::string to_text() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+class FaultyChannel final : public cluster::MessageChannel {
+ public:
+  /// `clock` and `log` must outlive the channel.  `side_label` tags the
+  /// event log ("mgr" for the manager->endpoint direction, "ep" for the
+  /// uplink).
+  FaultyChannel(std::unique_ptr<cluster::MessageChannel> inner, ChannelFaultSpec spec,
+                util::Rng rng, const util::VirtualClock& clock, int job_id,
+                std::string side_label, FaultEventLog* log);
+
+  bool send(const cluster::Message& message) override;
+  std::optional<cluster::Message> receive() override;
+  bool connected() const override { return inner_->connected(); }
+
+  cluster::MessageChannel& inner() { return *inner_; }
+
+ private:
+  void note(const char* kind, const cluster::Message& message);
+  /// Release delayed messages whose time has come.
+  void flush_delayed();
+
+  std::unique_ptr<cluster::MessageChannel> inner_;
+  ChannelFaultSpec spec_;
+  util::Rng rng_;
+  const util::VirtualClock* clock_;
+  int job_id_;
+  std::string side_;
+  FaultEventLog* log_;
+
+  struct Delayed {
+    double release_s = 0.0;
+    cluster::Message message;
+  };
+  std::deque<Delayed> delayed_;
+  std::deque<cluster::Message> reorder_hold_;
+};
+
+}  // namespace anor::fault

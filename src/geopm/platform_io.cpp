@@ -4,7 +4,9 @@
 
 #include "geopm/signals.hpp"
 #include "platform/msr.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace anor::geopm {
 
@@ -47,12 +49,23 @@ int PlatformIO::push_control(std::string_view name) {
 
 double PlatformIO::unwrapped_energy_j() {
   // PKG_ENERGY_STATUS is a 32-bit counter in RAPL energy units; unwrap it
-  // per package and convert to joules.
+  // per package and convert to joules.  A transient MSR read fault holds
+  // the package's accumulator at its last value — the next successful
+  // read's raw delta covers the missed window, so no energy is lost.
   double total = 0.0;
   for (int p = 0; p < node_->package_count(); ++p) {
     auto& pkg = node_->package(p);
-    const std::uint64_t raw = pkg.msr().read(platform::kMsrPkgEnergyStatus) & 0xFFFFFFFFULL;
     const auto idx = static_cast<std::size_t>(p);
+    std::uint64_t raw = 0;
+    try {
+      raw = pkg.msr().read(platform::kMsrPkgEnergyStatus) & 0xFFFFFFFFULL;
+    } catch (const util::MsrAccessError&) {
+      static auto& faults =
+          telemetry::MetricsRegistry::global().counter("geopm.pio.energy_read_faults");
+      faults.inc();
+      total += accumulated_energy_j_[idx];
+      continue;
+    }
     std::uint64_t delta;
     if (!energy_initialized_) {
       delta = 0;
@@ -108,10 +121,20 @@ void PlatformIO::adjust(int control_index, double value) {
 void PlatformIO::write_batch() {
   for (std::size_t i = 0; i < pushed_controls_.size(); ++i) {
     if (!control_dirty_[i]) continue;
-    control_dirty_[i] = false;
     if (pushed_controls_[i] == kControlCpuPowerLimit) {
-      node_->set_power_cap(control_values_[i]);
+      try {
+        node_->set_power_cap(control_values_[i]);
+      } catch (const util::MsrAccessError& err) {
+        // Transient write fault: keep the control dirty so the next
+        // write_batch retries the cap instead of silently dropping it.
+        static auto& faults =
+            telemetry::MetricsRegistry::global().counter("geopm.pio.cap_write_faults");
+        faults.inc();
+        util::log_debug("platform-io", std::string("cap write deferred: ") + err.what());
+        continue;
+      }
     }
+    control_dirty_[i] = false;
   }
 }
 

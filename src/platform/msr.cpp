@@ -89,9 +89,14 @@ MsrFile::MsrFile() {
 std::uint64_t MsrFile::read(std::uint32_t address) const {
   static auto& reads = telemetry::MetricsRegistry::global().counter("node.msr.reads");
   static auto& denied = telemetry::MetricsRegistry::global().counter("node.msr.denied");
+  static auto& faults = telemetry::MetricsRegistry::global().counter("node.msr.read_faults");
   if (readable_.count(address) == 0) {
     denied.inc();
     throw util::MsrAccessError("MSR read denied by allowlist: " + hex_of(address));
+  }
+  if (fault_hook_ && fault_hook_(address, false)) {
+    faults.inc();
+    throw util::MsrAccessError("transient MSR read fault: " + hex_of(address));
   }
   reads.inc();
   return raw_read(address);
@@ -100,9 +105,14 @@ std::uint64_t MsrFile::read(std::uint32_t address) const {
 void MsrFile::write(std::uint32_t address, std::uint64_t value) {
   static auto& writes = telemetry::MetricsRegistry::global().counter("node.msr.writes");
   static auto& denied = telemetry::MetricsRegistry::global().counter("node.msr.denied");
+  static auto& faults = telemetry::MetricsRegistry::global().counter("node.msr.write_faults");
   if (writable_.count(address) == 0) {
     denied.inc();
     throw util::MsrAccessError("MSR write denied by allowlist: " + hex_of(address));
+  }
+  if (fault_hook_ && fault_hook_(address, true)) {
+    faults.inc();
+    throw util::MsrAccessError("transient MSR write fault: " + hex_of(address));
   }
   writes.inc();
   raw_write(address, value);

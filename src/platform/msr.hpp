@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -89,10 +90,18 @@ class MsrFile {
   bool read_allowed(std::uint32_t address) const { return readable_.count(address) != 0; }
   bool write_allowed(std::uint32_t address) const { return writable_.count(address) != 0; }
 
+  /// Transient-fault hook, consulted on every *gated* access (raw_* is
+  /// the silicon and never faults).  Returning true makes the access
+  /// throw MsrAccessError — the EIO an msr-safe read can return under
+  /// contention.  Fault injection installs this; nullptr disables.
+  using FaultHook = std::function<bool(std::uint32_t address, bool is_write)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   std::map<std::uint32_t, std::uint64_t> registers_;
   std::set<std::uint32_t> readable_;
   std::set<std::uint32_t> writable_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace anor::platform

@@ -49,6 +49,9 @@ TEST(FailureInjection, BudgetsRecoverFromDroppedSends) {
   config.cluster_nodes = 4;
   config.control_period_s = 1.0;
   config.closed_loop = false;
+  // The bare test peer never heartbeats; disable the liveness lease so the
+  // job is not declared dead while we measure the drop behavior.
+  config.lease_s = 0.0;
   ClusterManager manager(config);
   util::TimeSeries targets;
   targets.add(0.0, 2 * 180.0 + 2 * config.idle_node_power_w);

@@ -18,6 +18,10 @@ struct JobEndpointTest : ::testing::Test {
     JobEndpointConfig config;
     config.period_s = 1.0;
     config.feedback_enabled = feedback;
+    // These tests drive the endpoint alone; there is no manager behind
+    // pair.a, so disable quiet-manager degradation (it would otherwise
+    // decay the cap mid-test and pause probing).
+    config.manager_quiet_after_s = 0.0;
     return JobEndpointProcess(1, "bt.D.x#1", classified, 2,
                               model::model_for_class(classified), geopm_endpoint,
                               *pair.b, clock.now(), config);

@@ -1,0 +1,216 @@
+// Liveness leases on the cluster manager: heartbeats keep a job alive, a
+// silent job is declared dead and its budget reclaimed, a fresh hello
+// rejoins it, stale feedback models fall back to the classified model,
+// and stale power telemetry freezes the closed-loop integral.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.hpp"
+#include "cluster/transport.hpp"
+#include "util/clock.hpp"
+
+namespace anor::cluster {
+namespace {
+
+JobHelloMsg hello_for(int job_id, const std::string& type, int nodes) {
+  JobHelloMsg hello;
+  hello.job_id = job_id;
+  hello.job_name = type + "#" + std::to_string(job_id);
+  hello.classified_as = type;
+  hello.nodes = nodes;
+  return hello;
+}
+
+TEST(Liveness, HeartbeatsKeepTheLeaseFresh) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.lease_s = 6.0;
+  ClusterManager manager(config);
+  manager.attach_channel(std::move(pair.a));
+
+  pair.b->send(hello_for(1, "bt.D.x", 2));
+  manager.step(0.0);
+  ASSERT_EQ(manager.active_jobs(), 1u);
+
+  // Heartbeat every 2 s for 30 s: well past the 6 s lease, but never
+  // silent long enough to expire it.
+  for (int i = 1; i <= 15; ++i) {
+    clock.advance(2.0);
+    pair.b->send(HeartbeatMsg{1, clock.now()});
+    manager.step(clock.now());
+    while (pair.b->receive()) {
+    }  // drain manager heartbeats/budgets
+  }
+  EXPECT_EQ(manager.active_jobs(), 1u);
+  EXPECT_EQ(manager.leases_expired(), 0u);
+
+  // Now go silent: the lease expires and the job is reaped.
+  for (int i = 0; i < 5; ++i) {
+    clock.advance(2.0);
+    manager.step(clock.now());
+  }
+  EXPECT_EQ(manager.active_jobs(), 0u);
+  EXPECT_EQ(manager.leases_expired(), 1u);
+}
+
+TEST(Liveness, DeadJobBudgetIsReclaimedForSurvivors) {
+  util::VirtualClock clock;
+  InprocPair pair1 = make_inproc_pair(clock, 0.0);
+  InprocPair pair2 = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.control_period_s = 1.0;
+  config.lease_s = 6.0;
+  config.closed_loop = false;
+  ClusterManager manager(config);
+  // A target low enough that two 2-node jobs cannot both run at p_max:
+  // the survivor's cap must rise once the dead job's share is reclaimed.
+  util::TimeSeries targets;
+  targets.add(0.0, 4 * 180.0);
+  manager.set_power_targets(std::move(targets));
+  manager.attach_channel(std::move(pair1.a));
+  manager.attach_channel(std::move(pair2.a));
+
+  pair1.b->send(hello_for(1, "bt.D.x", 2));
+  pair2.b->send(hello_for(2, "sp.D.x", 2));
+  manager.step(0.0);
+  ASSERT_EQ(manager.active_jobs(), 2u);
+
+  // Both jobs heartbeat until the split settles.
+  for (int i = 1; i <= 3; ++i) {
+    clock.advance(1.0);
+    pair1.b->send(HeartbeatMsg{1, clock.now()});
+    pair2.b->send(HeartbeatMsg{2, clock.now()});
+    manager.step(clock.now());
+  }
+  const double shared_cap = manager.jobs().at(1).last_sent_cap_w;
+  ASSERT_GT(shared_cap, 0.0);
+
+  // Job 2 goes silent; job 1 keeps heartbeating.  After the lease
+  // expires, job 2's budget flows to job 1.
+  for (int i = 0; i < 10; ++i) {
+    clock.advance(1.0);
+    pair1.b->send(HeartbeatMsg{1, clock.now()});
+    manager.step(clock.now());
+  }
+  EXPECT_EQ(manager.active_jobs(), 1u);
+  EXPECT_EQ(manager.leases_expired(), 1u);
+  EXPECT_GT(manager.jobs().at(1).last_sent_cap_w, shared_cap);
+}
+
+TEST(Liveness, FreshHelloRejoinsAfterLeaseExpiry) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.lease_s = 4.0;
+  ClusterManager manager(config);
+  manager.attach_channel(std::move(pair.a));
+
+  pair.b->send(hello_for(3, "lu.D.x", 2));
+  manager.step(0.0);
+  ASSERT_EQ(manager.active_jobs(), 1u);
+
+  clock.advance(10.0);
+  manager.step(clock.now());
+  ASSERT_EQ(manager.active_jobs(), 0u);
+  ASSERT_EQ(manager.leases_expired(), 1u);
+
+  // The endpoint comes back (restarted node) and re-announces itself on
+  // the same channel; the manager re-registers it cleanly.
+  pair.b->send(hello_for(3, "lu.D.x", 2));
+  clock.advance(1.0);
+  manager.step(clock.now());
+  EXPECT_EQ(manager.active_jobs(), 1u);
+  EXPECT_EQ(manager.jobs().at(3).classified_as, "lu.D.x");
+}
+
+TEST(Liveness, StaleFeedbackModelFallsBackToClassified) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.lease_s = 0.0;  // isolate the model TTL from lease expiry
+  config.model_ttl_s = 8.0;
+  ClusterManager manager(config);
+  manager.attach_channel(std::move(pair.a));
+
+  pair.b->send(hello_for(4, "bt.D.x", 2));
+  ModelUpdateMsg update;
+  update.job_id = 4;
+  update.a = 1e-5;
+  update.b = -0.004;
+  update.c = 1.5;
+  update.p_min_w = 140.0;
+  update.p_max_w = 280.0;
+  update.r2 = 0.99;
+  update.from_feedback = true;
+  pair.b->send(update);
+  manager.step(0.0);
+  ASSERT_TRUE(manager.jobs().at(4).model_from_feedback);
+
+  // Nobody republishes the model; past the TTL the manager stops trusting
+  // it and budgets with the classified model again.
+  clock.advance(10.0);
+  manager.step(clock.now());
+  EXPECT_FALSE(manager.jobs().at(4).model_from_feedback);
+}
+
+TEST(Liveness, StaleMeasurementFreezesTheIntegral) {
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.measurement_stale_s = 6.0;
+  config.lease_s = 0.0;
+  ClusterManager manager(config);
+  util::TimeSeries targets;
+  targets.add(0.0, 600.0);
+  manager.set_power_targets(std::move(targets));
+
+  manager.report_measured_power(0.0, 500.0);
+  manager.report_measured_power(2.0, 500.0);  // fresh: integral winds up
+  const double wound = manager.correction_w();
+  EXPECT_GT(wound, 0.0);
+
+  // 20 s gap: telemetry went stale; the error must not integrate over
+  // the blackout.
+  manager.report_measured_power(22.0, 500.0);
+  EXPECT_DOUBLE_EQ(manager.correction_w(), wound);
+
+  // Fresh cadence resumes: the integral moves again.
+  manager.report_measured_power(24.0, 500.0);
+  EXPECT_GT(manager.correction_w(), wound);
+}
+
+TEST(Liveness, SuspectJobFreezesTheIntegral) {
+  util::VirtualClock clock;
+  InprocPair pair = make_inproc_pair(clock, 0.0);
+  ClusterManagerConfig config;
+  config.cluster_nodes = 4;
+  config.lease_s = 10.0;
+  ClusterManager manager(config);
+  util::TimeSeries targets;
+  targets.add(0.0, 600.0);
+  manager.set_power_targets(std::move(targets));
+  manager.attach_channel(std::move(pair.a));
+
+  pair.b->send(hello_for(5, "bt.D.x", 2));
+  manager.step(0.0);
+  manager.report_measured_power(0.0, 500.0);
+  manager.report_measured_power(2.0, 500.0);
+  const double wound = manager.correction_w();
+  EXPECT_GT(wound, 0.0);
+  EXPECT_FALSE(manager.liveness_suspect());
+
+  // The job has been silent past half its lease: its power contribution
+  // is in doubt, so the tracking gap must not wind the integral while the
+  // lease question resolves.
+  clock.advance(7.0);
+  manager.step(clock.now());
+  EXPECT_TRUE(manager.liveness_suspect());
+  manager.report_measured_power(7.0, 500.0);
+  EXPECT_DOUBLE_EQ(manager.correction_w(), wound);
+}
+
+}  // namespace
+}  // namespace anor::cluster

@@ -1,0 +1,197 @@
+// ReliableChannel: sequence stamping, retry with backoff, bounded outbox,
+// and receiver-side duplicate/stale rejection.  All timing is virtual
+// (driven through poll), so every expectation here is deterministic.
+#include "cluster/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "cluster/messages.hpp"
+
+namespace anor::cluster {
+namespace {
+
+/// Inner channel the tests script: sends can be made to fail, delivered
+/// messages are recorded, and the receive queue is hand-fed.
+class ScriptedChannel final : public MessageChannel {
+ public:
+  bool send(const Message& message) override {
+    if (fail_sends) {
+      ++failed_sends;
+      return false;
+    }
+    sent.push_back(message);
+    return true;
+  }
+  std::optional<Message> receive() override {
+    if (inbox.empty()) return std::nullopt;
+    Message message = inbox.front();
+    inbox.pop_front();
+    return message;
+  }
+  bool connected() const override { return true; }
+
+  bool fail_sends = false;
+  int failed_sends = 0;
+  std::vector<Message> sent;
+  std::deque<Message> inbox;
+};
+
+ReliableChannelConfig no_jitter_config() {
+  ReliableChannelConfig config;
+  config.retry_jitter_frac = 0.0;  // exact backoff arithmetic in tests
+  return config;
+}
+
+PowerBudgetMsg budget(int job_id, double cap_w) {
+  PowerBudgetMsg msg;
+  msg.job_id = job_id;
+  msg.node_cap_w = cap_w;
+  return msg;
+}
+
+TEST(ReliableChannel, StampsMonotonicSequences) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  channel.send(budget(1, 150.0));
+  channel.send(budget(1, 160.0));
+  channel.send(HeartbeatMsg{1});
+  ASSERT_EQ(inner.sent.size(), 3u);
+  EXPECT_EQ(seq_of(inner.sent[0]), 1u);
+  EXPECT_EQ(seq_of(inner.sent[1]), 2u);
+  EXPECT_EQ(seq_of(inner.sent[2]), 3u);
+}
+
+TEST(ReliableChannel, FailedSendIsQueuedAndReportedAsSuccess) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  inner.fail_sends = true;
+  EXPECT_TRUE(channel.send(budget(1, 150.0)));  // queued, not lost
+  EXPECT_EQ(channel.outbox_size(), 1u);
+  EXPECT_TRUE(inner.sent.empty());
+}
+
+TEST(ReliableChannel, RetriesWithExponentialBackoff) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  inner.fail_sends = true;
+  channel.send(budget(1, 150.0));  // fails at t=0; first retry due at 0.5
+
+  channel.poll(0.25);
+  EXPECT_EQ(inner.failed_sends, 1);  // not due yet
+  channel.poll(0.5);
+  EXPECT_EQ(inner.failed_sends, 2);  // retried and failed; backoff now 1.0
+  channel.poll(1.0);
+  EXPECT_EQ(inner.failed_sends, 2);  // next attempt at 0.5 + 1.0 = 1.5
+
+  inner.fail_sends = false;
+  channel.poll(1.2);
+  EXPECT_EQ(channel.outbox_size(), 1u);  // still waiting for 1.5
+  channel.poll(1.5);
+  EXPECT_EQ(channel.outbox_size(), 0u);
+  ASSERT_EQ(inner.sent.size(), 1u);
+  EXPECT_EQ(seq_of(inner.sent[0]), 1u);
+}
+
+TEST(ReliableChannel, BackoffIsCappedAtMax) {
+  ScriptedChannel inner;
+  ReliableChannelConfig config = no_jitter_config();
+  config.retry_initial_backoff_s = 1.0;
+  config.retry_max_backoff_s = 2.0;
+  ReliableChannel channel(inner, config);
+  inner.fail_sends = true;
+  channel.send(budget(1, 150.0));
+  // Failures at 1, 3 (1+2), 5 (3+2), ... — the doubling stops at 2 s.
+  for (double t : {1.0, 3.0, 5.0, 7.0}) channel.poll(t);
+  EXPECT_EQ(inner.failed_sends, 5);  // initial + 4 capped retries
+}
+
+TEST(ReliableChannel, NewSendsQueueBehindPendingRetries) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  inner.fail_sends = true;
+  channel.send(budget(1, 150.0));
+  inner.fail_sends = false;
+  // The link is healthy again but an older message is still queued; the
+  // new one must not overtake it.
+  channel.send(budget(1, 175.0));
+  EXPECT_EQ(channel.outbox_size(), 2u);
+  channel.poll(0.5);
+  ASSERT_EQ(inner.sent.size(), 2u);
+  EXPECT_LT(seq_of(inner.sent[0]), seq_of(inner.sent[1]));
+  EXPECT_DOUBLE_EQ(std::get<PowerBudgetMsg>(inner.sent[0]).node_cap_w, 150.0);
+}
+
+TEST(ReliableChannel, OutboxOverflowDropsOldest) {
+  ScriptedChannel inner;
+  ReliableChannelConfig config = no_jitter_config();
+  config.max_outbox = 4;
+  ReliableChannel channel(inner, config);
+  inner.fail_sends = true;
+  for (int i = 0; i < 6; ++i) channel.send(budget(1, 100.0 + i));
+  EXPECT_EQ(channel.outbox_size(), 4u);
+
+  inner.fail_sends = false;
+  channel.poll(100.0);  // everything queued is long overdue
+  ASSERT_EQ(inner.sent.size(), 4u);
+  // The two oldest caps (100, 101) were dropped; the newest four survive
+  // in order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(std::get<PowerBudgetMsg>(inner.sent[i]).node_cap_w, 102.0 + i);
+  }
+}
+
+TEST(ReliableChannel, ReceiverDropsDuplicatesAndStaleReorders) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  auto stamped = [](Message msg, std::uint64_t seq) {
+    set_seq(msg, seq);
+    return msg;
+  };
+  inner.inbox.push_back(stamped(budget(1, 150.0), 1));
+  inner.inbox.push_back(stamped(budget(1, 150.0), 1));  // duplicate
+  inner.inbox.push_back(stamped(budget(1, 170.0), 3));  // gap (2 lost)
+  inner.inbox.push_back(stamped(budget(1, 160.0), 2));  // stale reorder
+
+  std::vector<double> caps;
+  while (auto msg = channel.receive()) {
+    caps.push_back(std::get<PowerBudgetMsg>(*msg).node_cap_w);
+  }
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_DOUBLE_EQ(caps[0], 150.0);
+  EXPECT_DOUBLE_EQ(caps[1], 170.0);  // the stale 160 W cap never surfaced
+}
+
+TEST(ReliableChannel, HelloResetsTheSequenceWindow) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  auto stamped = [](Message msg, std::uint64_t seq) {
+    set_seq(msg, seq);
+    return msg;
+  };
+  inner.inbox.push_back(stamped(budget(1, 150.0), 40));
+  // Peer restarts: its fresh channel starts the sequence space over.
+  JobHelloMsg hello;
+  hello.job_id = 1;
+  inner.inbox.push_back(stamped(hello, 1));
+  inner.inbox.push_back(stamped(budget(1, 180.0), 2));
+
+  int received = 0;
+  while (auto msg = channel.receive()) ++received;
+  EXPECT_EQ(received, 3);  // nothing after the hello was treated as stale
+}
+
+TEST(ReliableChannel, UnstampedMessagesPassThrough) {
+  ScriptedChannel inner;
+  ReliableChannel channel(inner, no_jitter_config());
+  inner.inbox.push_back(budget(1, 150.0));  // seq 0: legacy sender
+  inner.inbox.push_back(budget(1, 150.0));
+  int received = 0;
+  while (auto msg = channel.receive()) ++received;
+  EXPECT_EQ(received, 2);
+}
+
+}  // namespace
+}  // namespace anor::cluster

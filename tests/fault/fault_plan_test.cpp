@@ -1,0 +1,121 @@
+// FaultPlan: JSON round-trip, file loading, and the named presets.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace anor::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_EQ(plan.name, "none");
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.channel.any());
+  EXPECT_FALSE(plan.msr.any());
+}
+
+TEST(FaultPlan, JsonRoundTripPreservesEveryField) {
+  FaultPlan plan;
+  plan.name = "everything";
+  plan.seed = 42;
+  plan.channel.drop_prob = 0.1;
+  plan.channel.duplicate_prob = 0.05;
+  plan.channel.corrupt_prob = 0.02;
+  plan.channel.reorder_prob = 0.03;
+  plan.channel.delay_prob = 0.2;
+  plan.channel.delay_s = 1.5;
+  plan.channel.disconnect_from_s = 100.0;
+  plan.channel.disconnect_until_s = 120.0;
+  plan.channel.manager_side = false;
+  plan.channel.endpoint_side = true;
+  NodeCrashSpec crash;
+  crash.job_id = 3;
+  crash.crash_s = 60.0;
+  crash.restart_s = 90.0;
+  plan.crashes.push_back(crash);
+  plan.msr.read_fault_prob = 0.01;
+  plan.msr.write_fault_prob = 0.02;
+  plan.msr.from_s = 10.0;
+  plan.msr.until_s = 200.0;
+
+  const FaultPlan round = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(round.name, "everything");
+  EXPECT_EQ(round.seed, 42u);
+  EXPECT_DOUBLE_EQ(round.channel.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(round.channel.duplicate_prob, 0.05);
+  EXPECT_DOUBLE_EQ(round.channel.corrupt_prob, 0.02);
+  EXPECT_DOUBLE_EQ(round.channel.reorder_prob, 0.03);
+  EXPECT_DOUBLE_EQ(round.channel.delay_prob, 0.2);
+  EXPECT_DOUBLE_EQ(round.channel.delay_s, 1.5);
+  EXPECT_DOUBLE_EQ(round.channel.disconnect_from_s, 100.0);
+  EXPECT_DOUBLE_EQ(round.channel.disconnect_until_s, 120.0);
+  EXPECT_FALSE(round.channel.manager_side);
+  EXPECT_TRUE(round.channel.endpoint_side);
+  ASSERT_EQ(round.crashes.size(), 1u);
+  EXPECT_EQ(round.crashes[0].job_id, 3);
+  EXPECT_DOUBLE_EQ(round.crashes[0].crash_s, 60.0);
+  EXPECT_DOUBLE_EQ(round.crashes[0].restart_s, 90.0);
+  EXPECT_DOUBLE_EQ(round.msr.read_fault_prob, 0.01);
+  EXPECT_DOUBLE_EQ(round.msr.write_fault_prob, 0.02);
+  EXPECT_DOUBLE_EQ(round.msr.from_s, 10.0);
+  EXPECT_DOUBLE_EQ(round.msr.until_s, 200.0);
+  EXPECT_TRUE(round.any());
+}
+
+TEST(FaultPlan, LoadsFromFile) {
+  FaultPlan plan = FaultPlan::preset("drop10");
+  plan.seed = 7;
+  const auto path =
+      (std::filesystem::temp_directory_path() / "fault_plan_test.json").string();
+  util::save_json_file(path, plan.to_json());
+  const FaultPlan loaded = FaultPlan::load(path);
+  EXPECT_EQ(loaded.name, plan.name);
+  EXPECT_EQ(loaded.seed, 7u);
+  EXPECT_DOUBLE_EQ(loaded.channel.drop_prob, plan.channel.drop_prob);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultPlan, PresetsCoverTheAdvertisedNames) {
+  for (const std::string& name : FaultPlan::preset_names()) {
+    const FaultPlan plan = FaultPlan::preset(name);
+    EXPECT_EQ(plan.name, name);
+  }
+  EXPECT_FALSE(FaultPlan::preset("none").any());
+  const FaultPlan drop = FaultPlan::preset("drop10");
+  EXPECT_DOUBLE_EQ(drop.channel.drop_prob, 0.10);
+  const FaultPlan acceptance = FaultPlan::preset("drop10_crash1");
+  EXPECT_DOUBLE_EQ(acceptance.channel.drop_prob, 0.10);
+  ASSERT_EQ(acceptance.crashes.size(), 1u);
+  EXPECT_GT(acceptance.crashes[0].restart_s, acceptance.crashes[0].crash_s);
+  const FaultPlan chaos = FaultPlan::preset("chaos");
+  EXPECT_TRUE(chaos.channel.any());
+  EXPECT_TRUE(chaos.msr.any());
+  EXPECT_FALSE(chaos.crashes.empty());
+}
+
+TEST(FaultPlan, UnknownPresetThrows) {
+  EXPECT_THROW(FaultPlan::preset("nope"), util::ConfigError);
+}
+
+TEST(FaultPlan, MsrFaultWindow) {
+  MsrFaultSpec spec;
+  spec.read_fault_prob = 0.5;
+  spec.from_s = 10.0;
+  spec.until_s = 20.0;
+  EXPECT_FALSE(spec.active_at(5.0));
+  EXPECT_TRUE(spec.active_at(10.0));
+  EXPECT_TRUE(spec.active_at(19.9));
+  EXPECT_FALSE(spec.active_at(20.0));
+  spec.until_s = 0.0;  // open-ended
+  EXPECT_TRUE(spec.active_at(1e6));
+  spec.read_fault_prob = 0.0;
+  EXPECT_FALSE(spec.active_at(15.0));  // no fault probability, never active
+}
+
+}  // namespace
+}  // namespace anor::fault

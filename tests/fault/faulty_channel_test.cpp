@@ -1,0 +1,182 @@
+// FaultyChannel: each fault kind behaves as specified, events land in the
+// log, and the canonical trace is deterministic for a given seed.
+#include "fault/faulty_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "cluster/transport.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace anor::fault {
+namespace {
+
+cluster::PowerBudgetMsg budget(double cap_w, std::uint64_t seq = 0) {
+  cluster::PowerBudgetMsg msg;
+  msg.job_id = 1;
+  msg.node_cap_w = cap_w;
+  msg.seq = seq;
+  return msg;
+}
+
+struct Harness {
+  util::VirtualClock clock;
+  std::unique_ptr<cluster::MessageChannel> receiver;
+  std::unique_ptr<FaultyChannel> channel;
+  FaultEventLog log;
+
+  Harness(ChannelFaultSpec spec, std::uint64_t seed = 1) {
+    cluster::InprocPair pair = cluster::make_inproc_pair(clock, 0.0);
+    receiver = std::move(pair.b);
+    channel = std::make_unique<FaultyChannel>(std::move(pair.a), spec, util::Rng(seed),
+                                              clock, 1, "mgr", &log);
+  }
+
+  std::vector<cluster::Message> drain() {
+    std::vector<cluster::Message> out;
+    while (auto msg = receiver->receive()) out.push_back(*msg);
+    return out;
+  }
+};
+
+TEST(FaultyChannel, DropSwallowsTheMessageButReportsSuccess) {
+  ChannelFaultSpec spec;
+  spec.drop_prob = 1.0;
+  Harness h(spec);
+  EXPECT_TRUE(h.channel->send(budget(150.0, 5)));
+  EXPECT_TRUE(h.drain().empty());
+  ASSERT_EQ(h.log.size(), 1u);
+  EXPECT_EQ(h.log.events()[0].kind, "drop");
+  EXPECT_EQ(h.log.events()[0].msg_type, "budget");
+  EXPECT_EQ(h.log.events()[0].seq, 5u);
+}
+
+TEST(FaultyChannel, DisconnectWindowFailsSendsOutright) {
+  ChannelFaultSpec spec;
+  spec.disconnect_from_s = 10.0;
+  spec.disconnect_until_s = 20.0;
+  Harness h(spec);
+
+  EXPECT_TRUE(h.channel->send(budget(150.0)));  // before the window
+  h.clock.advance(15.0);
+  EXPECT_FALSE(h.channel->send(budget(160.0)));  // inside: sender notices
+  h.clock.advance(10.0);
+  EXPECT_TRUE(h.channel->send(budget(170.0)));  // after: healed
+  EXPECT_EQ(h.drain().size(), 2u);
+  ASSERT_EQ(h.log.size(), 1u);
+  EXPECT_EQ(h.log.events()[0].kind, "disconnect");
+  EXPECT_DOUBLE_EQ(h.log.events()[0].t_s, 15.0);
+}
+
+TEST(FaultyChannel, DelayHoldsUntilVirtualTimePasses) {
+  ChannelFaultSpec spec;
+  spec.delay_prob = 1.0;
+  spec.delay_s = 2.0;
+  Harness h(spec);
+  EXPECT_TRUE(h.channel->send(budget(150.0)));
+  EXPECT_TRUE(h.drain().empty());  // held
+  h.clock.advance(1.0);
+  h.channel->receive();  // polling the channel flushes due messages
+  EXPECT_TRUE(h.drain().empty());  // 1 s < 2 s: still held
+  h.clock.advance(1.0);
+  h.channel->receive();
+  EXPECT_EQ(h.drain().size(), 1u);
+  ASSERT_EQ(h.log.size(), 1u);
+  EXPECT_EQ(h.log.events()[0].kind, "delay");
+}
+
+TEST(FaultyChannel, DuplicateDeliversTwice) {
+  ChannelFaultSpec spec;
+  spec.duplicate_prob = 1.0;
+  Harness h(spec);
+  EXPECT_TRUE(h.channel->send(budget(150.0, 9)));
+  const auto delivered = h.drain();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(cluster::seq_of(delivered[0]), 9u);
+  EXPECT_EQ(cluster::seq_of(delivered[1]), 9u);  // same seq: dedup's job
+  ASSERT_EQ(h.log.size(), 1u);
+  EXPECT_EQ(h.log.events()[0].kind, "duplicate");
+}
+
+TEST(FaultyChannel, CorruptedFramesNeverReachTheReceiver) {
+  ChannelFaultSpec spec;
+  spec.corrupt_prob = 1.0;
+  Harness h(spec);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(h.channel->send(budget(150.0 + i, i + 1)));
+  }
+  // Every frame got a byte flipped; the checksum (or the JSON parse)
+  // must reject all of them — none may decode into a different budget.
+  EXPECT_TRUE(h.drain().empty());
+  EXPECT_EQ(h.log.size(), 50u);
+  for (const FaultEvent& event : h.log.events()) EXPECT_EQ(event.kind, "corrupt");
+}
+
+TEST(FaultyChannel, ReorderedMessageIsOvertakenByTheNextSend) {
+  // Find a seed whose first reorder coin is heads and second is tails, so
+  // send #1 is held and send #2 passes through and releases it.
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate < 200; ++candidate) {
+    util::Rng probe(candidate);
+    const bool first = probe.coin(0.5);
+    const bool second = probe.coin(0.5);
+    if (first && !second) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+
+  ChannelFaultSpec spec;
+  spec.reorder_prob = 0.5;
+  Harness h(spec, seed);
+  EXPECT_TRUE(h.channel->send(budget(150.0, 1)));  // held
+  EXPECT_TRUE(h.drain().empty());
+  EXPECT_TRUE(h.channel->send(budget(160.0, 2)));  // overtakes, then releases
+  const auto delivered = h.drain();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(cluster::seq_of(delivered[0]), 2u);  // newer first
+  EXPECT_EQ(cluster::seq_of(delivered[1]), 1u);  // stale straggler
+  ASSERT_EQ(h.log.size(), 1u);
+  EXPECT_EQ(h.log.events()[0].kind, "reorder");
+}
+
+TEST(FaultyChannel, EventLogTextIsCanonical) {
+  FaultEventLog log;
+  FaultEvent event;
+  event.t_s = 1.25;
+  event.side = "ep";
+  event.kind = "drop";
+  event.msg_type = "hb";
+  event.job_id = 7;
+  event.seq = 42;
+  log.record(event);
+  EXPECT_EQ(log.to_text(), "t=1.250 side=ep kind=drop msg=hb job=7 seq=42\n");
+}
+
+TEST(FaultyChannel, SameSeedReplaysTheSameTrace) {
+  ChannelFaultSpec spec;
+  spec.drop_prob = 0.3;
+  spec.duplicate_prob = 0.2;
+  spec.delay_prob = 0.2;
+
+  auto run = [&spec]() {
+    Harness h(spec, 99);
+    for (int i = 0; i < 40; ++i) {
+      h.clock.advance(0.5);
+      h.channel->send(budget(150.0 + i, i + 1));
+    }
+    return h.log.to_text();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace anor::fault

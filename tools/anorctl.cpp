@@ -24,6 +24,12 @@
 //   anorctl trace export --dir DIR [--out FILE]
 //       Rebuild Chrome trace_event JSON from an artifact's trace.jsonl
 //       (load the result in chrome://tracing or ui.perfetto.dev).
+//   anorctl chaos [--plan NAME | --plan-file FILE] [--seed K] [--duration S]
+//       [--nodes N] [--band F] [--trace-out FILE] [--verify-determinism]
+//       Run the closed-loop fault-injection scenario and report power
+//       tracking, recovery latency, and leaked budget.  Exits nonzero if
+//       tracking does not recover, budget leaks to dead jobs, or (with
+//       --verify-determinism) two runs disagree on the fault-event trace.
 //   anorctl selftest
 //       Exercise the whole flow in a temporary directory (used by ctest).
 #include <cstdio>
@@ -396,6 +402,76 @@ int cmd_trace_export(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  fault::ChaosConfig config;
+  if (args.has("plan-file")) {
+    config.plan = fault::FaultPlan::load(args.str("plan-file"));
+  } else {
+    config.plan = fault::FaultPlan::preset(args.str("plan", "drop10_crash1"));
+  }
+  config.seed = args.seed();
+  config.duration_s = args.num("duration", 240.0);
+  config.node_count = static_cast<int>(args.num("nodes", 8));
+  config.recovery_band_frac = args.num("band", 0.05);
+
+  std::cout << "chaos: plan '" << config.plan.name << "' (fault seed "
+            << config.plan.seed << ") on " << config.node_count << " nodes for "
+            << config.duration_s << " s...\n";
+  const fault::ChaosResult result = fault::run_chaos(config);
+
+  bool deterministic = true;
+  if (args.has("verify-determinism")) {
+    const fault::ChaosResult replay = fault::run_chaos(config);
+    deterministic = replay.event_trace == result.event_trace;
+    std::cout << "determinism: " << result.event_trace.size() << "-byte event trace "
+              << (deterministic ? "identical" : "DIVERGED") << " across two runs\n";
+  }
+
+  if (args.has("trace-out")) {
+    std::ofstream out(args.str("trace-out"));
+    if (!out) {
+      std::cerr << "cannot open " << args.str("trace-out") << "\n";
+      return 1;
+    }
+    out << result.event_trace;
+    std::cout << "wrote fault-event trace to " << args.str("trace-out") << "\n";
+  }
+
+  std::cout << "faults injected: " << result.fault_events << ", leases expired: "
+            << result.leases_expired << "\n";
+  std::cout << "tracking: mean error "
+            << util::TextTable::format_percent(result.tracking.mean_error)
+            << " of band, final error "
+            << util::TextTable::format_percent(result.final_error_frac)
+            << " of target (band "
+            << util::TextTable::format_percent(config.recovery_band_frac) << ")\n";
+  if (result.recovered) {
+    std::cout << "recovered: yes, latency "
+              << util::TextTable::format_double(result.recovery_latency_s, 1)
+              << " s after the last scheduled disruption\n";
+  } else {
+    std::cout << "recovered: NO (final error outside the band)\n";
+  }
+  std::cout << "leaked budget: "
+            << util::TextTable::format_double(result.leaked_budget_w, 1)
+            << " W held by dead jobs\n";
+
+  int rc = 0;
+  if (!result.recovered) {
+    std::cerr << "chaos: tracking did not recover\n";
+    rc = 1;
+  }
+  if (result.leaked_budget_w > 0.0) {
+    std::cerr << "chaos: budget leaked to dead jobs\n";
+    rc = 1;
+  }
+  if (!deterministic) {
+    std::cerr << "chaos: fault-event traces diverged between identical runs\n";
+    rc = 1;
+  }
+  return rc;
+}
+
 int cmd_selftest() {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "anorctl-selftest";
@@ -477,7 +553,7 @@ int cmd_selftest() {
 
 void usage() {
   std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|simulate|replay|"
-               "metrics|trace|selftest> "
+               "chaos|metrics|trace|selftest> "
                "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
 
@@ -512,6 +588,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "chaos") return cmd_chaos(args);
     if (command == "selftest") return cmd_selftest();
   } catch (const std::exception& error) {
     std::cerr << "anorctl: " << error.what() << "\n";

@@ -30,8 +30,17 @@ cmake -B "$asan_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$asan_dir" -j"$jobs" --target telemetry_test util_test
+cmake --build "$asan_dir" -j"$jobs" --target telemetry_test util_test anorctl
 "$asan_dir/tests/telemetry_test"
 "$asan_dir/tests/util_test" --gtest_filter='Logger.*:VirtualClock.*'
+
+echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
+# Closed-loop fault injection: the command itself exits non-zero unless
+# tracking recovers into the 5 % band with zero budget leaked to dead
+# jobs and the fault-event trace is byte-identical across two runs.
+"$asan_dir/tools/anorctl" chaos --plan drop10_crash1 --verify-determinism
+# The kitchen-sink plan adds delay, duplication, corruption, reorder,
+# a disconnect window, and transient MSR faults on top.
+"$asan_dir/tools/anorctl" chaos --plan chaos --verify-determinism
 
 echo "== check_tier1: all green =="
