@@ -1,0 +1,223 @@
+// Simulator scaling bench: sweeps node counts and step-worker counts over
+// the seeded tracking scenario and writes BENCH_sim.json (schema
+// documented in README.md).  For every case it reports steps/sec and
+// ns/node-tick from an uninstrumented run, the sim.phase_us breakdown
+// from a second instrumented run, and an FNV-1a hash over the power trace
+// and QoS records; sharded cases must reproduce the serial hash
+// bit-for-bit or the bench exits nonzero.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/json.hpp"
+#include "workload/schedule.hpp"
+
+using namespace anor;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr double kUtilization = 0.75;
+const char* const kPhases[] = {"update_nodes", "complete", "admit", "control", "log"};
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct CaseSpec {
+  int nodes = 1000;
+  double duration_s = 3600.0;
+  int step_workers = 0;  // 0 = serial
+};
+
+struct RunOutcome {
+  long steps = 0;
+  double wall_s = 0.0;
+  int jobs_completed = 0;
+  std::uint64_t trace_hash = 0;
+};
+
+sim::SimConfig make_config(const CaseSpec& spec, bool telemetry) {
+  sim::SimConfig config;
+  config.node_count = spec.nodes;
+  config.duration_s = spec.duration_s;
+  config.job_types = sim::standard_sim_types(true, std::max(1, spec.nodes / 40));
+  config.bid.average_power_w = spec.nodes * 150.0;
+  config.bid.reserve_w = spec.nodes * 18.0;
+  config.telemetry_enabled = telemetry;
+  config.step_workers = spec.step_workers;
+  config.step_shard_nodes = 256;  // small shards so even 1k nodes split
+  return config;
+}
+
+RunOutcome run_case(const CaseSpec& spec, bool telemetry) {
+  const sim::SimConfig config = make_config(spec, telemetry);
+  util::Rng rng(kSeed);
+  std::vector<workload::JobType> gen_types;
+  gen_types.reserve(config.job_types.size());
+  for (const sim::SimJobType& t : config.job_types) {
+    workload::JobType gt;
+    gt.name = t.name;
+    gt.nodes = t.nodes;
+    gt.base_epoch_s = t.time_at_pmax_s / 100.0;
+    gt.epochs = 100;
+    gen_types.push_back(std::move(gt));
+  }
+  workload::PoissonScheduleConfig sched_config;
+  sched_config.duration_s = config.duration_s;
+  sched_config.utilization = kUtilization;
+  sched_config.cluster_nodes = config.node_count;
+  const workload::Schedule schedule =
+      workload::generate_poisson_schedule(gen_types, sched_config, rng.child("schedule"));
+
+  sim::TabularSimulator simulator(config, schedule, rng.child("sim"));
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::SimResult r = simulator.run();
+  RunOutcome out;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.steps = simulator.steps_taken();
+  out.jobs_completed = r.jobs_completed;
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(r.power_w.values().data(), r.power_w.size() * sizeof(double), h);
+  for (const auto& q : r.qos.records()) {
+    h = fnv1a(&q.job_id, sizeof(q.job_id), h);
+    h = fnv1a(&q.submit_s, sizeof(q.submit_s), h);
+    h = fnv1a(&q.start_s, sizeof(q.start_s), h);
+    h = fnv1a(&q.end_s, sizeof(q.end_s), h);
+  }
+  out.trace_hash = h;
+  return out;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+telemetry::Histogram& phase_cell(const char* phase) {
+  return telemetry::MetricsRegistry::global().histogram(
+      "sim.phase_us", telemetry::exponential_bounds(1.0, 4.0, 10), {{"phase", phase}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const bool quick = argc > 2 && std::string(argv[2]) == "--quick";
+
+  // Node-count x worker-count sweep.  The 100k x 1h case is the scale
+  // target; sharded variants exist to demonstrate worker-count
+  // invariance, not speed (fixed shard boundaries make the trace
+  // identical at any worker count).
+  std::vector<CaseSpec> specs;
+  if (quick) {
+    specs = {{1000, 600.0, 0}, {1000, 600.0, 4}};
+  } else {
+    specs = {{1000, 3600.0, 0},   {1000, 3600.0, 4},  {10000, 900.0, 0},
+             {10000, 900.0, 2},   {10000, 900.0, 4},  {10000, 900.0, 8},
+             {100000, 3600.0, 0}, {100000, 3600.0, 8}};
+  }
+
+  util::JsonArray cases;
+  std::uint64_t serial_hash_1k = 0;
+  bool hashes_consistent = true;
+  // Serial reference hash per node count: sharded runs must match it.
+  std::vector<std::pair<int, std::uint64_t>> serial_hashes;
+
+  for (const CaseSpec& spec : specs) {
+    // Timed, uninstrumented run.
+    const RunOutcome timed = run_case(spec, /*telemetry=*/false);
+
+    // Instrumented re-run for the phase breakdown; the global registry
+    // accumulates across cases, so record deltas.
+    struct Snapshot {
+      std::uint64_t count;
+      double sum;
+    };
+    std::vector<Snapshot> before;
+    for (const char* phase : kPhases) {
+      auto& cell = phase_cell(phase);
+      before.push_back({cell.count(), cell.sum()});
+    }
+    const RunOutcome instrumented = run_case(spec, /*telemetry=*/true);
+    util::JsonObject phases;
+    for (std::size_t i = 0; i < std::size(kPhases); ++i) {
+      auto& cell = phase_cell(kPhases[i]);
+      const std::uint64_t count = cell.count() - before[i].count;
+      const double sum_us = cell.sum() - before[i].sum;
+      util::JsonObject phase;
+      phase["samples"] = util::Json(static_cast<double>(count));
+      phase["mean_us"] = util::Json(count > 0 ? sum_us / static_cast<double>(count) : 0.0);
+      phase["total_ms"] = util::Json(sum_us / 1000.0);
+      phases[kPhases[i]] = util::Json(std::move(phase));
+    }
+    if (instrumented.trace_hash != timed.trace_hash) hashes_consistent = false;
+
+    bool matches_serial = true;
+    if (spec.step_workers <= 1) {
+      serial_hashes.emplace_back(spec.nodes, timed.trace_hash);
+      if (spec.nodes == 1000) serial_hash_1k = timed.trace_hash;
+    } else {
+      for (const auto& [nodes, hash] : serial_hashes) {
+        if (nodes == spec.nodes) matches_serial = timed.trace_hash == hash;
+      }
+      if (!matches_serial) hashes_consistent = false;
+    }
+
+    util::JsonObject entry;
+    entry["nodes"] = util::Json(spec.nodes);
+    entry["duration_s"] = util::Json(spec.duration_s);
+    entry["step_workers"] = util::Json(spec.step_workers);
+    entry["steps"] = util::Json(static_cast<double>(timed.steps));
+    entry["wall_s"] = util::Json(timed.wall_s);
+    entry["steps_per_sec"] = util::Json(timed.steps / timed.wall_s);
+    entry["ns_per_node_tick"] =
+        util::Json(timed.wall_s * 1e9 / (static_cast<double>(timed.steps) * spec.nodes));
+    entry["jobs_completed"] = util::Json(timed.jobs_completed);
+    entry["trace_hash"] = util::Json(hash_hex(timed.trace_hash));
+    entry["matches_serial_hash"] = util::Json(matches_serial);
+    entry["phase_us"] = util::Json(std::move(phases));
+    cases.push_back(util::Json(std::move(entry)));
+
+    std::printf("nodes=%-6d workers=%d steps=%ld wall_s=%.3f steps_per_sec=%.1f "
+                "ns_per_node_tick=%.2f hash=%s%s\n",
+                spec.nodes, spec.step_workers, timed.steps, timed.wall_s,
+                timed.steps / timed.wall_s,
+                timed.wall_s * 1e9 / (static_cast<double>(timed.steps) * spec.nodes),
+                hash_hex(timed.trace_hash).c_str(),
+                matches_serial ? "" : "  HASH MISMATCH vs serial");
+  }
+
+  util::JsonObject root;
+  root["schema"] = util::Json(std::string("anor.bench_sim.v1"));
+  root["bench"] = util::Json(std::string("bench_sim_scale"));
+  root["seed"] = util::Json(static_cast<double>(kSeed));
+  root["utilization"] = util::Json(kUtilization);
+  root["tracking"] = util::Json(true);
+  root["serial_hash_1000_nodes"] = util::Json(hash_hex(serial_hash_1k));
+  root["all_hashes_consistent"] = util::Json(hashes_consistent);
+  root["cases"] = util::Json(std::move(cases));
+
+  std::ofstream out(out_path);
+  out << util::Json(std::move(root)).dump(2) << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!hashes_consistent) {
+    std::fprintf(stderr, "FAIL: sharded/instrumented runs diverged from the serial trace\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,25 +1,88 @@
 #include "budget/even_slowdown.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace anor::budget {
 
+// cap_for_slowdown bisects (64 iterations) and the caller bisects over it
+// (up to 100), but jobs share a handful of distinct models (one per job
+// type), so each evaluation only needs one inverse solve per *distinct*
+// model.  Grouping keys on exact coefficient equality; caps are still
+// summed in the original job order, so the result is bit-identical to the
+// ungrouped per-job sum.
+struct ModelGroups {
+  std::vector<const model::PowerPerfModel*> reps;  // one per distinct model
+  std::vector<std::size_t> group_of;               // job index -> rep index
+  std::vector<double> caps;                        // per-rep scratch
+};
+
 namespace {
 
-double total_power_at_slowdown(const std::vector<JobPowerProfile>& jobs, double slowdown) {
-  double total = 0.0;
+bool same_model(const model::PowerPerfModel& x, const model::PowerPerfModel& y) {
+  return x.a() == y.a() && x.b() == y.b() && x.c() == y.c() &&
+         x.p_min_w() == y.p_min_w() && x.p_max_w() == y.p_max_w();
+}
+
+ModelGroups group_models(const std::vector<JobPowerProfile>& jobs) {
+  ModelGroups groups;
+  groups.group_of.reserve(jobs.size());
   for (const JobPowerProfile& j : jobs) {
-    total += j.nodes * j.model.cap_for_slowdown(slowdown);
+    std::size_t k = 0;
+    for (; k < groups.reps.size(); ++k) {
+      if (same_model(*groups.reps[k], j.model)) break;
+    }
+    if (k == groups.reps.size()) groups.reps.push_back(&j.model);
+    groups.group_of.push_back(k);
   }
-  return total;
+  groups.caps.resize(groups.reps.size());
+  return groups;
 }
 
 }  // namespace
+
+std::size_t EvenSlowdownBudgeter::CapKeyHash::operator()(const CapKey& key) const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the six words
+  for (std::uint64_t w : key.bits) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void EvenSlowdownBudgeter::caps_at_slowdown(ModelGroups& groups, double slowdown) const {
+  if (cap_cache_.size() > (1u << 20)) cap_cache_.clear();  // runaway guard
+  for (std::size_t k = 0; k < groups.reps.size(); ++k) {
+    const model::PowerPerfModel& m = *groups.reps[k];
+    const CapKey key{{std::bit_cast<std::uint64_t>(m.a()),
+                      std::bit_cast<std::uint64_t>(m.b()),
+                      std::bit_cast<std::uint64_t>(m.c()),
+                      std::bit_cast<std::uint64_t>(m.p_min_w()),
+                      std::bit_cast<std::uint64_t>(m.p_max_w()),
+                      std::bit_cast<std::uint64_t>(slowdown)}};
+    const auto [it, inserted] = cap_cache_.try_emplace(key, 0.0);
+    if (inserted) it->second = m.cap_for_slowdown(slowdown);
+    groups.caps[k] = it->second;
+  }
+}
+
+double EvenSlowdownBudgeter::total_power_at_slowdown(const std::vector<JobPowerProfile>& jobs,
+                                                     ModelGroups& groups,
+                                                     double slowdown) const {
+  caps_at_slowdown(groups, slowdown);
+  double total = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    total += jobs[i].nodes * groups.caps[groups.group_of[i]];
+  }
+  return total;
+}
 
 BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>& jobs,
                                               double budget_w) const {
   BudgetResult result;
   if (jobs.empty()) return result;
+
+  ModelGroups groups = group_models(jobs);
 
   const double max_total = total_max_power_w(jobs);
   const double min_total = total_min_power_w(jobs);
@@ -40,7 +103,7 @@ BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>
     hi = std::max(hi, 1e-6);
     for (int iter = 0; iter < 100; ++iter) {
       const double mid = 0.5 * (lo + hi);
-      const double total = total_power_at_slowdown(jobs, mid);
+      const double total = total_power_at_slowdown(jobs, groups, mid);
       if (std::abs(total - budget_w) <= tolerance_w_) {
         lo = hi = mid;
         break;
@@ -55,10 +118,11 @@ BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>
   }
 
   result.balance_point = s;
-  for (const JobPowerProfile& j : jobs) {
-    const double cap = j.model.cap_for_slowdown(s);
-    result.node_cap_w[j.job_id] = cap;
-    result.allocated_w += j.nodes * cap;
+  caps_at_slowdown(groups, s);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double cap = groups.caps[groups.group_of[i]];
+    result.node_cap_w[jobs[i].job_id] = cap;
+    result.allocated_w += jobs[i].nodes * cap;
   }
   return result;
 }

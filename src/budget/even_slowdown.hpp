@@ -8,9 +8,17 @@
 // sensitive jobs keep more power (paper Fig. 4).
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
 #include "budget/budgeter.hpp"
 
 namespace anor::budget {
+
+/// Internal to the even-slowdown solve: jobs grouped by distinct model
+/// (defined in even_slowdown.cpp).
+struct ModelGroups;
 
 class EvenSlowdownBudgeter final : public Budgeter {
  public:
@@ -22,7 +30,32 @@ class EvenSlowdownBudgeter final : public Budgeter {
                           double budget_w) const override;
 
  private:
+  /// Fill groups.caps with each distinct model's cap at the slowdown,
+  /// consulting the memo cache first.
+  void caps_at_slowdown(ModelGroups& groups, double slowdown) const;
+  /// Sum of nodes * cap over jobs in the original job order (order fixes
+  /// the floating-point accumulation).
+  double total_power_at_slowdown(const std::vector<JobPowerProfile>& jobs,
+                                 ModelGroups& groups, double slowdown) const;
+
   double tolerance_w_;
+
+  /// Memoized cap_for_slowdown results keyed on the exact bit patterns of
+  /// (model coefficients, slowdown).  cap_for_slowdown is pure, so a hit
+  /// returns the identical double the solve would have produced, and the
+  /// outer bisection revisits the same dyadic slowdown values every
+  /// control period (the interval [0, max max_slowdown] is fixed by the
+  /// model set) — upper tree levels hit on nearly every call.  Instances
+  /// are not shared across threads; concurrent trials each own a
+  /// budgeter.
+  struct CapKey {
+    std::array<std::uint64_t, 6> bits;  // a, b, c, p_min, p_max, slowdown
+    bool operator==(const CapKey&) const = default;
+  };
+  struct CapKeyHash {
+    std::size_t operator()(const CapKey& key) const;
+  };
+  mutable std::unordered_map<CapKey, double, CapKeyHash> cap_cache_;
 };
 
 }  // namespace anor::budget

@@ -76,16 +76,46 @@ double PowerPerfModel::slowdown_at(double cap_w) const {
 double PowerPerfModel::cap_for_time(double t_sec_per_epoch) const {
   if (t_sec_per_epoch <= time_at(p_max_w_)) return p_max_w_;
   if (t_sec_per_epoch >= time_at(p_min_w_)) return p_min_w_;
-  // T is monotone non-increasing in P on the valid range; bisect.
+  // T is monotone non-increasing in P on the valid range; bisect.  The
+  // floor term of time_at is constant, and every midpoint lies inside
+  // [p_min, p_max] (so time_at's clamp is the identity); hoisting both
+  // out of the loop leaves each iterate's value bit-identical.
+  const double t_raw_max = (a_ * p_max_w_ + b_) * p_max_w_ + c_;
+  const double t_floor = t_raw_max > 0.0 ? t_raw_max : 1e-9;
+  const auto time_inside = [&](double p) {
+    return std::max((a_ * p + b_) * p + c_, t_floor);
+  };
+  // The loop below is the plain bisection
+  //     mid = 0.5*(lo+hi); T(mid) > t ? lo = mid : hi = mid;
+  // restructured so each iteration also evaluates T at *both* possible
+  // next midpoints before the current comparison resolves.  Every value is
+  // produced by the same floating-point expression the plain loop would
+  // use, so the iterates — and the returned hi — are bit-identical; the
+  // speculation only takes the (serial, latency-bound) T evaluation off
+  // the compare/select critical path.  ~50 data-dependent iterations make
+  // this the hot loop of the budgeter's nested solve.
   double lo = p_min_w_;
   double hi = p_max_w_;
+  double mid = 0.5 * (lo + hi);
+  double t_mid = time_inside(mid);
+  double mid_below = 0.5 * (lo + mid);  // next mid if the answer is below mid
+  double mid_above = 0.5 * (mid + hi);  // next mid if the answer is above mid
+  double t_below = time_inside(mid_below);
+  double t_above = time_inside(mid_above);
   for (int iter = 0; iter < 64; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (time_at(mid) > t_sec_per_epoch) {
-      lo = mid;  // too slow: need more power
-    } else {
-      hi = mid;
-    }
+    // At one-ULP width the midpoint collides with an endpoint, and the
+    // invariants (time(lo) > t, time(hi) <= t) make the update a no-op:
+    // every remaining iteration would leave lo and hi unchanged.
+    if (mid == lo || mid == hi) break;
+    const bool too_slow = t_mid > t_sec_per_epoch;  // need more power
+    lo = too_slow ? mid : lo;
+    hi = too_slow ? hi : mid;
+    mid = too_slow ? mid_above : mid_below;
+    t_mid = too_slow ? t_above : t_below;
+    mid_below = 0.5 * (lo + mid);
+    mid_above = 0.5 * (mid + hi);
+    t_below = time_inside(mid_below);
+    t_above = time_inside(mid_above);
   }
   return hi;
 }

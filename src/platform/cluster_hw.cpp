@@ -1,5 +1,7 @@
 #include "platform/cluster_hw.hpp"
 
+#include <algorithm>
+
 namespace anor::platform {
 
 namespace {
@@ -20,6 +22,9 @@ ClusterHw::ClusterHw(const ClusterHwConfig& config, util::Rng rng) : config_(con
           rng.truncated_normal(1.0, config.perf_variation_sigma, 0.5, 1.5);
     }
     nodes_.push_back(std::make_unique<Node>(i, node_config));
+  }
+  if (config.step_workers > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(config.step_workers));
   }
 }
 
@@ -48,7 +53,22 @@ double ClusterHw::max_cap_w() const {
 }
 
 void ClusterHw::step(double dt_s) {
-  for (auto& n : nodes_) n->step(dt_s);
+  if (pool_ == nullptr) {
+    for (auto& n : nodes_) n->step(dt_s);
+    return;
+  }
+  // Fixed shards derived from node count alone: which worker executes a
+  // shard never affects what the shard computes, so any worker count
+  // reproduces the serial sweep.  Each node's state is touched by exactly
+  // one shard.
+  constexpr std::size_t kShardNodes = 64;
+  const std::size_t count = nodes_.size();
+  const std::size_t shards = (count + kShardNodes - 1) / kShardNodes;
+  pool_->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = s * kShardNodes;
+    const std::size_t end = std::min(count, begin + kShardNodes);
+    for (std::size_t i = begin; i < end; ++i) nodes_[i]->step(dt_s);
+  });
 }
 
 std::vector<int> ClusterHw::idle_nodes() const {

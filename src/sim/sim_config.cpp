@@ -61,6 +61,8 @@ util::Json sim_config_to_json(const SimConfig& config) {
   obj["regulation_volatility"] = util::Json(config.regulation_volatility);
   obj["control_period_s"] = util::Json(config.control_period_s);
   obj["tracking_warmup_s"] = util::Json(config.tracking_warmup_s);
+  obj["step_workers"] = util::Json(config.step_workers);
+  obj["step_shard_nodes"] = util::Json(config.step_shard_nodes);
 
   util::JsonArray types;
   for (const SimJobType& t : config.job_types) {
@@ -111,6 +113,10 @@ SimConfig sim_config_from_json(const util::Json& json) {
       json.number_or("regulation_volatility", config.regulation_volatility);
   config.control_period_s = json.number_or("control_period_s", config.control_period_s);
   config.tracking_warmup_s = json.number_or("tracking_warmup_s", config.tracking_warmup_s);
+  config.step_workers =
+      static_cast<int>(json.number_or("step_workers", config.step_workers));
+  config.step_shard_nodes =
+      static_cast<int>(json.number_or("step_shard_nodes", config.step_shard_nodes));
 
   if (json.contains("standard_types")) {
     const util::Json& standard = json.at("standard_types");

@@ -86,6 +86,14 @@ struct SimConfig {
   /// Record tick counts and per-phase wall-clock timing in the global
   /// metrics registry (sim.ticks, sim.phase_us{phase=...}).
   bool telemetry_enabled = true;
+
+  /// Shard the per-tick progress sweep across this many pool workers
+  /// (<= 1 keeps the sweep on the stepping thread).  Shard boundaries
+  /// depend only on node count, so any worker count produces traces
+  /// bit-identical to the serial sweep.
+  int step_workers = 0;
+  /// Nodes per shard when step_workers > 1 (floored at 64).
+  int step_shard_nodes = 8192;
 };
 
 /// The six-type / eight-type standard mixes, as SimJobTypes.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
-#include "telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace anor::sim {
@@ -16,8 +18,8 @@ namespace {
 /// into a shared sim.phase_us histogram keyed by phase name.
 class PhaseTimer {
  public:
-  PhaseTimer(bool enabled, telemetry::Histogram& histogram)
-      : enabled_(enabled), histogram_(&histogram) {
+  PhaseTimer(bool enabled, telemetry::Histogram* histogram)
+      : enabled_(enabled), histogram_(histogram) {
     if (enabled_) start_ = std::chrono::steady_clock::now();
   }
   ~PhaseTimer() {
@@ -69,6 +71,10 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
   if (config_.job_types.empty()) throw util::ConfigError("TabularSimulator: no job types");
   budgeter_ = budget::make_budgeter(config_.budgeter);
 
+  for (std::size_t i = 0; i < config_.job_types.size(); ++i) {
+    type_index_by_name_.emplace(config_.job_types[i].name, static_cast<int>(i));
+  }
+
   if (config_.bid.reserve_w > 0.0) {
     regulation_ = std::make_unique<workload::RandomWalkRegulation>(
         rng_.child("regulation"), config_.duration_s * 4.0, config_.regulation_step_s,
@@ -90,6 +96,27 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
     }
   }
 
+  // Idle nodes draw idle power from t=0 (the rate column starts at 0, so
+  // the progress sweep needs no idle test).
+  for (int n = 0; n < config_.node_count; ++n) nodes_.set_power(n, config_.idle_power_w);
+
+  if (config_.step_workers > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(config_.step_workers));
+  }
+  shard_nodes_ = std::max(64, config_.step_shard_nodes);
+
+  if (config_.telemetry_enabled) {
+    auto& registry = telemetry::MetricsRegistry::global();
+    metrics_.ticks = &registry.counter("sim.ticks");
+    metrics_.update = &phase_histogram("update_nodes");
+    metrics_.complete = &phase_histogram("complete");
+    metrics_.admit = &phase_histogram("admit");
+    metrics_.control = &phase_histogram("control");
+    metrics_.log = &phase_histogram("log");
+    metrics_.power = &registry.gauge("sim.power_w");
+    metrics_.running = &registry.gauge("sim.running_jobs");
+  }
+
   std::sort(schedule_.jobs.begin(), schedule_.jobs.end(),
             [](const workload::JobRequest& a, const workload::JobRequest& b) {
               return a.submit_time_s < b.submit_time_s;
@@ -98,10 +125,11 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
 }
 
 int TabularSimulator::type_index(const std::string& name) const {
-  for (std::size_t i = 0; i < config_.job_types.size(); ++i) {
-    if (config_.job_types[i].name == name) return static_cast<int>(i);
+  const auto it = type_index_by_name_.find(name);
+  if (it == type_index_by_name_.end()) {
+    throw util::ConfigError("TabularSimulator: unknown job type '" + name + "'");
   }
-  throw util::ConfigError("TabularSimulator: unknown job type '" + name + "'");
+  return it->second;
 }
 
 double TabularSimulator::current_target_w() const {
@@ -109,25 +137,76 @@ double TabularSimulator::current_target_w() const {
   return config_.bid.target_at(*regulation_, now_s_);
 }
 
-void TabularSimulator::update_nodes(double dt_s) {
-  for (int n = 0; n < nodes_.size(); ++n) {
+void TabularSimulator::refresh_changed_nodes() {
+  const std::vector<int>& pending = nodes_.pending_refresh();
+  if (pending.empty()) return;
+  for (int n : pending) {
     if (nodes_.idle(n)) {
+      nodes_.set_rate(n, 0.0);
       nodes_.set_power(n, config_.idle_power_w);
       continue;
     }
-    const JobRow& row = jobs_.by_job_id(nodes_.job_id(n));
+    const int row_index = nodes_.job_row(n);
+    const JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
     const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
     const double cap = nodes_.cap_w(n);
-    const double rate = type.progress_rate(cap) / nodes_.perf_multiplier(n);
-    nodes_.add_progress(n, rate * dt_s);
+    nodes_.set_rate(n, type.progress_rate(cap) / nodes_.perf_multiplier(n));
     nodes_.set_power(n, type.power_at(cap));
-    busy_node_seconds_ += dt_s;
+    touched_rows_.push_back(row_index);
+  }
+  nodes_.clear_pending_refresh();
+
+  // Re-predict the earliest completion time of every affected running
+  // job: rates are constant until the next cap event, so "all nodes reach
+  // progress 1" cannot happen before now + max remaining time.  The
+  // margin (relative 1e-9 plus two steps) covers the rounding drift of
+  // the additive progress accumulation; the completion scan still does
+  // the exact per-node test once the skip window closes.
+  std::sort(touched_rows_.begin(), touched_rows_.end());
+  touched_rows_.erase(std::unique(touched_rows_.begin(), touched_rows_.end()),
+                      touched_rows_.end());
+  for (int row_index : touched_rows_) {
+    JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
+    if (!row.started() || row.finished()) continue;
+    double max_remaining_s = 0.0;
+    for (int n : row.nodes) {
+      const double remaining = 1.0 - nodes_.progress(n);
+      if (remaining <= 0.0) continue;
+      const double rate = nodes_.rate(n);
+      if (rate <= 0.0) {
+        max_remaining_s = std::numeric_limits<double>::infinity();
+        break;
+      }
+      max_remaining_s = std::max(max_remaining_s, remaining / rate);
+    }
+    row.earliest_done_s = now_s_ + max_remaining_s * (1.0 - 1e-9) - 2.0 * config_.step_s;
+  }
+  touched_rows_.clear();
+}
+
+void TabularSimulator::update_nodes(double dt_s) {
+  refresh_changed_nodes();
+  busy_node_seconds_ += static_cast<double>(nodes_.busy_count()) * dt_s;
+  const int count = nodes_.size();
+  if (pool_ != nullptr && count > shard_nodes_) {
+    // Fixed shard boundaries derived from node count alone: the worker
+    // count decides only which thread sweeps which shard, never what any
+    // shard computes, so traces are bit-identical at any worker count.
+    const int shards = (count + shard_nodes_ - 1) / shard_nodes_;
+    pool_->parallel_for(static_cast<std::size_t>(shards), [&](std::size_t s) {
+      const int begin = static_cast<int>(s) * shard_nodes_;
+      nodes_.advance_progress(begin, std::min(count, begin + shard_nodes_), dt_s);
+    });
+  } else {
+    nodes_.advance_progress(0, count, dt_s);
   }
 }
 
 void TabularSimulator::complete_finished_jobs() {
+  finished_scratch_.clear();
   for (std::size_t i : jobs_.running()) {
     JobRow& row = jobs_.row(i);
+    if (row.earliest_done_s > now_s_) continue;
     bool all_done = true;
     for (int n : row.nodes) {
       if (nodes_.progress(n) < 1.0) {
@@ -135,10 +214,16 @@ void TabularSimulator::complete_finished_jobs() {
         break;
       }
     }
-    if (!all_done) continue;
-    row.end_s = now_s_;
+    if (all_done) finished_scratch_.push_back(i);
+  }
+  for (std::size_t i : finished_scratch_) {
+    JobRow& row = jobs_.row(i);
+    jobs_.mark_finished(i, now_s_);
     const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
-    for (int n : row.nodes) nodes_.release(n);
+    for (int n : row.nodes) {
+      nodes_.release(n);
+      busy_floor_w_ -= type.p_min_w;
+    }
     scheduler_.job_finished(type.name, static_cast<int>(row.nodes.size()));
     ++result_.jobs_completed;
     sched::JobQosRecord record;
@@ -161,13 +246,13 @@ void TabularSimulator::admit_arrivals() {
     row.type_index = type_index(req.type_name);
     row.classified_index = type_index(req.effective_class());
     row.submit_s = req.submit_time_s;
+    const int real_type = row.type_index;
     jobs_.add(std::move(row));
     // The scheduler sees the instance's real node demand (the type's
     // default unless the request overrides it).
     workload::JobRequest for_queue = req;
     if (for_queue.nodes <= 0) {
-      for_queue.nodes =
-          config_.job_types[static_cast<std::size_t>(type_index(req.type_name))].nodes;
+      for_queue.nodes = config_.job_types[static_cast<std::size_t>(real_type)].nodes;
     }
     scheduler_.submit(for_queue, now_s_);
     ++next_arrival_;
@@ -175,6 +260,9 @@ void TabularSimulator::admit_arrivals() {
 }
 
 double TabularSimulator::projected_qos(const JobRow& row) const {
+  // Computed from the caps as written (not the cached rates): inside a
+  // control tick, freshly assigned nodes carry stale caches until the
+  // next node-update phase.
   const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
   double worst_end = now_s_;
   for (int n : row.nodes) {
@@ -194,27 +282,21 @@ void TabularSimulator::schedule_and_cap() {
   sched::SchedulerView view;
   view.free_nodes = nodes_.idle_count();
   view.power_target_w = current_target_w();
-  // Floor power today: busy nodes cannot go below their job's p_min; idle
-  // nodes draw idle power.
-  double floor = 0.0;
-  for (int n = 0; n < nodes_.size(); ++n) {
-    if (nodes_.idle(n)) {
-      floor += config_.idle_power_w;
-    } else {
-      const JobRow& row = jobs_.by_job_id(nodes_.job_id(n));
-      floor += config_.job_types[static_cast<std::size_t>(row.type_index)].p_min_w;
-    }
-  }
-  view.min_feasible_power_w = floor;
+  // Floor power today: busy nodes cannot go below their job's p_min (the
+  // incrementally maintained busy_floor_w_); idle nodes draw idle power.
+  view.min_feasible_power_w =
+      static_cast<double>(nodes_.idle_count()) * config_.idle_power_w + busy_floor_w_;
   view.per_node_floor_increase_w = workload::kNodeMinCapW - config_.idle_power_w;
   view.now_s = now_s_;
   if (config_.backfill) {
+    // Cached rates are valid here: every running job's nodes were
+    // refreshed in this step's node-update phase, and no caps have been
+    // rewritten yet this control tick.
     for (std::size_t i : jobs_.running()) {
       const JobRow& row = jobs_.row(i);
       double worst_end = now_s_;
-      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
       for (int n : row.nodes) {
-        const double rate = type.progress_rate(nodes_.cap_w(n)) / nodes_.perf_multiplier(n);
+        const double rate = nodes_.rate(n);
         if (rate <= 0.0) continue;
         worst_end = std::max(worst_end, now_s_ + (1.0 - nodes_.progress(n)) / rate);
       }
@@ -227,15 +309,18 @@ void TabularSimulator::schedule_and_cap() {
     std::vector<int> idle = nodes_.idle_nodes();
     std::size_t cursor = 0;
     for (const workload::JobRequest& req : to_start) {
-      JobRow& row = jobs_.by_job_id(req.job_id);
-      row.start_s = now_s_;
+      const std::size_t row_index = jobs_.index_of(req.job_id);
+      JobRow& row = jobs_.row(row_index);
+      jobs_.mark_started(row_index, now_s_);
       row.nodes.clear();
+      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
       for (int k = 0; k < req.nodes; ++k) {
         const int node = idle[cursor++];
         row.nodes.push_back(node);
-        nodes_.assign(node, req.job_id);
+        nodes_.assign(node, req.job_id, static_cast<int>(row_index));
+        busy_floor_w_ += type.p_min_w;
         // Start at the type's max power until the budgeter runs.
-        nodes_.set_cap(node, config_.job_types[static_cast<std::size_t>(row.type_index)].p_max_w);
+        nodes_.set_cap(node, type.p_max_w);
       }
     }
   }
@@ -245,7 +330,7 @@ void TabularSimulator::schedule_and_cap() {
 
 void TabularSimulator::apply_budget() {
   const double target = current_target_w();
-  const std::vector<std::size_t> running = jobs_.running();
+  const std::vector<std::size_t>& running = jobs_.running();
   if (running.empty()) return;
 
   if (target <= 0.0) {
@@ -303,75 +388,78 @@ void TabularSimulator::set_table_log(std::ostream* out, int every_n_steps) {
 
 void TabularSimulator::append_table_log() {
   if (table_log_ == nullptr || step_index_ % table_log_stride_ != 0) return;
-  std::ostream& out = *table_log_;
+  // Format into one buffer and hand the stream a single write per logged
+  // step instead of seven operator<< calls per node row.  %g matches the
+  // default ostream precision-6 formatting byte for byte.
+  log_buffer_.clear();
+  char line[192];
   for (int n = 0; n < nodes_.size(); ++n) {
-    out << "N," << now_s_ << ',' << n << ',' << nodes_.job_id(n) << ',' << nodes_.cap_w(n)
-        << ',' << nodes_.power_w(n) << ',' << nodes_.progress(n) << '\n';
+    const int len =
+        std::snprintf(line, sizeof(line), "N,%g,%d,%d,%g,%g,%g\n", now_s_, n,
+                      nodes_.job_id(n), nodes_.cap_w(n), nodes_.power_w(n),
+                      nodes_.progress(n));
+    if (len > 0) log_buffer_.append(line, static_cast<std::size_t>(len));
   }
-  for (const JobRow& row : jobs_.rows()) {
+  const auto& rows = jobs_.rows();
+  // Rows before log_skip_rows_ finished more than a step ago and were
+  // already logged once; the cutoff only moves forward in time.
+  while (log_skip_rows_ < rows.size() && rows[log_skip_rows_].finished() &&
+         rows[log_skip_rows_].end_s < now_s_ - config_.step_s) {
+    ++log_skip_rows_;
+  }
+  for (std::size_t i = log_skip_rows_; i < rows.size(); ++i) {
+    const JobRow& row = rows[i];
     if (row.finished() && row.end_s < now_s_ - config_.step_s) continue;  // log once
-    out << "J," << now_s_ << ',' << row.job_id << ','
-        << config_.job_types[static_cast<std::size_t>(row.type_index)].name << ','
-        << row.submit_s << ',' << row.start_s << ',' << row.end_s << '\n';
+    const int len = std::snprintf(
+        line, sizeof(line), "J,%g,%d,%s,%g,%g,%g\n", now_s_, row.job_id,
+        config_.job_types[static_cast<std::size_t>(row.type_index)].name.c_str(),
+        row.submit_s, row.start_s, row.end_s);
+    if (len > 0) log_buffer_.append(line, static_cast<std::size_t>(len));
   }
+  table_log_->write(log_buffer_.data(), static_cast<std::streamsize>(log_buffer_.size()));
 }
 
 bool TabularSimulator::step() {
   if (done_) return false;
   const double dt = config_.step_s;
   const bool telemetry_on = config_.telemetry_enabled;
-  static auto& ticks = telemetry::MetricsRegistry::global().counter("sim.ticks");
-  static auto& h_update = phase_histogram("update_nodes");
-  static auto& h_complete = phase_histogram("complete");
-  static auto& h_admit = phase_histogram("admit");
-  static auto& h_control = phase_histogram("control");
-  static auto& h_log = phase_histogram("log");
-  if (telemetry_on) ticks.inc();
+  if (telemetry_on) metrics_.ticks->inc();
   // Phase timing reads the wall clock twice per phase, which would
-  // dominate a ~50 us tick if done every step; sampling every 8th tick
+  // dominate a short tick if done every step; sampling every 8th tick
   // keeps the sim.phase_us distribution representative at <1 % overhead.
   const bool time_phases = telemetry_on && (step_index_ % 8) == 0;
 
   // 1. node update
   {
-    PhaseTimer timer(time_phases, h_update);
+    PhaseTimer timer(time_phases, metrics_.update);
     update_nodes(dt);
   }
   // 2. completions + policy view refresh
   {
-    PhaseTimer timer(time_phases, h_complete);
+    PhaseTimer timer(time_phases, metrics_.complete);
     complete_finished_jobs();
   }
   {
-    PhaseTimer timer(time_phases, h_admit);
+    PhaseTimer timer(time_phases, metrics_.admit);
     admit_arrivals();
   }
   // 3. schedule and cap (at the control cadence)
   if (now_s_ + 1e-9 >= next_control_s_) {
-    PhaseTimer timer(time_phases, h_control);
+    PhaseTimer timer(time_phases, metrics_.control);
     schedule_and_cap();
     next_control_s_ = now_s_ + config_.control_period_s;
   }
   // 4. log
   {
-    PhaseTimer timer(time_phases, h_log);
+    PhaseTimer timer(time_phases, metrics_.log);
     const double power_w = nodes_.total_power_w();
     result_.power_w.add(now_s_, power_w);
     if (regulation_ != nullptr) result_.target_w.add(now_s_, current_target_w());
     append_table_log();
     if (telemetry_on) {
-      auto& registry = telemetry::MetricsRegistry::global();
-      static auto& power = registry.gauge("sim.power_w");
-      static auto& running = registry.gauge("sim.running_jobs");
-      power.set(power_w);
-      // Counting running jobs scans the job table, so refresh it on the
-      // same sampling cadence as the phase timers.
+      metrics_.power->set(power_w);
       if (time_phases) {
-        std::size_t running_count = 0;
-        for (const JobRow& row : jobs_.rows()) {
-          if (row.started() && !row.finished()) ++running_count;
-        }
-        running.set(static_cast<double>(running_count));
+        metrics_.running->set(static_cast<double>(jobs_.running().size()));
       }
     }
     if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s_);

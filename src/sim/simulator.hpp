@@ -5,10 +5,20 @@
 // and power manager, then schedules jobs and caps power.  The policy
 // updates inputs to the node table that will be processed in the
 // node-update stage of the next time step."
+//
+// Hot-path layout (see DESIGN.md "Performance model of the simulator"):
+// per-node rates/powers are cached in the node table and refreshed only
+// for nodes whose cap or ownership changed since the previous tick, the
+// running-job set / idle count / floor power / total power are maintained
+// incrementally at assign/release/cap events, and the per-tick progress
+// sweep can be sharded across a thread pool with fixed shard boundaries
+// so results are bit-identical at any worker count.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 #include <iosfwd>
 
@@ -16,8 +26,10 @@
 #include "sched/qos.hpp"
 #include "sim/sim_config.hpp"
 #include "telemetry/artifact.hpp"
+#include "telemetry/metrics.hpp"
 #include "sim/tables.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time_series.hpp"
 #include "workload/schedule.hpp"
 
@@ -62,11 +74,13 @@ class TabularSimulator {
   void set_artifacts(telemetry::RunArtifactWriter* artifacts) { artifacts_ = artifacts; }
 
   double now_s() const { return now_s_; }
+  long steps_taken() const { return step_index_; }
   const NodeTable& node_table() const { return nodes_; }
   const JobTable& job_table() const { return jobs_; }
   const sched::AqaScheduler& scheduler() const { return scheduler_; }
 
  private:
+  void refresh_changed_nodes();
   void update_nodes(double dt_s);
   void append_table_log();
   void complete_finished_jobs();
@@ -89,15 +103,44 @@ class TabularSimulator {
   std::unique_ptr<budget::Budgeter> budgeter_;
   std::unique_ptr<workload::RandomWalkRegulation> regulation_;
   std::vector<model::PowerPerfModel> type_models_;  // budgeter view per type
+  std::unordered_map<std::string, int> type_index_by_name_;
 
   SimResult result_;
   double now_s_ = 0.0;
   double next_control_s_ = 0.0;
   double busy_node_seconds_ = 0.0;
+  /// Sum over busy nodes of their type's p_min, maintained at
+  /// assign/release (the busy half of the cluster's floor power).
+  double busy_floor_w_ = 0.0;
   bool done_ = false;
+
+  /// Sharded progress sweep: lazily built pool (config.step_workers > 1)
+  /// plus fixed shard boundaries derived from node count alone.
+  std::unique_ptr<util::ThreadPool> pool_;
+  int shard_nodes_ = 0;
+
+  /// Per-instance telemetry handles, resolved once in the constructor so
+  /// the step loop never touches the registry map (concurrent seeded
+  /// trials share the cells; updates are relaxed atomics).
+  struct StepMetrics {
+    telemetry::Counter* ticks = nullptr;
+    telemetry::Histogram* update = nullptr;
+    telemetry::Histogram* complete = nullptr;
+    telemetry::Histogram* admit = nullptr;
+    telemetry::Histogram* control = nullptr;
+    telemetry::Histogram* log = nullptr;
+    telemetry::Gauge* power = nullptr;
+    telemetry::Gauge* running = nullptr;
+  };
+  StepMetrics metrics_;
+
+  std::vector<int> touched_rows_;              // scratch: rows to re-predict
+  std::vector<std::size_t> finished_scratch_;  // scratch: completions this tick
+  std::string log_buffer_;                     // table-log formatting buffer
 
   std::ostream* table_log_ = nullptr;
   int table_log_stride_ = 1;
+  std::size_t log_skip_rows_ = 0;  // prefix of job rows already fully logged
   long step_index_ = 0;
   telemetry::RunArtifactWriter* artifacts_ = nullptr;
 };

@@ -1,6 +1,6 @@
 #include "sim/tables.hpp"
 
-#include <numeric>
+#include <algorithm>
 #include <stdexcept>
 
 namespace anor::sim {
@@ -10,67 +10,109 @@ NodeTable::NodeTable(int node_count)
       cap_w_(static_cast<std::size_t>(node_count), 0.0),
       power_w_(static_cast<std::size_t>(node_count), 0.0),
       progress_(static_cast<std::size_t>(node_count), 0.0),
-      perf_mult_(static_cast<std::size_t>(node_count), 1.0) {
+      perf_mult_(static_cast<std::size_t>(node_count), 1.0),
+      rate_(static_cast<std::size_t>(node_count), 0.0),
+      job_row_(static_cast<std::size_t>(node_count), -1),
+      idle_count_(node_count),
+      pending_flag_(static_cast<std::size_t>(node_count), 0) {
   if (node_count <= 0) throw std::invalid_argument("NodeTable: node_count <= 0");
 }
 
-void NodeTable::assign(int node, int job) {
+void NodeTable::mark_pending(int node) {
+  if (pending_flag_[idx(node)]) return;
+  pending_flag_[idx(node)] = 1;
+  pending_.push_back(node);
+}
+
+void NodeTable::set_cap(int node, double cap_w) {
+  if (cap_w_[idx(node)] == cap_w) return;
+  cap_w_[idx(node)] = cap_w;
+  mark_pending(node);
+}
+
+void NodeTable::advance_progress(int begin, int end, double dt_s) {
+  double* progress = progress_.data();
+  const double* rate = rate_.data();
+  for (int n = begin; n < end; ++n) progress[n] += rate[n] * dt_s;
+}
+
+void NodeTable::assign(int node, int job, int job_row) {
+  if (job_id_[idx(node)] < 0) --idle_count_;
   job_id_[idx(node)] = job;
+  job_row_[idx(node)] = job_row;
   progress_[idx(node)] = 0.0;
+  mark_pending(node);
 }
 
 void NodeTable::release(int node) {
+  if (job_id_[idx(node)] >= 0) ++idle_count_;
   job_id_[idx(node)] = -1;
+  job_row_[idx(node)] = -1;
   progress_[idx(node)] = 0.0;
   cap_w_[idx(node)] = 0.0;
+  rate_[idx(node)] = 0.0;
+  mark_pending(node);
 }
 
 std::vector<int> NodeTable::idle_nodes() const {
   std::vector<int> idle;
+  idle.reserve(static_cast<std::size_t>(idle_count_));
   for (int n = 0; n < size(); ++n) {
     if (job_id_[idx(n)] < 0) idle.push_back(n);
   }
   return idle;
 }
 
-int NodeTable::idle_count() const {
-  int count = 0;
-  for (int id : job_id_) {
-    if (id < 0) ++count;
+double NodeTable::total_power_w() const {
+  if (!power_clean_) {
+    double total = 0.0;
+    for (double p : power_w_) total += p;
+    total_power_cache_ = total;
+    power_clean_ = true;
   }
-  return count;
+  return total_power_cache_;
 }
 
-double NodeTable::total_power_w() const {
-  return std::accumulate(power_w_.begin(), power_w_.end(), 0.0);
+void NodeTable::clear_pending_refresh() {
+  for (int n : pending_) pending_flag_[idx(n)] = 0;
+  pending_.clear();
 }
 
 std::size_t JobTable::add(JobRow row) {
   const auto id = static_cast<std::size_t>(row.job_id);
   if (by_id_.size() <= id) by_id_.resize(id + 1, SIZE_MAX);
   by_id_[id] = rows_.size();
+  const bool running = row.started() && !row.finished();
   rows_.push_back(std::move(row));
+  if (running) running_.push_back(rows_.size() - 1);
   return rows_.size() - 1;
 }
 
-JobRow& JobTable::by_job_id(int job_id) {
+std::size_t JobTable::index_of(int job_id) const {
   const auto id = static_cast<std::size_t>(job_id);
   if (id >= by_id_.size() || by_id_[id] == SIZE_MAX) {
     throw std::out_of_range("JobTable: unknown job id");
   }
-  return rows_[by_id_[id]];
+  return by_id_[id];
 }
 
-const JobRow& JobTable::by_job_id(int job_id) const {
-  return const_cast<JobTable*>(this)->by_job_id(job_id);
+JobRow& JobTable::by_job_id(int job_id) { return rows_[index_of(job_id)]; }
+
+const JobRow& JobTable::by_job_id(int job_id) const { return rows_[index_of(job_id)]; }
+
+void JobTable::mark_started(std::size_t index, double start_s) {
+  JobRow& job = rows_[index];
+  if (job.started()) return;
+  job.start_s = start_s;
+  running_.insert(std::lower_bound(running_.begin(), running_.end(), index), index);
 }
 
-std::vector<std::size_t> JobTable::running() const {
-  std::vector<std::size_t> running;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].started() && !rows_[i].finished()) running.push_back(i);
-  }
-  return running;
+void JobTable::mark_finished(std::size_t index, double end_s) {
+  JobRow& job = rows_[index];
+  if (job.finished()) return;
+  job.end_s = end_s;
+  const auto it = std::lower_bound(running_.begin(), running_.end(), index);
+  if (it != running_.end() && *it == index) running_.erase(it);
 }
 
 }  // namespace anor::sim

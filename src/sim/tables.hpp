@@ -4,6 +4,14 @@
 // current state of nodes and jobs in the cluster."  Structure-of-arrays
 // layout: the per-second update sweeps every node, and SoA keeps those
 // sweeps cache-friendly at 1000+ nodes.
+//
+// Beyond the raw columns, the node table caches derived per-node state
+// (progress rate, power draw, owning job row) that changes only at
+// assign/release/cap events — never mid-tick — so the per-tick sweep is a
+// branch-light `progress += rate * dt` over contiguous arrays.  Nodes whose
+// caps or ownership changed are queued in a pending-refresh list the
+// simulator drains (serially) at the top of the next node-update phase;
+// see DESIGN.md "Performance model of the simulator".
 #pragma once
 
 #include <cstdint>
@@ -26,26 +34,66 @@ class NodeTable {
   double perf_multiplier(int node) const { return perf_mult_[idx(node)]; }
   bool idle(int node) const { return job_id_[idx(node)] < 0; }
 
+  /// Cached progress per second under the current cap (0 while idle).
+  /// Owned by the simulator's pending-refresh pass; stale between a cap
+  /// write and the next refresh.
+  double rate(int node) const { return rate_[idx(node)]; }
+  void set_rate(int node, double rate) { rate_[idx(node)] = rate; }
+
+  /// Row index of the owning job in the JobTable (-1 while idle).
+  int job_row(int node) const { return job_row_[idx(node)]; }
+
   void set_perf_multiplier(int node, double m) { perf_mult_[idx(node)] = m; }
-  void set_cap(int node, double cap_w) { cap_w_[idx(node)] = cap_w; }
-  void set_power(int node, double power_w) { power_w_[idx(node)] = power_w; }
+  /// Writes the cap and queues the node for a rate/power refresh.  A
+  /// write that does not change the value is a no-op (caps are rewritten
+  /// every control period even when the budget is unchanged).
+  void set_cap(int node, double cap_w);
+  void set_power(int node, double power_w) {
+    power_w_[idx(node)] = power_w;
+    power_clean_ = false;
+  }
   void add_progress(int node, double delta) { progress_[idx(node)] += delta; }
 
-  void assign(int node, int job);
+  /// progress[n] += rate[n] * dt for n in [begin, end).  Idle nodes have
+  /// rate 0, so the sweep needs no busy test.  Writes only the progress
+  /// column of its own range — shards over disjoint ranges never race.
+  void advance_progress(int begin, int end, double dt_s);
+
+  void assign(int node, int job, int job_row = -1);
   void release(int node);
 
   std::vector<int> idle_nodes() const;
-  int idle_count() const;
+  /// O(1): maintained incrementally at assign/release.
+  int idle_count() const { return idle_count_; }
+  int busy_count() const { return size() - idle_count_; }
+
+  /// Left-to-right sum over the power column, cached between power
+  /// writes.  Power changes only at refresh/assign/release events, so
+  /// steady-state ticks pay O(1) here.
   double total_power_w() const;
+
+  /// Nodes with a cap/ownership change since the last clear, in event
+  /// order (each node listed at most once).
+  const std::vector<int>& pending_refresh() const { return pending_; }
+  void clear_pending_refresh();
 
  private:
   static std::size_t idx(int node) { return static_cast<std::size_t>(node); }
+  void mark_pending(int node);
 
   std::vector<int> job_id_;
   std::vector<double> cap_w_;
   std::vector<double> power_w_;
   std::vector<double> progress_;
   std::vector<double> perf_mult_;
+  std::vector<double> rate_;
+  std::vector<int> job_row_;
+
+  int idle_count_ = 0;
+  std::vector<int> pending_;
+  std::vector<std::uint8_t> pending_flag_;
+  mutable double total_power_cache_ = 0.0;
+  mutable bool power_clean_ = false;
 };
 
 /// Per-job lifecycle state.
@@ -56,6 +104,9 @@ struct JobRow {
   double submit_s = 0.0;
   double start_s = -1.0;
   double end_s = -1.0;
+  /// Earliest simulated time the job can possibly finish given the rates
+  /// at the last cap event; the completion scan skips the job until then.
+  double earliest_done_s = 0.0;
   std::vector<int> nodes;    // assigned node ids (empty while queued)
 
   bool started() const { return start_s >= 0.0; }
@@ -73,15 +124,22 @@ class JobTable {
 
   JobRow& by_job_id(int job_id);
   const JobRow& by_job_id(int job_id) const;
+  std::size_t index_of(int job_id) const;
 
-  /// Indices of running (started, unfinished) jobs.
-  std::vector<std::size_t> running() const;
+  /// Record the start/end transition and maintain the running set.
+  void mark_started(std::size_t index, double start_s);
+  void mark_finished(std::size_t index, double end_s);
+
+  /// Indices of running (started, unfinished) jobs, ascending.  Maintained
+  /// incrementally at mark_started/mark_finished — no per-tick rebuild.
+  const std::vector<std::size_t>& running() const { return running_; }
 
   const std::vector<JobRow>& rows() const { return rows_; }
 
  private:
   std::vector<JobRow> rows_;
   std::vector<std::size_t> by_id_;  // job_id -> row index
+  std::vector<std::size_t> running_;
 };
 
 }  // namespace anor::sim

@@ -35,10 +35,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunk = (count + worker_count() - 1) / worker_count();
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&body, i] { body(i); }));
+  futures.reserve((count + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    futures.push_back(submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

@@ -33,8 +33,11 @@ class ThreadPool {
   /// exception it throws).
   std::future<void> submit(std::function<void()> task);
 
-  /// Run body(i) for i in [0, count) across the pool and wait.  Exceptions
-  /// from tasks are rethrown (the first one encountered).
+  /// Run body(i) for i in [0, count) across the pool and wait.  Indices
+  /// are split into one contiguous chunk per worker (ceil(count/workers)
+  /// each) so the queue sees worker_count tasks, not count — cheap enough
+  /// to call once per simulator tick.  Exceptions from tasks are rethrown
+  /// (the one from the lowest-index chunk that threw).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:

@@ -1,0 +1,115 @@
+// Golden determinism regression for the optimized simulator hot path.
+//
+// The SoA caches, incremental aggregates, and sharded stepping are only
+// admissible because they reproduce the reference trace bit-for-bit; these
+// tests pin a seeded 1000-node run to a recorded hash and assert the hash
+// is invariant under worker count and telemetry instrumentation.  The
+// parallel-trials test doubles as the TSan target for the shared metrics
+// registry (see tools/check_tier1.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/schedule.hpp"
+
+namespace anor::sim {
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const SimResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(r.power_w.values().data(), r.power_w.size() * sizeof(double), h);
+  for (const auto& q : r.qos.records()) {
+    h = fnv1a(&q.job_id, sizeof(q.job_id), h);
+    h = fnv1a(&q.submit_s, sizeof(q.submit_s), h);
+    h = fnv1a(&q.start_s, sizeof(q.start_s), h);
+    h = fnv1a(&q.end_s, sizeof(q.end_s), h);
+  }
+  return h;
+}
+
+std::uint64_t run_seeded(int nodes, double duration_s, int step_workers, bool telemetry) {
+  SimConfig config;
+  config.node_count = nodes;
+  config.duration_s = duration_s;
+  config.job_types = standard_sim_types(true, std::max(1, nodes / 40));
+  config.bid.average_power_w = nodes * 150.0;
+  config.bid.reserve_w = nodes * 18.0;
+  config.telemetry_enabled = telemetry;
+  config.step_workers = step_workers;
+  config.step_shard_nodes = 256;
+
+  util::Rng rng(42);
+  std::vector<workload::JobType> gen_types;
+  for (const SimJobType& t : config.job_types) {
+    workload::JobType gt;
+    gt.name = t.name;
+    gt.nodes = t.nodes;
+    gt.base_epoch_s = t.time_at_pmax_s / 100.0;
+    gt.epochs = 100;
+    gen_types.push_back(std::move(gt));
+  }
+  workload::PoissonScheduleConfig sched_config;
+  sched_config.duration_s = config.duration_s;
+  sched_config.utilization = 0.75;
+  sched_config.cluster_nodes = config.node_count;
+  const workload::Schedule schedule =
+      workload::generate_poisson_schedule(gen_types, sched_config, rng.child("schedule"));
+
+  TabularSimulator simulator(config, schedule, rng.child("sim"));
+  return trace_hash(simulator.run());
+}
+
+// Recorded from the seed run (power trace + QoS records, FNV-1a).  Any
+// change to this value means the simulator's numerics changed — an
+// optimization that moves it is a bug, not a tolerance issue.
+constexpr std::uint64_t kGolden1000Node600s = 0xb3a442b79219c7d9ULL;
+
+TEST(SimDeterminism, GoldenTraceHash1000Nodes) {
+  EXPECT_EQ(run_seeded(1000, 600.0, 0, false), kGolden1000Node600s);
+}
+
+TEST(SimDeterminism, WorkerCountCannotChangeTheTrace) {
+  for (int workers : {1, 2, 4, 8}) {
+    EXPECT_EQ(run_seeded(1000, 600.0, workers, false), kGolden1000Node600s)
+        << "step_workers=" << workers;
+  }
+}
+
+TEST(SimDeterminism, TelemetryCannotChangeTheTrace) {
+  EXPECT_EQ(run_seeded(1000, 600.0, 0, true), kGolden1000Node600s);
+  EXPECT_EQ(run_seeded(1000, 600.0, 4, true), kGolden1000Node600s);
+}
+
+TEST(SimDeterminism, ParallelSeededTrialsShareRegistrySafely) {
+  // Four identical seeded trials run concurrently with telemetry on: they
+  // hammer the same global MetricsRegistry from four threads (the TSan
+  // target) and must still each produce the reference trace.
+  util::ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  std::vector<std::uint64_t> hashes(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    futures.push_back(pool.submit([&hashes, t] {
+      hashes[static_cast<std::size_t>(t)] = run_seeded(200, 300.0, 0, true);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(hashes[static_cast<std::size_t>(t)], hashes[0]);
+  EXPECT_NE(hashes[0], 0u);
+}
+
+}  // namespace
+}  // namespace anor::sim

@@ -21,6 +21,8 @@ TEST(SimConfigJson, RoundTripPreservesEverything) {
   original.bid.average_power_w = 40000.0;
   original.bid.reserve_w = 5000.0;
   original.tracking_warmup_s = 250.0;
+  original.step_workers = 6;
+  original.step_shard_nodes = 512;
   original.job_types = standard_sim_types(true, 2);
   original.queue_weights["bt.D.x"] = 2.5;
 
@@ -37,6 +39,8 @@ TEST(SimConfigJson, RoundTripPreservesEverything) {
   EXPECT_DOUBLE_EQ(parsed.at_risk_fraction, 0.6);
   EXPECT_DOUBLE_EQ(parsed.bid.average_power_w, 40000.0);
   EXPECT_DOUBLE_EQ(parsed.bid.reserve_w, 5000.0);
+  EXPECT_EQ(parsed.step_workers, 6);
+  EXPECT_EQ(parsed.step_shard_nodes, 512);
   ASSERT_EQ(parsed.job_types.size(), original.job_types.size());
   EXPECT_EQ(parsed.job_types[0].name, original.job_types[0].name);
   EXPECT_EQ(parsed.job_types[0].nodes, original.job_types[0].nodes);
@@ -58,6 +62,8 @@ TEST(SimConfigJson, DefaultsApplyForMissingKeys) {
   const SimConfig defaults;
   EXPECT_EQ(config.node_count, defaults.node_count);
   EXPECT_EQ(config.budgeter, defaults.budgeter);
+  EXPECT_EQ(config.step_workers, defaults.step_workers);
+  EXPECT_EQ(config.step_shard_nodes, defaults.step_shard_nodes);
   EXPECT_TRUE(config.job_types.empty());
 }
 

@@ -51,6 +51,60 @@ TEST(NodeTable, TotalPowerSums) {
   EXPECT_DOUBLE_EQ(table.total_power_w(), 300.0);
 }
 
+TEST(NodeTable, SetCapQueuesPendingRefreshOnce) {
+  NodeTable table(4);
+  table.set_cap(1, 100.0);
+  table.set_cap(1, 120.0);  // second change: still queued only once
+  table.set_cap(2, 90.0);
+  EXPECT_EQ(table.pending_refresh(), (std::vector<int>{1, 2}));
+  table.clear_pending_refresh();
+  EXPECT_TRUE(table.pending_refresh().empty());
+  // Re-writing the current value is a no-op: caps are rewritten every
+  // control period even when the budget did not move.
+  table.set_cap(1, 120.0);
+  EXPECT_TRUE(table.pending_refresh().empty());
+  table.set_cap(1, 130.0);
+  EXPECT_EQ(table.pending_refresh(), (std::vector<int>{1}));
+}
+
+TEST(NodeTable, AssignAndReleaseQueuePendingRefresh) {
+  NodeTable table(3);
+  table.assign(0, 7, 4);
+  EXPECT_EQ(table.job_row(0), 4);
+  EXPECT_EQ(table.pending_refresh(), (std::vector<int>{0}));
+  table.clear_pending_refresh();
+  table.set_rate(0, 0.5);
+  table.release(0);
+  EXPECT_EQ(table.job_row(0), -1);
+  EXPECT_DOUBLE_EQ(table.rate(0), 0.0);  // idle nodes advance at rate 0
+  EXPECT_DOUBLE_EQ(table.cap_w(0), 0.0);
+  EXPECT_EQ(table.pending_refresh(), (std::vector<int>{0}));
+}
+
+TEST(NodeTable, AdvanceProgressUsesCachedRatesOverRanges) {
+  NodeTable table(4);
+  table.assign(1, 10);
+  table.assign(3, 11);
+  table.set_rate(1, 0.25);
+  table.set_rate(3, 0.5);
+  table.advance_progress(0, 2, 2.0);  // first shard: nodes 0-1
+  table.advance_progress(2, 4, 2.0);  // second shard: nodes 2-3
+  EXPECT_DOUBLE_EQ(table.progress(0), 0.0);
+  EXPECT_DOUBLE_EQ(table.progress(1), 0.5);
+  EXPECT_DOUBLE_EQ(table.progress(2), 0.0);
+  EXPECT_DOUBLE_EQ(table.progress(3), 1.0);
+}
+
+TEST(NodeTable, TotalPowerCacheInvalidatedByWrites) {
+  NodeTable table(3);
+  table.set_power(0, 100.0);
+  table.set_power(1, 150.0);
+  EXPECT_DOUBLE_EQ(table.total_power_w(), 250.0);
+  EXPECT_DOUBLE_EQ(table.total_power_w(), 250.0);  // cached re-read
+  table.set_power(2, 50.0);
+  EXPECT_DOUBLE_EQ(table.total_power_w(), 300.0);
+}
+
 TEST(JobTable, AddAndLookupById) {
   JobTable table;
   JobRow row;
@@ -91,6 +145,40 @@ TEST(JobTable, RunningFiltersCorrectly) {
   const auto active = table.running();
   ASSERT_EQ(active.size(), 1u);
   EXPECT_EQ(table.row(active[0]).job_id, 1);
+}
+
+TEST(JobTable, IndexOfMatchesRowOrder) {
+  JobTable table;
+  for (int id : {5, 3, 9}) {
+    JobRow row;
+    row.job_id = id;
+    table.add(row);
+  }
+  EXPECT_EQ(table.index_of(5), 0u);
+  EXPECT_EQ(table.index_of(3), 1u);
+  EXPECT_EQ(table.index_of(9), 2u);
+  EXPECT_THROW(table.index_of(4), std::out_of_range);
+}
+
+TEST(JobTable, RunningSetMaintainedIncrementally) {
+  JobTable table;
+  for (int id = 0; id < 4; ++id) {
+    JobRow row;
+    row.job_id = id;
+    table.add(row);
+  }
+  // Start out of row order: the running set stays ascending.
+  table.mark_started(2, 1.0);
+  table.mark_started(0, 2.0);
+  table.mark_started(3, 3.0);
+  EXPECT_EQ(table.running(), (std::vector<std::size_t>{0, 2, 3}));
+  table.mark_finished(2, 4.0);
+  EXPECT_EQ(table.running(), (std::vector<std::size_t>{0, 3}));
+  // Idempotent transitions do not corrupt the set.
+  table.mark_started(0, 5.0);
+  table.mark_finished(2, 6.0);
+  EXPECT_EQ(table.running(), (std::vector<std::size_t>{0, 3}));
+  EXPECT_DOUBLE_EQ(table.row(0).start_s, 2.0);
 }
 
 TEST(JobTable, NonContiguousIds) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace anor::util {
@@ -36,6 +39,39 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 TEST(ThreadPool, ParallelForZeroCount) {
   ThreadPool pool(2);
   EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ParallelForRunsEachChunkOnOneThread) {
+  // parallel_for submits one contiguous chunk per worker, not one task per
+  // index: with 2 workers and 8 items, [0,4) and [4,8) must each execute
+  // entirely on a single thread.
+  ThreadPool pool(2);
+  std::array<std::thread::id, 8> ran_on;
+  pool.parallel_for(8, [&ran_on](std::size_t i) { ran_on[i] = std::this_thread::get_id(); });
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(ran_on[i], ran_on[0]);
+  for (std::size_t i = 5; i < 8; ++i) EXPECT_EQ(ran_on[i], ran_on[4]);
+}
+
+TEST(ThreadPool, ParallelForMoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexChunkError) {
+  // Both chunks throw; the rethrown exception is the lowest-index chunk's,
+  // independent of which worker finishes first.
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      if (i == 0) throw std::runtime_error("low chunk");
+      if (i == 4) throw std::runtime_error("high chunk");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "low chunk");
+  }
 }
 
 TEST(ThreadPool, PropagatesTaskException) {

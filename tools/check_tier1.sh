@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Pre-merge gate: the tier-1 verify from ROADMAP.md plus a sanitizer pass
-# over the telemetry suite (its registry/ring are the only components
-# updated concurrently from control loops, so they get the ASan/UBSan
-# treatment on every merge).
+# Pre-merge gate: the tier-1 verify from ROADMAP.md plus sanitizer passes —
+# ASan/UBSan over the telemetry suite (its registry/ring are updated
+# concurrently from control loops) and TSan over the simulator's sharded
+# stepping and thread-pool chunking (the paths that share the metrics
+# registry and progress columns across workers).
 #
 # Usage: tools/check_tier1.sh [build-dir]
-#   build-dir defaults to `build`; the sanitizer build goes to
-#   `<build-dir>-asan`.  Exits non-zero on the first failure.
+#   build-dir defaults to `build`; the sanitizer builds go to
+#   `<build-dir>-asan` and `<build-dir>-tsan`.  Exits non-zero on the
+#   first failure.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -33,6 +35,17 @@ cmake -B "$asan_dir" -S . \
 cmake --build "$asan_dir" -j"$jobs" --target telemetry_test util_test anorctl
 "$asan_dir/tests/telemetry_test"
 "$asan_dir/tests/util_test" --gtest_filter='Logger.*:VirtualClock.*'
+
+echo "== sanitizers: TSan parallel-trial + sharded-step suite =="
+tsan_dir="${build_dir}-tsan"
+cmake -B "$tsan_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test
+"$tsan_dir/tests/sim_test" --gtest_filter='SimDeterminism.*'
+"$tsan_dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelForEachIndex.*'
+"$tsan_dir/tests/platform_test" --gtest_filter='ClusterHw.ShardedStepMatchesSerialBitForBit'
 
 echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
 # Closed-loop fault injection: the command itself exits non-zero unless

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the simulator scaling bench, writing BENCH_sim.json at the
+# repo root (schema anor.bench_sim.v1; see README.md).
+#
+# Usage: tools/run_bench.sh [build_dir] [--quick]
+#   build_dir  CMake build directory (default: build)
+#   --quick    short 1000-node sweep only, for smoke-testing the harness
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+QUICK=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_sim_scale -j "$(nproc)"
+
+"$BUILD_DIR"/bench/bench_sim_scale BENCH_sim.json $QUICK
