@@ -9,10 +9,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "engine/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/json.hpp"
@@ -203,6 +205,12 @@ int main(int argc, char** argv) {
   util::JsonObject root;
   root["schema"] = util::Json(std::string("anor.bench_sim.v1"));
   root["bench"] = util::Json(std::string("bench_sim_scale"));
+  // Provenance: which code produced these numbers, and through which
+  // backend.  run_bench.sh exports ANOR_GIT_REVISION from `git describe`.
+  const char* revision = std::getenv("ANOR_GIT_REVISION");
+  root["git_revision"] = util::Json(std::string(revision ? revision : "unknown"));
+  root["backend"] = util::Json(std::string(anor::engine::to_string(
+      anor::engine::Backend::kTabular)));
   root["seed"] = util::Json(static_cast<double>(kSeed));
   root["utilization"] = util::Json(kUtilization);
   root["tracking"] = util::Json(true);

@@ -10,14 +10,6 @@
 
 namespace anor::cluster {
 
-std::map<std::string, util::RunningStats> EmulationResult::slowdown_by_type() const {
-  std::map<std::string, util::RunningStats> by_type;
-  for (const CompletedJob& job : completed) {
-    by_type[job.request.type_name].add(job.slowdown());
-  }
-  return by_type;
-}
-
 double uncapped_runtime_s(const workload::JobType& type,
                           const workload::KernelConfig& kernel) {
   return kernel.setup_s + kernel.teardown_s +
@@ -270,6 +262,67 @@ void EmulatedCluster::finish_completed_jobs() {
   }
 }
 
+void EmulatedCluster::sample_log(double now_s) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  static auto& power = registry.gauge("cluster.power_w");
+  static auto& target_gauge = registry.gauge("cluster.target_w");
+  static auto& running = registry.gauge("cluster.running_jobs");
+  static auto& free_nodes = registry.gauge("cluster.free_nodes");
+  const double measured = hw_->total_power_w();
+  result_.power_w.add(now_s, measured);
+  power.set(measured);
+  running.set(static_cast<double>(running_.size()));
+  free_nodes.set(static_cast<double>(free_nodes_.size()));
+  auto& tracer = telemetry::TraceRecorder::global();
+  tracer.counter("cluster.power_w", "cluster", now_s, measured);
+  if (const auto target = manager_.target_at(now_s)) {
+    result_.target_w.add(now_s, *target);
+    target_gauge.set(*target);
+    tracer.counter("cluster.target_w", "cluster", now_s, *target);
+  }
+  if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s);
+}
+
+void EmulatedCluster::build_engine() {
+  // Component order is the determinism contract: hardware advances, then
+  // arrivals/completions/scheduling, the fault hook, the per-job control
+  // stack, the head-node manager, and last the log sampler — exactly the
+  // sequence the hand-rolled loop ran.  The engine advances the clock
+  // before dispatching (kAdvanceFirst), as `clock_.advance(dt)` did.
+  engine_ = std::make_unique<engine::DiscreteEngine>(
+      config_.step_s, engine::DiscreteEngine::ClockMode::kAdvanceFirst);
+  engine_->bind_clock(&clock_);
+  engine_->add_component("hardware", 0.0, [this](double, double dt) { hw_->step(dt); });
+  engine_->add_component("admit_arrivals", 0.0,
+                         [this](double, double) { admit_arrivals(); });
+  engine_->add_component("complete_jobs", 0.0,
+                         [this](double, double) { finish_completed_jobs(); });
+  engine_->add_component("scheduler", 0.0, [this](double, double) { start_jobs(); });
+  engine_->add_component("step_hook", 0.0, [this](double now, double) {
+    if (step_hook_) step_hook_(*this, now);
+  });
+  engine_->add_component("job_control", 0.0, [this](double now, double dt) {
+    busy_node_seconds_ +=
+        static_cast<double>(config_.node_count - static_cast<int>(free_nodes_.size())) * dt;
+    for (auto& job : running_) {
+      job->controller->control_step(now);
+      if (job->endpoint) job->endpoint->step(now);
+    }
+  });
+  engine_->add_component("manager", 0.0, [this](double now, double) {
+    // Facility metering: the head node sees the cluster's CPU power.
+    manager_.report_measured_power(now, hw_->total_power_w());
+    manager_.step(now);
+  });
+  engine_->add_component("log_sampler", config_.log_period_s,
+                         [this](double now, double) { sample_log(now); });
+  engine_->set_stop_predicate([this](double now) {
+    const bool drained = next_arrival_ >= schedule_.jobs.size() && running_.empty() &&
+                         !scheduler_.has_pending();
+    return drained || now >= config_.max_duration_s;
+  });
+}
+
 bool EmulatedCluster::step() {
   if (done_) return false;
   // Trace events and log lines recorded anywhere in the control stack
@@ -277,49 +330,9 @@ bool EmulatedCluster::step() {
   // the binding survives a pre-run move of the cluster object.
   telemetry::TraceRecorder::global().bind_clock(&clock_);
   util::Logger::instance().attach_clock(&clock_);
-  const double dt = config_.step_s;
-  clock_.advance(dt);
-  hw_->step(dt);
-  const double now = clock_.now();
-
-  admit_arrivals();
-  finish_completed_jobs();
-  start_jobs();
-  if (step_hook_) step_hook_(*this, now);
-
-  for (auto& job : running_) {
-    job->controller->control_step(now);
-    if (job->endpoint) job->endpoint->step(now);
-  }
-  // Facility metering: the head node sees the cluster's CPU power.
-  manager_.report_measured_power(now, hw_->total_power_w());
-  manager_.step(now);
-
-  if (now + 1e-9 >= next_log_s_) {
-    auto& registry = telemetry::MetricsRegistry::global();
-    static auto& power = registry.gauge("cluster.power_w");
-    static auto& target_gauge = registry.gauge("cluster.target_w");
-    static auto& running = registry.gauge("cluster.running_jobs");
-    static auto& free_nodes = registry.gauge("cluster.free_nodes");
-    const double measured = hw_->total_power_w();
-    result_.power_w.add(now, measured);
-    power.set(measured);
-    running.set(static_cast<double>(running_.size()));
-    free_nodes.set(static_cast<double>(free_nodes_.size()));
-    auto& tracer = telemetry::TraceRecorder::global();
-    tracer.counter("cluster.power_w", "cluster", now, measured);
-    if (const auto target = manager_.target_at(now)) {
-      result_.target_w.add(now, *target);
-      target_gauge.set(*target);
-      tracer.counter("cluster.target_w", "cluster", now, *target);
-    }
-    if (artifacts_ != nullptr) artifacts_->maybe_sample(now);
-    next_log_s_ = now + config_.log_period_s;
-  }
-
-  const bool drained = next_arrival_ >= schedule_.jobs.size() && running_.empty() &&
-                       !scheduler_.has_pending();
-  if (drained || now >= config_.max_duration_s) done_ = true;
+  if (engine_ == nullptr) build_engine();
+  engine_->step();
+  done_ = engine_->stopped();
   return !done_;
 }
 
@@ -327,18 +340,14 @@ EmulationResult EmulatedCluster::run() {
   while (step()) {
   }
   result_.end_time_s = clock_.now();
-  if (!result_.target_w.empty() && !result_.power_w.empty()) {
-    // Reserve for error normalization: half the observed target span, or
-    // the manager-known reserve if the caller tracks it externally.
-    double lo = result_.target_w.values().front();
-    double hi = lo;
-    for (double v : result_.target_w.values()) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    const double reserve = std::max((hi - lo) / 2.0, 1.0);
-    result_.tracking = util::tracking_error(result_.power_w, result_.target_w, reserve);
-  }
+  result_.jobs_submitted = static_cast<int>(schedule_.jobs.size());
+  result_.jobs_completed = static_cast<int>(result_.completed.size());
+  const double elapsed = std::max(clock_.now(), config_.step_s);
+  result_.mean_utilization =
+      busy_node_seconds_ / (elapsed * static_cast<double>(config_.node_count));
+  // Zero reserve derives half the observed target span — the emulation's
+  // historical normalization.
+  engine::finalize_tracking(result_, 0.0, 0.0);
   return result_;
 }
 

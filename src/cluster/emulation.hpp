@@ -20,6 +20,8 @@
 #include "cluster/cluster_manager.hpp"
 #include "cluster/job_endpoint.hpp"
 #include "cluster/transport.hpp"
+#include "engine/discrete_engine.hpp"
+#include "engine/scenario.hpp"
 #include "geopm/controller.hpp"
 #include "platform/cluster_hw.hpp"
 #include "sched/aqa_scheduler.hpp"
@@ -60,31 +62,10 @@ struct EmulationConfig {
   double max_duration_s = 6.0 * 3600.0;
 };
 
-struct CompletedJob {
-  workload::JobRequest request;
-  geopm::JobReport report;
-  double submit_s = 0.0;
-  double start_s = 0.0;
-  double end_s = 0.0;
-  /// Unconstrained runtime reference for slowdown accounting.
-  double reference_runtime_s = 0.0;
-
-  double slowdown() const {
-    return reference_runtime_s > 0.0 ? (end_s - start_s) / reference_runtime_s - 1.0 : 0.0;
-  }
-};
-
-struct EmulationResult {
-  std::vector<CompletedJob> completed;
-  util::TimeSeries power_w;
-  util::TimeSeries target_w;
-  util::TrackingErrorStats tracking;
-  sched::QosEvaluator qos;
-  double end_time_s = 0.0;
-
-  /// Mean/stddev of slowdown per job type.
-  std::map<std::string, util::RunningStats> slowdown_by_type() const;
-};
+/// Both backends share the engine's record and result types; the old
+/// cluster-local names remain as aliases.
+using CompletedJob = engine::CompletedJob;
+using EmulationResult = engine::RunResult;
 
 /// Unconstrained runtime of a job type under the emulation's kernel
 /// configuration (setup + uncapped compute + teardown).
@@ -173,6 +154,14 @@ class EmulatedCluster {
   void admit_arrivals();
   void start_jobs();
   void finish_completed_jobs();
+  /// Register the emulation's phases on the shared engine (invocation
+  /// order is the determinism contract — see build_engine's body).  Built
+  /// lazily at the first step so the components' `this` captures survive
+  /// a pre-run move of the cluster object.
+  void build_engine();
+  /// The log-cadence component: record power/target series, telemetry
+  /// gauges, and artifact samples.
+  void sample_log(double now_s);
   /// Create the channel pair (decorated), attach the manager side, and
   /// build the endpoint process.  Used at job start and endpoint restart.
   void make_endpoint(RunningJob& job);
@@ -196,7 +185,8 @@ class EmulatedCluster {
   telemetry::RunArtifactWriter* artifacts_ = nullptr;
   ChannelDecorator channel_decorator_;
   StepHook step_hook_;
-  double next_log_s_ = 0.0;
+  std::unique_ptr<engine::DiscreteEngine> engine_;
+  double busy_node_seconds_ = 0.0;
   bool done_ = false;
 };
 

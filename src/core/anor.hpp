@@ -12,6 +12,8 @@
 //                detection
 //   budget/    — even-power and even-slowdown cluster budgeters
 //   sched/     — AQA scheduler, QoS accounting, DR bidder, weight trainer
+//   engine/    — shared scenario engine: discrete-time stepper,
+//                backend-agnostic ScenarioSpec/RunResult, backend dispatch
 //   sim/       — tabular 1000-node cluster simulator
 //   cluster/   — tier messaging (in-process + TCP), cluster manager,
 //                job endpoints, end-to-end emulation
@@ -24,6 +26,9 @@
 #include "cluster/facility.hpp"
 #include "core/framework.hpp"
 #include "core/policies.hpp"
+#include "engine/discrete_engine.hpp"
+#include "engine/runner.hpp"
+#include "engine/scenario.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"

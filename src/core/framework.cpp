@@ -8,9 +8,7 @@
 namespace anor::core {
 
 util::TimeSeries constant_targets(double power_w, double horizon_s, double period_s) {
-  util::TimeSeries series;
-  for (double t = 0.0; t <= horizon_s + 1e-9; t += period_s) series.add(t, power_w);
-  return series;
+  return engine::constant_targets(power_w, horizon_s, period_s);
 }
 
 workload::DemandResponseBid fig9_bid() {
@@ -28,119 +26,41 @@ util::TimeSeries fig9_targets(std::uint64_t seed, double horizon_s) {
   return workload::make_power_target_series(bid, regulation, horizon_s, 4.0);
 }
 
-namespace {
-
-util::Json series_json(const util::TimeSeries& series, double decimation_s) {
-  util::JsonArray t;
-  util::JsonArray v;
-  double next = series.empty() ? 0.0 : series.front_time();
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    if (series.times()[i] + 1e-9 < next) continue;
-    t.push_back(util::Json(series.times()[i]));
-    v.push_back(util::Json(series.values()[i]));
-    next = series.times()[i] + decimation_s;
-  }
-  util::JsonObject obj;
-  obj["t_s"] = util::Json(std::move(t));
-  obj["value"] = util::Json(std::move(v));
-  return util::Json(std::move(obj));
-}
-
-}  // namespace
-
 util::Json experiment_report_json(const cluster::EmulationResult& result,
                                   double series_decimation_s) {
-  util::JsonArray jobs;
-  for (const auto& job : result.completed) {
-    util::JsonObject j;
-    j["job_id"] = util::Json(job.request.job_id);
-    j["type"] = util::Json(job.request.type_name);
-    if (!job.request.classified_as.empty()) {
-      j["classified_as"] = util::Json(job.request.classified_as);
-    }
-    j["nodes"] = util::Json(job.request.nodes);
-    j["submit_s"] = util::Json(job.submit_s);
-    j["start_s"] = util::Json(job.start_s);
-    j["end_s"] = util::Json(job.end_s);
-    j["slowdown"] = util::Json(job.slowdown());
-    j["runtime_s"] = util::Json(job.report.runtime_s);
-    j["compute_runtime_s"] = util::Json(job.report.compute_runtime_s);
-    j["package_energy_j"] = util::Json(job.report.package_energy_j);
-    j["average_power_w"] = util::Json(job.report.average_power_w);
-    j["average_cap_w"] = util::Json(job.report.average_cap_w);
-    j["epoch_count"] = util::Json(static_cast<double>(job.report.epoch_count));
-    jobs.push_back(util::Json(std::move(j)));
-  }
-
-  util::JsonObject tracking;
-  tracking["mean_error"] = util::Json(result.tracking.mean_error);
-  tracking["p90_error"] = util::Json(result.tracking.p90_error);
-  tracking["max_error"] = util::Json(result.tracking.max_error);
-  tracking["fraction_within_30"] = util::Json(result.tracking.fraction_within_30);
-  tracking["samples"] = util::Json(static_cast<double>(result.tracking.samples));
-
-  util::JsonObject qos;
-  qos["worst_p90_degradation"] = util::Json(result.qos.worst_quantile());
-  qos["satisfied"] = util::Json(result.qos.satisfied());
-  util::JsonObject per_type;
-  for (const auto& [type, q] : result.qos.percentile_by_type(90.0)) {
-    per_type[type] = util::Json(q);
-  }
-  qos["p90_by_type"] = util::Json(std::move(per_type));
-
-  util::JsonObject root;
-  root["jobs"] = util::Json(std::move(jobs));
-  root["tracking"] = util::Json(std::move(tracking));
-  root["qos"] = util::Json(std::move(qos));
-  root["end_time_s"] = util::Json(result.end_time_s);
-  root["power_w"] = series_json(result.power_w, series_decimation_s);
-  if (!result.target_w.empty()) {
-    root["target_w"] = series_json(result.target_w, series_decimation_s);
-  }
-  return util::Json(std::move(root));
+  return engine::run_result_json(result, series_decimation_s);
 }
 
 void save_experiment_report(const std::string& path,
                             const cluster::EmulationResult& result) {
-  util::save_json_file(path, experiment_report_json(result));
+  engine::save_run_result(path, result);
 }
 
-cluster::EmulatedCluster make_cluster(const Experiment& experiment) {
+engine::ScenarioSpec to_scenario_spec(const Experiment& experiment) {
   if (experiment.static_budget_w && experiment.targets) {
     throw util::ConfigError("Experiment: set either static_budget_w or targets, not both");
   }
-  cluster::EmulationConfig config = experiment.base;
-  config.node_count = experiment.node_count;
-  config.perf_variation_sigma = experiment.perf_variation_sigma;
-  config.seed = experiment.seed;
-  apply_policy(config, experiment.policy);
+  engine::ScenarioSpec spec;
+  spec.name = "experiment";
+  spec.backend = engine::Backend::kEmulated;
+  spec.schedule = experiment.schedule;
+  spec.policy = experiment.policy;
+  spec.static_budget_w = experiment.static_budget_w;
+  if (experiment.targets) spec.targets = *experiment.targets;
+  spec.node_count = experiment.node_count;
+  spec.perf_variation_sigma = experiment.perf_variation_sigma;
+  spec.seed = experiment.seed;
+  spec.artifact_dir = experiment.artifact_dir;
+  spec.artifact_cadence_s = experiment.artifact_cadence_s;
+  return spec;
+}
 
-  cluster::EmulatedCluster emu(config, experiment.schedule);
-  if (experiment.static_budget_w) {
-    const double horizon = std::max(experiment.schedule.duration_s, 4.0 * 3600.0);
-    emu.set_power_targets(constant_targets(*experiment.static_budget_w, horizon));
-  } else if (experiment.targets) {
-    emu.set_power_targets(*experiment.targets);
-  }
-  return emu;
+cluster::EmulatedCluster make_cluster(const Experiment& experiment) {
+  return engine::make_emulated_cluster(to_scenario_spec(experiment), experiment.base);
 }
 
 cluster::EmulationResult run_experiment(const Experiment& experiment) {
-  cluster::EmulatedCluster emu = make_cluster(experiment);
-  if (experiment.artifact_dir.empty()) return emu.run();
-
-  telemetry::RunArtifactConfig artifact_config;
-  artifact_config.dir = experiment.artifact_dir;
-  artifact_config.cadence_s = experiment.artifact_cadence_s;
-  artifact_config.run_name = "experiment";
-  telemetry::RunArtifactWriter artifacts(artifact_config,
-                                         telemetry::MetricsRegistry::global(),
-                                         &telemetry::TraceRecorder::global());
-  emu.attach_artifacts(&artifacts);
-  cluster::EmulationResult result = emu.run();
-  emu.attach_artifacts(nullptr);
-  artifacts.finalize();
-  return result;
+  return engine::run_scenario(to_scenario_spec(experiment), experiment.base);
 }
 
 }  // namespace anor::core

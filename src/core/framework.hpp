@@ -15,6 +15,7 @@
 
 #include "cluster/emulation.hpp"
 #include "core/policies.hpp"
+#include "engine/runner.hpp"
 #include "util/json.hpp"
 #include "util/time_series.hpp"
 #include "workload/regulation.hpp"
@@ -49,11 +50,16 @@ struct Experiment {
   cluster::EmulationConfig base;
 };
 
+/// Lower an Experiment into the engine's backend-agnostic ScenarioSpec
+/// (backend kEmulated; `base` travels separately through run_scenario's
+/// second parameter).
+engine::ScenarioSpec to_scenario_spec(const Experiment& experiment);
+
 /// Build the emulated cluster for an experiment (exposed so tests can
 /// single-step it).
 cluster::EmulatedCluster make_cluster(const Experiment& experiment);
 
-/// Run an experiment to completion.
+/// Run an experiment to completion (through engine::run_scenario).
 cluster::EmulationResult run_experiment(const Experiment& experiment);
 
 /// A constant-power target series over a horizon (static budget runs are

@@ -1,32 +1,18 @@
 // The four cluster power-management policies the paper evaluates
 // (Fig. 6-10 legends).
 //
-//   Uniform        — performance-agnostic even-power budgeter.
-//   Characterized  — performance-aware even-slowdown budgeter with correct
-//                    precharacterized models.
-//   Misclassified  — even-slowdown, but (some) jobs carry a wrong
-//                    classification and feedback is disabled.
-//   Adjusted       — misclassified, with the job-tier feedback loop
-//                    enabled so the cluster tier recovers.
+// The enum and its helpers live in the shared scenario engine
+// (engine/scenario.hpp, engine/runner.hpp) since both backends consume
+// them; this header keeps the historical core:: names as aliases.
 #pragma once
 
-#include <string>
-
-#include "cluster/emulation.hpp"
+#include "engine/runner.hpp"
 
 namespace anor::core {
 
-enum class PolicyKind { kUniform, kCharacterized, kMisclassified, kAdjusted };
-
-std::string to_string(PolicyKind policy);
-
-/// Configure an emulation for a policy.  The schedule is responsible for
-/// carrying the misclassification labels (workload::misclassify); this
-/// sets the budgeter kind and the feedback switches.
-void apply_policy(cluster::EmulationConfig& config, PolicyKind policy);
-
-/// Whether the policy expects the schedule to carry misclassification
-/// labels.
-bool expects_misclassification(PolicyKind policy);
+using PolicyKind = engine::PolicyKind;
+using engine::apply_policy;
+using engine::expects_misclassification;
+using engine::to_string;
 
 }  // namespace anor::core

@@ -1,0 +1,56 @@
+#include "engine/discrete_engine.hpp"
+
+#include "util/error.hpp"
+
+namespace anor::engine {
+
+DiscreteEngine::DiscreteEngine(double step_s, ClockMode mode)
+    : step_s_(step_s), mode_(mode) {
+  if (step_s <= 0.0) throw util::ConfigError("DiscreteEngine: step_s must be positive");
+}
+
+void DiscreteEngine::add_component(std::string name, double period_s, ComponentFn fn) {
+  Component component;
+  component.name = std::move(name);
+  component.period_s = period_s;
+  component.next_due_s = 0.0;
+  component.fn = std::move(fn);
+  components_.push_back(std::move(component));
+}
+
+bool DiscreteEngine::step() {
+  if (stopped_) return false;
+  if (mode_ == ClockMode::kAdvanceFirst) {
+    now_s_ += step_s_;
+    if (external_clock_ != nullptr) external_clock_->advance_to(now_s_);
+  }
+  const double now = now_s_;
+  for (Component& component : components_) {
+    if (component.period_s <= 0.0) {
+      component.fn(now, step_s_);
+      continue;
+    }
+    if (now + 1e-9 >= component.next_due_s) {
+      component.fn(now, step_s_);
+      component.next_due_s = now + component.period_s;
+    }
+  }
+  ++step_index_;
+  if (mode_ == ClockMode::kAdvanceLast) {
+    now_s_ += step_s_;
+    if (external_clock_ != nullptr) external_clock_->advance_to(now_s_);
+  }
+  if (stop_ && stop_(now_s_)) stopped_ = true;
+  return !stopped_;
+}
+
+std::vector<DiscreteEngine::ComponentInfo> DiscreteEngine::components() const {
+  std::vector<ComponentInfo> infos;
+  infos.reserve(components_.size());
+  for (const Component& component : components_) {
+    infos.push_back({component.name, component.period_s});
+  }
+  return infos;
+}
+
+}  // namespace anor::engine

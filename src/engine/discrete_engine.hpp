@@ -1,0 +1,98 @@
+// Shared discrete-time step engine behind both evaluation stacks.
+//
+// The emulated cluster (cluster::EmulatedCluster) and the tabular
+// simulator (sim::TabularSimulator) used to each own a hand-rolled step
+// loop: a private virtual clock, private cadence bookkeeping for the
+// control period and the log sampler, and a private stop test.  The
+// DiscreteEngine extracts that machinery: the owner registers its phases
+// as *components* in invocation order — hardware step, arrivals,
+// completions, scheduler, control stack, log sampler, fault hooks — each
+// with an optional firing period on the shared virtual clock, and the
+// engine advances time and dispatches them.
+//
+// Determinism contract: the engine adds no state of its own beyond the
+// clock and the per-component due times, accumulates time exactly as the
+// hand-rolled loops did (`now += step` per tick), and fires cadenced
+// components with the same `now + 1e-9 >= next_due` test both loops
+// already used — so routing a loop through the engine reproduces its
+// traces bit for bit (the PR-3 golden hashes and PR-2 chaos determinism
+// checks pin this).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace anor::engine {
+
+class DiscreteEngine {
+ public:
+  /// Where in the tick the clock advances.  The emulated cluster advances
+  /// time *before* its components (components see the post-advance time);
+  /// the tabular simulator advances *after* (components see the tick's
+  /// start time).  Both orders are preserved exactly.
+  enum class ClockMode { kAdvanceFirst, kAdvanceLast };
+
+  /// A component sees the current virtual time and the step size.
+  using ComponentFn = std::function<void(double now_s, double dt_s)>;
+  /// Evaluated after each tick with the post-tick time; true stops the run.
+  using StopFn = std::function<bool(double now_s)>;
+
+  DiscreteEngine(double step_s, ClockMode mode);
+
+  /// Register a component, invoked in registration order each tick.
+  /// `period_s` <= 0 fires every tick; a positive period fires when
+  /// `now + 1e-9 >= next_due` and then re-arms at `now + period_s`.
+  void add_component(std::string name, double period_s, ComponentFn fn);
+
+  void set_stop_predicate(StopFn fn) { stop_ = std::move(fn); }
+
+  /// Keep an external VirtualClock in lockstep with the engine (the
+  /// emulated cluster's control stack holds references to one).
+  void bind_clock(util::VirtualClock* clock) { external_clock_ = clock; }
+
+  /// Advance one tick: dispatch every due component, then evaluate the
+  /// stop predicate.  Returns false once stopped (and on every later call).
+  bool step();
+
+  /// Step until the stop predicate fires.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  double now_s() const { return now_s_; }
+  double step_s() const { return step_s_; }
+  /// Completed ticks.  During a tick, components observe the pre-increment
+  /// value (0 on the first tick).
+  long step_index() const { return step_index_; }
+  bool stopped() const { return stopped_; }
+
+  /// Registered cadence table, for introspection (docs, tests, anorctl).
+  struct ComponentInfo {
+    std::string name;
+    double period_s = 0.0;  // <= 0: every tick
+  };
+  std::vector<ComponentInfo> components() const;
+
+ private:
+  struct Component {
+    std::string name;
+    double period_s = 0.0;
+    double next_due_s = 0.0;
+    ComponentFn fn;
+  };
+
+  double step_s_;
+  ClockMode mode_;
+  double now_s_ = 0.0;
+  long step_index_ = 0;
+  bool stopped_ = false;
+  std::vector<Component> components_;
+  StopFn stop_;
+  util::VirtualClock* external_clock_ = nullptr;
+};
+
+}  // namespace anor::engine

@@ -1,0 +1,162 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "telemetry/artifact.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/error.hpp"
+
+namespace anor::engine {
+
+void apply_policy(cluster::EmulationConfig& config, PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kUniform:
+      config.manager.budgeter = budget::BudgeterKind::kEvenPower;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kCharacterized:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kMisclassified:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = false;
+      config.endpoint.feedback_enabled = false;
+      break;
+    case PolicyKind::kAdjusted:
+      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
+      config.manager.accept_model_updates = true;
+      config.endpoint.feedback_enabled = true;
+      break;
+  }
+}
+
+void apply_policy(sim::SimConfig& config, PolicyKind policy) {
+  config.budgeter = policy == PolicyKind::kUniform ? budget::BudgeterKind::kEvenPower
+                                                   : budget::BudgeterKind::kEvenSlowdown;
+}
+
+util::TimeSeries constant_targets(double power_w, double horizon_s, double period_s) {
+  util::TimeSeries series;
+  for (double t = 0.0; t <= horizon_s + 1e-9; t += period_s) series.add(t, power_w);
+  return series;
+}
+
+cluster::EmulatedCluster make_emulated_cluster(const ScenarioSpec& spec,
+                                               const cluster::EmulationConfig& base) {
+  spec.validate();
+  cluster::EmulationConfig config = base;
+  config.node_count = spec.node_count;
+  config.perf_variation_sigma = spec.perf_variation_sigma;
+  config.seed = spec.seed;
+  apply_policy(config, spec.policy);
+
+  cluster::EmulatedCluster emu(config, spec.schedule);
+  if (spec.static_budget_w) {
+    const double horizon = std::max(spec.schedule.duration_s, 4.0 * 3600.0);
+    emu.set_power_targets(constant_targets(*spec.static_budget_w, horizon));
+  } else if (!spec.targets.empty()) {
+    emu.set_power_targets(spec.targets);
+  }
+  return emu;
+}
+
+sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
+  spec.validate();
+  sim::SimConfig config;
+  config.node_count = spec.node_count;
+  config.perf_variation_sigma = spec.perf_variation_sigma;
+  // The emulated platform's nodes idle at 2 x 18 W packages; align the
+  // tabular floor with it so the two backends see the same headroom.
+  config.idle_power_w = cluster::EmulationConfig{}.manager.idle_node_power_w;
+
+  // Horizon: the schedule's generation window (or the last arrival).
+  double horizon = spec.schedule.duration_s;
+  for (const workload::JobRequest& job : spec.schedule.jobs) {
+    horizon = std::max(horizon, job.submit_time_s);
+  }
+  if (horizon > 0.0) config.duration_s = horizon;
+
+  // Job types referenced by the schedule — true names and classified
+  // labels both — mapped onto the simulator's linear model.  Sorted for a
+  // deterministic type table regardless of arrival order.
+  std::set<std::string> names;
+  for (const workload::JobRequest& job : spec.schedule.jobs) {
+    names.insert(job.type_name);
+    if (!job.classified_as.empty()) names.insert(job.classified_as);
+  }
+  if (names.empty()) throw util::ConfigError("make_sim_config: schedule names no job types");
+  for (const std::string& name : names) {
+    config.job_types.push_back(sim::SimJobType::from_job_type(workload::find_job_type(name)));
+  }
+
+  apply_policy(config, spec.policy);
+
+  // The power objective becomes an explicit target series; the bid-driven
+  // regulation walk stays off so both backends track the same targets.
+  config.bid = workload::DemandResponseBid{};
+  if (spec.static_budget_w) {
+    const double horizon_s = std::max(config.duration_s, 4.0 * 3600.0);
+    config.power_targets = constant_targets(*spec.static_budget_w, horizon_s);
+  } else if (!spec.targets.empty()) {
+    config.power_targets = spec.targets;
+  }
+  config.tracking_warmup_s = spec.tracking_warmup_s;
+  config.tracking_reserve_w = spec.tracking_reserve_w;
+  return config;
+}
+
+RunResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, cluster::EmulationConfig{});
+}
+
+RunResult run_scenario(const ScenarioSpec& spec,
+                       const cluster::EmulationConfig& emulated_base) {
+  spec.validate();
+  std::unique_ptr<telemetry::RunArtifactWriter> artifacts;
+  if (!spec.artifact_dir.empty()) {
+    telemetry::RunArtifactConfig artifact_config;
+    artifact_config.dir = spec.artifact_dir;
+    artifact_config.cadence_s = spec.artifact_cadence_s;
+    artifact_config.run_name = spec.name;
+    artifacts = std::make_unique<telemetry::RunArtifactWriter>(
+        artifact_config, telemetry::MetricsRegistry::global(),
+        &telemetry::TraceRecorder::global());
+  }
+
+  RunResult result;
+  if (spec.backend == Backend::kEmulated) {
+    cluster::EmulatedCluster emu = make_emulated_cluster(spec, emulated_base);
+    if (artifacts != nullptr) emu.attach_artifacts(artifacts.get());
+    result = emu.run();
+    if (artifacts != nullptr) emu.attach_artifacts(nullptr);
+  } else {
+    const sim::SimConfig config = make_sim_config(spec);
+    workload::Schedule schedule = spec.schedule;
+    if (spec.policy == PolicyKind::kAdjusted) {
+      // Converged feedback: the cluster tier has recovered the true
+      // models, so the budgeter sees the true types.
+      for (workload::JobRequest& job : schedule.jobs) job.classified_as.clear();
+    }
+    sim::TabularSimulator simulator(config, std::move(schedule),
+                                    util::Rng(spec.seed).child("sim"));
+    simulator.set_artifacts(artifacts.get());
+    result = simulator.run();
+    simulator.set_artifacts(nullptr);
+  }
+  if (artifacts != nullptr) artifacts->finalize();
+
+  // Re-finalize tracking with the spec's normalization so verdicts are
+  // comparable across backends (a zero reserve/warmup reproduces each
+  // backend's own aggregation exactly).
+  finalize_tracking(result, spec.tracking_reserve_w, spec.tracking_warmup_s);
+  return result;
+}
+
+}  // namespace anor::engine

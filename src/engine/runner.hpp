@@ -1,0 +1,51 @@
+// ScenarioRunner: one dispatch point from a backend-agnostic ScenarioSpec
+// onto either evaluation stack.
+//
+// `run_scenario` is what core::run_experiment, the examples, and
+// `anorctl run --backend={emulated,tabular}` all call: it applies the
+// policy, translates the power objective, runs the selected backend, and
+// finalizes the shared RunResult with the spec's tracking normalization —
+// so the two stacks stay comparable by construction (the cross-backend
+// parity harness in tests/engine/parity_test.cpp gates on it).
+#pragma once
+
+#include "cluster/emulation.hpp"
+#include "engine/scenario.hpp"
+#include "sim/sim_config.hpp"
+
+namespace anor::engine {
+
+/// Configure an emulation for a policy.  The schedule carries the
+/// misclassification labels (workload::misclassify); this sets the
+/// budgeter kind and the feedback switches.
+void apply_policy(cluster::EmulationConfig& config, PolicyKind policy);
+
+/// Configure the tabular simulator for a policy: Uniform budgets
+/// even-power, the rest even-slowdown.  The Adjusted policy's converged
+/// feedback loop is modeled by budgeting with the true (not classified)
+/// models — run_scenario strips the labels before the run.
+void apply_policy(sim::SimConfig& config, PolicyKind policy);
+
+/// A constant-power target series over a horizon (static budget runs are
+/// degenerate tracking runs, as on the real cluster).
+util::TimeSeries constant_targets(double power_w, double horizon_s, double period_s = 4.0);
+
+/// Build the emulated cluster for a spec (exposed so tests can
+/// single-step it).  `base` carries advanced emulation knobs the
+/// backend-agnostic spec does not cover.
+cluster::EmulatedCluster make_emulated_cluster(const ScenarioSpec& spec,
+                                               const cluster::EmulationConfig& base = {});
+
+/// Map a spec onto the tabular simulator: job types derived from the
+/// schedule's workload types (SimJobType::from_job_type), the idle power
+/// floor aligned with the emulated platform, the power objective as an
+/// explicit target series.
+sim::SimConfig make_sim_config(const ScenarioSpec& spec);
+
+/// Run a scenario to completion on its selected backend.
+RunResult run_scenario(const ScenarioSpec& spec);
+/// Same, with advanced emulation knobs for the emulated backend (ignored
+/// by the tabular one).
+RunResult run_scenario(const ScenarioSpec& spec, const cluster::EmulationConfig& emulated_base);
+
+}  // namespace anor::engine

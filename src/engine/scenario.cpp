@@ -1,0 +1,239 @@
+#include "engine/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace anor::engine {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kEmulated: return "emulated";
+    case Backend::kTabular: return "tabular";
+  }
+  return "?";
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name == "emulated") return Backend::kEmulated;
+  if (name == "tabular") return Backend::kTabular;
+  throw util::ConfigError("unknown backend '" + name + "' (emulated|tabular)");
+}
+
+std::string to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kUniform: return "uniform";
+    case PolicyKind::kCharacterized: return "characterized";
+    case PolicyKind::kMisclassified: return "misclassified";
+    case PolicyKind::kAdjusted: return "adjusted";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_string(const std::string& name) {
+  if (name == "uniform") return PolicyKind::kUniform;
+  if (name == "characterized") return PolicyKind::kCharacterized;
+  if (name == "misclassified") return PolicyKind::kMisclassified;
+  if (name == "adjusted") return PolicyKind::kAdjusted;
+  throw util::ConfigError("unknown policy '" + name +
+                          "' (uniform|characterized|misclassified|adjusted)");
+}
+
+bool expects_misclassification(PolicyKind policy) {
+  return policy == PolicyKind::kMisclassified || policy == PolicyKind::kAdjusted;
+}
+
+std::map<std::string, util::RunningStats> RunResult::slowdown_by_type() const {
+  std::map<std::string, util::RunningStats> by_type;
+  for (const CompletedJob& job : completed) {
+    by_type[job.request.type_name].add(job.slowdown());
+  }
+  return by_type;
+}
+
+void ScenarioSpec::validate() const {
+  if (static_budget_w && !targets.empty()) {
+    throw util::ConfigError("ScenarioSpec: set either static_budget_w or targets, not both");
+  }
+  if (node_count <= 0) throw util::ConfigError("ScenarioSpec: node_count must be positive");
+  if (backend == Backend::kTabular && schedule.jobs.empty()) {
+    throw util::ConfigError("ScenarioSpec: tabular backend needs a non-empty schedule");
+  }
+}
+
+namespace {
+
+util::Json series_to_json(const util::TimeSeries& series) {
+  util::JsonArray t;
+  util::JsonArray v;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    t.push_back(util::Json(series.times()[i]));
+    v.push_back(util::Json(series.values()[i]));
+  }
+  util::JsonObject obj;
+  obj["t_s"] = util::Json(std::move(t));
+  obj["power_w"] = util::Json(std::move(v));
+  return util::Json(std::move(obj));
+}
+
+util::TimeSeries series_from_json(const util::Json& json) {
+  const util::JsonArray& t = json.at("t_s").as_array();
+  const util::JsonArray& v = json.at("power_w").as_array();
+  if (t.size() != v.size()) {
+    throw util::ConfigError("ScenarioSpec targets: array size mismatch");
+  }
+  util::TimeSeries series;
+  for (std::size_t i = 0; i < t.size(); ++i) series.add(t[i].as_number(), v[i].as_number());
+  return series;
+}
+
+util::Json decimated_series_json(const util::TimeSeries& series, double decimation_s) {
+  util::JsonArray t;
+  util::JsonArray v;
+  double next = series.empty() ? 0.0 : series.front_time();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series.times()[i] + 1e-9 < next) continue;
+    t.push_back(util::Json(series.times()[i]));
+    v.push_back(util::Json(series.values()[i]));
+    next = series.times()[i] + decimation_s;
+  }
+  util::JsonObject obj;
+  obj["t_s"] = util::Json(std::move(t));
+  obj["value"] = util::Json(std::move(v));
+  return util::Json(std::move(obj));
+}
+
+}  // namespace
+
+util::Json scenario_spec_to_json(const ScenarioSpec& spec) {
+  util::JsonObject obj;
+  obj["schema"] = util::Json(std::string("anor.scenario.v1"));
+  obj["name"] = util::Json(spec.name);
+  obj["backend"] = util::Json(to_string(spec.backend));
+  obj["schedule"] = spec.schedule.to_json();
+  obj["policy"] = util::Json(to_string(spec.policy));
+  if (spec.static_budget_w) obj["static_budget_w"] = util::Json(*spec.static_budget_w);
+  if (!spec.targets.empty()) obj["targets"] = series_to_json(spec.targets);
+  obj["node_count"] = util::Json(spec.node_count);
+  obj["perf_variation_sigma"] = util::Json(spec.perf_variation_sigma);
+  obj["seed"] = util::Json(static_cast<double>(spec.seed));
+  obj["tracking_warmup_s"] = util::Json(spec.tracking_warmup_s);
+  obj["tracking_reserve_w"] = util::Json(spec.tracking_reserve_w);
+  if (!spec.artifact_dir.empty()) {
+    obj["artifact_dir"] = util::Json(spec.artifact_dir);
+    obj["artifact_cadence_s"] = util::Json(spec.artifact_cadence_s);
+  }
+  return util::Json(std::move(obj));
+}
+
+ScenarioSpec scenario_spec_from_json(const util::Json& json) {
+  ScenarioSpec spec;
+  spec.name = json.string_or("name", spec.name);
+  spec.backend = backend_from_string(json.string_or("backend", "emulated"));
+  if (json.contains("schedule")) {
+    spec.schedule = workload::Schedule::from_json(json.at("schedule"));
+  }
+  spec.policy = policy_from_string(json.string_or("policy", "characterized"));
+  if (json.contains("static_budget_w")) {
+    spec.static_budget_w = json.at("static_budget_w").as_number();
+  }
+  if (json.contains("targets")) spec.targets = series_from_json(json.at("targets"));
+  spec.node_count = static_cast<int>(json.number_or("node_count", spec.node_count));
+  spec.perf_variation_sigma =
+      json.number_or("perf_variation_sigma", spec.perf_variation_sigma);
+  spec.seed = static_cast<std::uint64_t>(json.number_or("seed", 1.0));
+  spec.tracking_warmup_s = json.number_or("tracking_warmup_s", spec.tracking_warmup_s);
+  spec.tracking_reserve_w = json.number_or("tracking_reserve_w", spec.tracking_reserve_w);
+  spec.artifact_dir = json.string_or("artifact_dir", "");
+  spec.artifact_cadence_s = json.number_or("artifact_cadence_s", spec.artifact_cadence_s);
+  spec.validate();
+  return spec;
+}
+
+void finalize_tracking(RunResult& result, double reserve_w, double warmup_s) {
+  if (result.target_w.empty() || result.power_w.empty()) return;
+  util::TimeSeries measured;
+  if (warmup_s > 0.0) {
+    for (std::size_t i = 0; i < result.power_w.size(); ++i) {
+      const double t = result.power_w.times()[i];
+      if (t >= warmup_s) measured.add(t, result.power_w.values()[i]);
+    }
+    if (measured.empty()) measured = result.power_w;
+  } else {
+    measured = result.power_w;
+  }
+  double reserve = reserve_w;
+  if (reserve <= 0.0) {
+    // Half the observed target span, floored so a flat target still
+    // normalizes sanely.
+    double lo = result.target_w.values().front();
+    double hi = lo;
+    for (double v : result.target_w.values()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    reserve = std::max((hi - lo) / 2.0, 1.0);
+  }
+  result.tracking = util::tracking_error(measured, result.target_w, reserve);
+}
+
+util::Json run_result_json(const RunResult& result, double series_decimation_s) {
+  util::JsonArray jobs;
+  for (const auto& job : result.completed) {
+    util::JsonObject j;
+    j["job_id"] = util::Json(job.request.job_id);
+    j["type"] = util::Json(job.request.type_name);
+    if (!job.request.classified_as.empty()) {
+      j["classified_as"] = util::Json(job.request.classified_as);
+    }
+    j["nodes"] = util::Json(job.request.nodes);
+    j["submit_s"] = util::Json(job.submit_s);
+    j["start_s"] = util::Json(job.start_s);
+    j["end_s"] = util::Json(job.end_s);
+    j["slowdown"] = util::Json(job.slowdown());
+    j["runtime_s"] = util::Json(job.report.runtime_s);
+    j["compute_runtime_s"] = util::Json(job.report.compute_runtime_s);
+    j["package_energy_j"] = util::Json(job.report.package_energy_j);
+    j["average_power_w"] = util::Json(job.report.average_power_w);
+    j["average_cap_w"] = util::Json(job.report.average_cap_w);
+    j["epoch_count"] = util::Json(static_cast<double>(job.report.epoch_count));
+    jobs.push_back(util::Json(std::move(j)));
+  }
+
+  util::JsonObject tracking;
+  tracking["mean_error"] = util::Json(result.tracking.mean_error);
+  tracking["p90_error"] = util::Json(result.tracking.p90_error);
+  tracking["max_error"] = util::Json(result.tracking.max_error);
+  tracking["fraction_within_30"] = util::Json(result.tracking.fraction_within_30);
+  tracking["samples"] = util::Json(static_cast<double>(result.tracking.samples));
+
+  util::JsonObject qos;
+  qos["worst_p90_degradation"] = util::Json(result.qos.worst_quantile());
+  qos["satisfied"] = util::Json(result.qos.satisfied());
+  util::JsonObject per_type;
+  for (const auto& [type, q] : result.qos.percentile_by_type(90.0)) {
+    per_type[type] = util::Json(q);
+  }
+  qos["p90_by_type"] = util::Json(std::move(per_type));
+
+  util::JsonObject root;
+  root["schema"] = util::Json(std::string("anor.run_result.v1"));
+  root["jobs"] = util::Json(std::move(jobs));
+  root["tracking"] = util::Json(std::move(tracking));
+  root["qos"] = util::Json(std::move(qos));
+  root["end_time_s"] = util::Json(result.end_time_s);
+  root["jobs_submitted"] = util::Json(result.jobs_submitted);
+  root["jobs_completed"] = util::Json(result.jobs_completed);
+  root["mean_utilization"] = util::Json(result.mean_utilization);
+  root["power_w"] = decimated_series_json(result.power_w, series_decimation_s);
+  if (!result.target_w.empty()) {
+    root["target_w"] = decimated_series_json(result.target_w, series_decimation_s);
+  }
+  return util::Json(std::move(root));
+}
+
+void save_run_result(const std::string& path, const RunResult& result) {
+  util::save_json_file(path, run_result_json(result));
+}
+
+}  // namespace anor::engine

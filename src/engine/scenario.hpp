@@ -1,0 +1,151 @@
+// Backend-agnostic scenario description and the single result schema.
+//
+// The paper evaluates one control stack in two guises — the 16-node
+// emulated cluster (Sec. 4-5) and the 1000-node tabular simulator
+// (Sec. 5.6).  A ScenarioSpec captures what both share: the job schedule
+// (with misclassification labels), the policy, the power objective
+// (static budget or a time-varying target series), the platform size and
+// seed, and artifact options — plus a Backend selector.  Both backends
+// produce the same RunResult through the shared aggregation helpers
+// below, so a scenario validated in simulation is comparable, field for
+// field, with the same scenario run on the emulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geopm/report.hpp"
+#include "sched/qos.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/time_series.hpp"
+#include "workload/schedule.hpp"
+
+namespace anor::engine {
+
+/// Which stack executes the scenario.
+enum class Backend { kEmulated, kTabular };
+
+std::string to_string(Backend backend);
+Backend backend_from_string(const std::string& name);
+
+/// The four cluster power-management policies the paper evaluates
+/// (Fig. 6-10 legends).
+///
+///   Uniform        — performance-agnostic even-power budgeter.
+///   Characterized  — performance-aware even-slowdown budgeter with
+///                    correct precharacterized models.
+///   Misclassified  — even-slowdown, but (some) jobs carry a wrong
+///                    classification and feedback is disabled.
+///   Adjusted       — misclassified, with the job-tier feedback loop
+///                    enabled so the cluster tier recovers.
+enum class PolicyKind { kUniform, kCharacterized, kMisclassified, kAdjusted };
+
+std::string to_string(PolicyKind policy);
+PolicyKind policy_from_string(const std::string& name);
+
+/// Whether the policy expects the schedule to carry misclassification
+/// labels.
+bool expects_misclassification(PolicyKind policy);
+
+/// One finished job, as both backends record it.  The tabular backend
+/// fills the report with what its linear model knows (runtime, nodes,
+/// average cap); the emulated backend attaches the full GEOPM-style
+/// report.
+struct CompletedJob {
+  workload::JobRequest request;
+  geopm::JobReport report;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Unconstrained runtime reference for slowdown accounting.
+  double reference_runtime_s = 0.0;
+
+  double slowdown() const {
+    return reference_runtime_s > 0.0 ? (end_s - start_s) / reference_runtime_s - 1.0 : 0.0;
+  }
+};
+
+/// What a scenario run measures, identically on either backend.
+struct RunResult {
+  std::vector<CompletedJob> completed;
+  util::TimeSeries power_w;   // measured cluster power
+  util::TimeSeries target_w;  // power target (empty when unconstrained)
+  util::TrackingErrorStats tracking;
+  sched::QosEvaluator qos;
+  double end_time_s = 0.0;
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  /// Busy-node fraction averaged over time.
+  double mean_utilization = 0.0;
+
+  /// Mean/stddev of slowdown per job type.
+  std::map<std::string, util::RunningStats> slowdown_by_type() const;
+};
+
+/// A backend-agnostic scenario: everything `run_scenario` needs.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  Backend backend = Backend::kEmulated;
+
+  /// Job arrivals; misclassification experiments label jobs via
+  /// workload::misclassify before running.
+  workload::Schedule schedule;
+
+  PolicyKind policy = PolicyKind::kCharacterized;
+
+  /// Static cluster power budget, watts.  Mutually exclusive with
+  /// `targets`; leave both unset to run unconstrained.
+  std::optional<double> static_budget_w;
+  /// Time-varying power targets (empty = none).
+  util::TimeSeries targets;
+
+  int node_count = 16;
+  double perf_variation_sigma = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Exclude this initial window from tracking-error statistics (before
+  /// the queue fills, a loaded-power target is unreachable).
+  double tracking_warmup_s = 0.0;
+  /// Error normalization for tracking stats; <= 0 derives half the
+  /// observed target span (floored at 1 W).
+  double tracking_reserve_w = 0.0;
+
+  /// Non-empty: write a run artifact directory (metrics.csv, metrics.json,
+  /// trace.json(l), manifest.json) sampled at `artifact_cadence_s`.
+  std::string artifact_dir;
+  double artifact_cadence_s = 1.0;
+
+  /// Throws util::ConfigError on contradictions (budget and targets both
+  /// set, empty schedule on a tabular run, non-positive node count).
+  void validate() const;
+};
+
+/// JSON round-trip (includes the schedule with misclassification labels,
+/// the targets series, and the backend/policy selectors).
+util::Json scenario_spec_to_json(const ScenarioSpec& spec);
+ScenarioSpec scenario_spec_from_json(const util::Json& json);
+
+// --- shared aggregation path -------------------------------------------
+//
+// Both backends finish a run through these helpers instead of private
+// reimplementations, so the statistics cannot drift apart.
+
+/// Compute `result.tracking` from the recorded power/target series:
+/// samples at or after `warmup_s`, error normalized by `reserve_w`
+/// (<= 0 derives half the observed target span, floored at 1 W).  A run
+/// without both series recorded leaves the stats zeroed.
+void finalize_tracking(RunResult& result, double reserve_w, double warmup_s);
+
+/// Serialize a finished run — per-job records, QoS, tracking statistics,
+/// utilization, and the decimated power/target series — as the one
+/// artifact schema (`anor.run_result.v1`) both backends emit.
+util::Json run_result_json(const RunResult& result, double series_decimation_s = 30.0);
+
+/// Write the artifact to a file.
+void save_run_result(const std::string& path, const RunResult& result);
+
+}  // namespace anor::engine

@@ -59,6 +59,19 @@ util::Json sim_config_to_json(const SimConfig& config) {
   obj["bid_reserve_w"] = util::Json(config.bid.reserve_w);
   obj["regulation_step_s"] = util::Json(config.regulation_step_s);
   obj["regulation_volatility"] = util::Json(config.regulation_volatility);
+  if (!config.power_targets.empty()) {
+    util::JsonArray t;
+    util::JsonArray v;
+    for (std::size_t i = 0; i < config.power_targets.size(); ++i) {
+      t.push_back(util::Json(config.power_targets.times()[i]));
+      v.push_back(util::Json(config.power_targets.values()[i]));
+    }
+    util::JsonObject targets;
+    targets["t_s"] = util::Json(std::move(t));
+    targets["power_w"] = util::Json(std::move(v));
+    obj["power_targets"] = util::Json(std::move(targets));
+  }
+  obj["tracking_reserve_w"] = util::Json(config.tracking_reserve_w);
   obj["control_period_s"] = util::Json(config.control_period_s);
   obj["tracking_warmup_s"] = util::Json(config.tracking_warmup_s);
   obj["step_workers"] = util::Json(config.step_workers);
@@ -111,6 +124,16 @@ SimConfig sim_config_from_json(const util::Json& json) {
   config.regulation_step_s = json.number_or("regulation_step_s", config.regulation_step_s);
   config.regulation_volatility =
       json.number_or("regulation_volatility", config.regulation_volatility);
+  if (json.contains("power_targets")) {
+    const util::Json& targets = json.at("power_targets");
+    const util::JsonArray& t = targets.at("t_s").as_array();
+    const util::JsonArray& v = targets.at("power_w").as_array();
+    for (std::size_t i = 0; i < std::min(t.size(), v.size()); ++i) {
+      config.power_targets.add(t[i].as_number(), v[i].as_number());
+    }
+  }
+  config.tracking_reserve_w =
+      json.number_or("tracking_reserve_w", config.tracking_reserve_w);
   config.control_period_s = json.number_or("control_period_s", config.control_period_s);
   config.tracking_warmup_s = json.number_or("tracking_warmup_s", config.tracking_warmup_s);
   config.step_workers =

@@ -15,6 +15,7 @@
 #include "budget/budgeter.hpp"
 #include "model/perf_model.hpp"
 #include "util/json.hpp"
+#include "util/time_series.hpp"
 #include "workload/job_type.hpp"
 #include "workload/regulation.hpp"
 
@@ -71,6 +72,14 @@ struct SimConfig {
   workload::DemandResponseBid bid;
   double regulation_step_s = 4.0;
   double regulation_volatility = 0.18;
+
+  /// Explicit power-target series (watts).  When non-empty it overrides
+  /// the bid-driven regulation walk, so a scenario can drive the tabular
+  /// backend with exactly the targets the emulated cluster tracks.
+  util::TimeSeries power_targets;
+  /// Error normalization for tracking statistics when `power_targets` is
+  /// set; <= 0 derives half the observed target span.
+  double tracking_reserve_w = 0.0;
 
   /// How often the policy tier re-budgets, seconds.
   double control_period_s = 4.0;

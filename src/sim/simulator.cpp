@@ -133,6 +133,7 @@ int TabularSimulator::type_index(const std::string& name) const {
 }
 
 double TabularSimulator::current_target_w() const {
+  if (!config_.power_targets.empty()) return config_.power_targets.sample_at(now_s_);
   if (regulation_ == nullptr) return 0.0;
   return config_.bid.target_at(*regulation_, now_s_);
 }
@@ -226,6 +227,24 @@ void TabularSimulator::complete_finished_jobs() {
     }
     scheduler_.job_finished(type.name, static_cast<int>(row.nodes.size()));
     ++result_.jobs_completed;
+
+    // The shared per-job record, filled with what the linear model knows.
+    engine::CompletedJob completed;
+    completed.request.job_id = row.job_id;
+    completed.request.type_name = type.name;
+    if (row.classified_index != row.type_index) {
+      completed.request.classified_as =
+          config_.job_types[static_cast<std::size_t>(row.classified_index)].name;
+    }
+    completed.request.submit_time_s = row.submit_s;
+    completed.request.nodes = static_cast<int>(row.nodes.size());
+    completed.submit_s = row.submit_s;
+    completed.start_s = row.start_s;
+    completed.end_s = row.end_s;
+    completed.reference_runtime_s = type.time_at_pmax_s;
+    completed.report.runtime_s = row.end_s - row.start_s;
+    result_.completed.push_back(std::move(completed));
+
     sched::JobQosRecord record;
     record.job_id = row.job_id;
     record.type_name = type.name;
@@ -419,75 +438,76 @@ void TabularSimulator::append_table_log() {
   table_log_->write(log_buffer_.data(), static_cast<std::streamsize>(log_buffer_.size()));
 }
 
-bool TabularSimulator::step() {
-  if (done_) return false;
-  const double dt = config_.step_s;
-  const bool telemetry_on = config_.telemetry_enabled;
-  if (telemetry_on) metrics_.ticks->inc();
-  // Phase timing reads the wall clock twice per phase, which would
-  // dominate a short tick if done every step; sampling every 8th tick
-  // keeps the sim.phase_us distribution representative at <1 % overhead.
-  const bool time_phases = telemetry_on && (step_index_ % 8) == 0;
-
-  // 1. node update
-  {
-    PhaseTimer timer(time_phases, metrics_.update);
+void TabularSimulator::build_engine() {
+  // Phase order is the paper's step loop (Sec. 5.6) and the determinism
+  // contract: node update, completions, arrivals, the control cadence,
+  // then the log.  The clock advances after the phases (kAdvanceLast) —
+  // they see the tick's start time, as the hand-rolled loop's did.
+  engine_ = std::make_unique<engine::DiscreteEngine>(
+      config_.step_s, engine::DiscreteEngine::ClockMode::kAdvanceLast);
+  engine_->add_component("node_update", 0.0, [this](double, double dt) {
+    if (config_.telemetry_enabled) metrics_.ticks->inc();
+    // Phase timing reads the wall clock twice per phase, which would
+    // dominate a short tick if done every step; sampling every 8th tick
+    // keeps the sim.phase_us distribution representative at <1 % overhead.
+    PhaseTimer timer(time_phases(), metrics_.update);
     update_nodes(dt);
-  }
-  // 2. completions + policy view refresh
-  {
-    PhaseTimer timer(time_phases, metrics_.complete);
+  });
+  engine_->add_component("complete_jobs", 0.0, [this](double, double) {
+    PhaseTimer timer(time_phases(), metrics_.complete);
     complete_finished_jobs();
-  }
-  {
-    PhaseTimer timer(time_phases, metrics_.admit);
+  });
+  engine_->add_component("admit_arrivals", 0.0, [this](double, double) {
+    PhaseTimer timer(time_phases(), metrics_.admit);
     admit_arrivals();
-  }
-  // 3. schedule and cap (at the control cadence)
-  if (now_s_ + 1e-9 >= next_control_s_) {
-    PhaseTimer timer(time_phases, metrics_.control);
+  });
+  engine_->add_component("control", config_.control_period_s, [this](double, double) {
+    PhaseTimer timer(time_phases(), metrics_.control);
     schedule_and_cap();
-    next_control_s_ = now_s_ + config_.control_period_s;
-  }
-  // 4. log
-  {
-    PhaseTimer timer(time_phases, metrics_.log);
+  });
+  engine_->add_component("log_sampler", 0.0, [this](double, double) {
+    PhaseTimer timer(time_phases(), metrics_.log);
     const double power_w = nodes_.total_power_w();
     result_.power_w.add(now_s_, power_w);
-    if (regulation_ != nullptr) result_.target_w.add(now_s_, current_target_w());
+    if (regulation_ != nullptr || !config_.power_targets.empty()) {
+      result_.target_w.add(now_s_, current_target_w());
+    }
     append_table_log();
-    if (telemetry_on) {
+    if (config_.telemetry_enabled) {
       metrics_.power->set(power_w);
-      if (time_phases) {
+      if (time_phases()) {
         metrics_.running->set(static_cast<double>(jobs_.running().size()));
       }
     }
     if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s_);
-  }
+  });
+  engine_->set_stop_predicate([this](double now) {
+    const bool horizon_passed = now >= config_.duration_s;
+    const bool drained = next_arrival_ >= schedule_.jobs.size() &&
+                         jobs_.running().empty() && !scheduler_.has_pending();
+    const bool hard_stop = now >= config_.duration_s * 4.0;
+    return (horizon_passed && drained) || hard_stop;
+  });
+}
 
-  ++step_index_;
-  now_s_ += dt;
-
-  const bool horizon_passed = now_s_ >= config_.duration_s;
-  const bool drained = next_arrival_ >= schedule_.jobs.size() && jobs_.running().empty() &&
-                       !scheduler_.has_pending();
-  const bool hard_stop = now_s_ >= config_.duration_s * 4.0;
-  if ((horizon_passed && drained) || hard_stop) done_ = true;
+bool TabularSimulator::step() {
+  if (done_) return false;
+  if (engine_ == nullptr) build_engine();
+  engine_->step();
+  now_s_ = engine_->now_s();
+  step_index_ = engine_->step_index();
+  done_ = engine_->stopped();
   return !done_;
 }
 
 SimResult TabularSimulator::run() {
   while (step()) {
   }
-  if (regulation_ != nullptr && !result_.power_w.empty()) {
-    util::TimeSeries measured;
-    for (std::size_t i = 0; i < result_.power_w.size(); ++i) {
-      const double t = result_.power_w.times()[i];
-      if (t >= config_.tracking_warmup_s) measured.add(t, result_.power_w.values()[i]);
-    }
-    if (measured.empty()) measured = result_.power_w;
-    result_.tracking =
-        util::tracking_error(measured, result_.target_w, config_.bid.reserve_w);
+  result_.end_time_s = now_s_;
+  if (regulation_ != nullptr || !config_.power_targets.empty()) {
+    double reserve = config_.tracking_reserve_w;
+    if (reserve <= 0.0 && regulation_ != nullptr) reserve = config_.bid.reserve_w;
+    engine::finalize_tracking(result_, reserve, config_.tracking_warmup_s);
   }
   const double elapsed = std::max(now_s_, config_.step_s);
   result_.mean_utilization = busy_node_seconds_ / (elapsed * config_.node_count);

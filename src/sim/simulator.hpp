@@ -22,6 +22,8 @@
 
 #include <iosfwd>
 
+#include "engine/discrete_engine.hpp"
+#include "engine/scenario.hpp"
 #include "sched/aqa_scheduler.hpp"
 #include "sched/qos.hpp"
 #include "sim/sim_config.hpp"
@@ -35,15 +37,9 @@
 
 namespace anor::sim {
 
-struct SimResult {
-  util::TimeSeries power_w;    // measured cluster power
-  util::TimeSeries target_w;   // power target (empty when tracking disabled)
-  sched::QosEvaluator qos;
-  util::TrackingErrorStats tracking;
-  int jobs_submitted = 0;
-  int jobs_completed = 0;
-  double mean_utilization = 0.0;  // busy-node fraction averaged over time
-};
+/// Both backends share the engine's result schema; the old simulator-local
+/// name remains as an alias.
+using SimResult = engine::RunResult;
 
 class TabularSimulator {
  public:
@@ -80,6 +76,14 @@ class TabularSimulator {
   const sched::AqaScheduler& scheduler() const { return scheduler_; }
 
  private:
+  /// Register the simulator's phases on the shared engine (built lazily at
+  /// the first step; the clock advances after the phases, so they see the
+  /// tick's start time as before).
+  void build_engine();
+  /// Phase-timing sampler: every 8th tick, when telemetry is on.
+  bool time_phases() const {
+    return config_.telemetry_enabled && (step_index_ % 8) == 0;
+  }
   void refresh_changed_nodes();
   void update_nodes(double dt_s);
   void append_table_log();
@@ -106,8 +110,11 @@ class TabularSimulator {
   std::unordered_map<std::string, int> type_index_by_name_;
 
   SimResult result_;
+  std::unique_ptr<engine::DiscreteEngine> engine_;
+  /// Mirrors of the engine clock/tick, refreshed after every engine step
+  /// (during a tick they hold the tick-start time / tick index the phase
+  /// methods expect).
   double now_s_ = 0.0;
-  double next_control_s_ = 0.0;
   double busy_node_seconds_ = 0.0;
   /// Sum over busy nodes of their type's p_min, maintained at
   /// assign/release (the busy half of the cluster's floor power).

@@ -1,0 +1,125 @@
+#include "engine/discrete_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace anor::engine {
+namespace {
+
+TEST(DiscreteEngine, RejectsNonPositiveStep) {
+  EXPECT_THROW(DiscreteEngine(0.0, DiscreteEngine::ClockMode::kAdvanceLast),
+               util::ConfigError);
+  EXPECT_THROW(DiscreteEngine(-1.0, DiscreteEngine::ClockMode::kAdvanceFirst),
+               util::ConfigError);
+}
+
+TEST(DiscreteEngine, ComponentsFireInRegistrationOrderEveryTick) {
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  std::vector<std::string> calls;
+  engine.add_component("a", 0.0, [&](double, double) { calls.push_back("a"); });
+  engine.add_component("b", 0.0, [&](double, double) { calls.push_back("b"); });
+  engine.add_component("c", 0.0, [&](double, double) { calls.push_back("c"); });
+  engine.step();
+  engine.step();
+  EXPECT_EQ(calls, (std::vector<std::string>{"a", "b", "c", "a", "b", "c"}));
+}
+
+TEST(DiscreteEngine, AdvanceLastComponentsSeeTickStartTime) {
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  std::vector<double> times;
+  engine.add_component("probe", 0.0, [&](double now, double) { times.push_back(now); });
+  engine.step();
+  engine.step();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(engine.now_s(), 2.0);
+}
+
+TEST(DiscreteEngine, AdvanceFirstComponentsSeePostAdvanceTime) {
+  DiscreteEngine engine(0.25, DiscreteEngine::ClockMode::kAdvanceFirst);
+  std::vector<double> times;
+  engine.add_component("probe", 0.0, [&](double now, double) { times.push_back(now); });
+  engine.step();
+  engine.step();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 0.25);
+  EXPECT_DOUBLE_EQ(times[1], 0.5);
+}
+
+TEST(DiscreteEngine, CadencedComponentFiresAtItsPeriod) {
+  // The emulated cluster's log sampler: step 0.25 s, period 1 s.  The
+  // hand-rolled loop fired on the first tick (next_due 0) and then once
+  // per period; the engine must reproduce that exactly.
+  DiscreteEngine engine(0.25, DiscreteEngine::ClockMode::kAdvanceFirst);
+  std::vector<double> fires;
+  engine.add_component("log", 1.0, [&](double now, double) { fires.push_back(now); });
+  for (int i = 0; i < 16; ++i) engine.step();
+  EXPECT_EQ(fires, (std::vector<double>{0.25, 1.25, 2.25, 3.25}));
+}
+
+TEST(DiscreteEngine, ControlCadenceMatchesSimulatorLoop) {
+  // The tabular simulator's control phase: step 1 s, period 4 s,
+  // advance-last — fires at t = 0, 4, 8, ...
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  std::vector<double> fires;
+  engine.add_component("control", 4.0, [&](double now, double) { fires.push_back(now); });
+  for (int i = 0; i < 10; ++i) engine.step();
+  EXPECT_EQ(fires, (std::vector<double>{0.0, 4.0, 8.0}));
+}
+
+TEST(DiscreteEngine, StopPredicateSeesPostTickTimeAndLatches) {
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  int ticks = 0;
+  engine.add_component("count", 0.0, [&](double, double) { ++ticks; });
+  engine.set_stop_predicate([](double now) { return now >= 3.0; });
+  engine.run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_FALSE(engine.step());  // stopped engines stay stopped
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(DiscreteEngine, BoundClockTracksEngineTime) {
+  util::VirtualClock clock;
+  DiscreteEngine engine(0.5, DiscreteEngine::ClockMode::kAdvanceFirst);
+  engine.bind_clock(&clock);
+  std::vector<double> seen;
+  engine.add_component("probe", 0.0, [&](double now, double) {
+    // kAdvanceFirst: the external clock already advanced when components run.
+    seen.push_back(clock.now() - now);
+  });
+  engine.step();
+  engine.step();
+  EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+  for (double delta : seen) EXPECT_DOUBLE_EQ(delta, 0.0);
+}
+
+TEST(DiscreteEngine, StepIndexIsPreIncrementDuringTheTick) {
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  std::vector<long> indices;
+  engine.add_component("probe", 0.0,
+                       [&](double, double) { indices.push_back(engine.step_index()); });
+  engine.step();
+  engine.step();
+  engine.step();
+  EXPECT_EQ(indices, (std::vector<long>{0, 1, 2}));
+  EXPECT_EQ(engine.step_index(), 3);
+}
+
+TEST(DiscreteEngine, ComponentTableIsIntrospectable) {
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  engine.add_component("every_tick", 0.0, [](double, double) {});
+  engine.add_component("cadenced", 4.0, [](double, double) {});
+  const auto components = engine.components();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].name, "every_tick");
+  EXPECT_DOUBLE_EQ(components[1].period_s, 4.0);
+}
+
+}  // namespace
+}  // namespace anor::engine

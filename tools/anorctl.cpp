@@ -8,10 +8,18 @@
 //   anorctl gen-targets --out FILE [--mean W] [--reserve W] [--duration S]
 //       [--period S] [--seed K]
 //       Generate a demand-response power-target file.
-//   anorctl run --schedule FILE [--targets FILE] [--budget W]
-//       [--policy uniform|characterized|misclassified|adjusted]
+//   anorctl run --schedule FILE [--backend emulated|tabular] [--targets FILE]
+//       [--budget W] [--policy uniform|characterized|misclassified|adjusted]
 //       [--misclassify TRUE=AS] [--nodes N] [--seed K]
-//       Run the full two-tier emulation and print reports + tracking.
+//       Run a scenario on either backend and print reports + tracking.
+//       Alternatively `--scenario FILE` loads a full ScenarioSpec JSON
+//       (anor.scenario.v1); --backend still overrides its backend field.
+//       Both backends emit the same anor.run_result.v1 report (--out).
+//   anorctl parity [--duration S] [--nodes N] [--budget W] [--seed K]
+//       Run the same scenario through the emulated cluster AND the tabular
+//       simulator under all four policies and check the backends agree:
+//       tracking errors within tolerance, per-policy slowdown ordering
+//       consistent, QoS verdicts identical.  Exits nonzero on divergence.
 //   anorctl simulate [--nodes N] [--duration S] [--utilization F]
 //       [--variation F] [--scale K] [--mean-per-node W] [--reserve-per-node W]
 //       [--seed K]
@@ -32,6 +40,7 @@
 //       --verify-determinism) two runs disagree on the fault-event trace.
 //   anorctl selftest
 //       Exercise the whole flow in a temporary directory (used by ctest).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -60,7 +69,11 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        // --key=value form.
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";
@@ -159,50 +172,61 @@ int cmd_gen_targets(const Args& args) {
   return 0;
 }
 
-core::PolicyKind parse_policy(const std::string& name) {
-  if (name == "uniform") return core::PolicyKind::kUniform;
-  if (name == "characterized") return core::PolicyKind::kCharacterized;
-  if (name == "misclassified") return core::PolicyKind::kMisclassified;
-  if (name == "adjusted") return core::PolicyKind::kAdjusted;
-  std::cerr << "unknown policy '" << name << "'\n";
-  std::exit(2);
+/// The emulation knobs anorctl has always run with (snappier control
+/// cadences than the library defaults).
+cluster::EmulationConfig run_base_config() {
+  cluster::EmulationConfig base;
+  base.scheduler.power_aware_admission = true;
+  base.manager.control_period_s = 0.5;
+  base.endpoint.period_s = 0.5;
+  return base;
 }
 
 int cmd_run(const Args& args) {
-  core::Experiment experiment;
-  experiment.schedule = workload::Schedule::load(args.require("schedule"));
-  experiment.policy = parse_policy(args.str("policy", "characterized"));
-  experiment.node_count = static_cast<int>(args.num("nodes", 16));
-  experiment.seed = args.seed();
-  experiment.base.scheduler.power_aware_admission = true;
-  experiment.base.manager.control_period_s = 0.5;
-  experiment.base.endpoint.period_s = 0.5;
+  engine::ScenarioSpec spec;
+  if (args.has("scenario")) {
+    spec = engine::scenario_spec_from_json(util::load_json_file(args.str("scenario")));
+  } else {
+    spec.name = "run";
+    spec.schedule = workload::Schedule::load(args.require("schedule"));
+    spec.policy = engine::policy_from_string(args.str("policy", "characterized"));
+    spec.node_count = static_cast<int>(args.num("nodes", 16));
+    spec.seed = args.seed();
 
-  if (args.has("targets")) {
-    experiment.targets =
-        cluster::power_targets_from_json(util::load_json_file(args.str("targets")));
-  } else if (args.has("budget")) {
-    experiment.static_budget_w = args.num("budget", 0.0);
-  }
-
-  if (args.has("misclassify")) {
-    const std::string spec = args.str("misclassify");
-    const auto eq = spec.find('=');
-    if (eq == std::string::npos) {
-      std::cerr << "--misclassify expects TRUE_TYPE=CLASSIFIED_AS\n";
-      return 2;
+    if (args.has("targets")) {
+      spec.targets =
+          cluster::power_targets_from_json(util::load_json_file(args.str("targets")));
+    } else if (args.has("budget")) {
+      spec.static_budget_w = args.num("budget", 0.0);
     }
-    workload::misclassify(experiment.schedule, spec.substr(0, eq), spec.substr(eq + 1));
+
+    if (args.has("misclassify")) {
+      const std::string label = args.str("misclassify");
+      const auto eq = label.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--misclassify expects TRUE_TYPE=CLASSIFIED_AS\n";
+        return 2;
+      }
+      workload::misclassify(spec.schedule, label.substr(0, eq), label.substr(eq + 1));
+    }
+
+    if (args.has("artifacts")) spec.artifact_dir = args.str("artifacts");
+  }
+  if (args.has("backend")) {
+    spec.backend = engine::backend_from_string(args.str("backend"));
+  }
+  if (spec.static_budget_w && spec.tracking_reserve_w <= 0.0) {
+    // A flat target has no span to derive a reserve from; normalize the
+    // reported tracking error by the budget instead of a 1 W fallback.
+    spec.tracking_reserve_w = *spec.static_budget_w;
   }
 
-  if (args.has("artifacts")) experiment.artifact_dir = args.str("artifacts");
-
-  std::cout << "running " << experiment.schedule.jobs.size() << " jobs on "
-            << experiment.node_count << " nodes under the "
-            << core::to_string(experiment.policy) << " policy...\n";
-  const cluster::EmulationResult result = core::run_experiment(experiment);
-  if (!experiment.artifact_dir.empty()) {
-    std::cout << "wrote run artifacts to " << experiment.artifact_dir << "\n";
+  std::cout << "running " << spec.schedule.jobs.size() << " jobs on " << spec.node_count
+            << " nodes (" << engine::to_string(spec.backend) << " backend, "
+            << engine::to_string(spec.policy) << " policy)...\n";
+  const engine::RunResult result = engine::run_scenario(spec, run_base_config());
+  if (!spec.artifact_dir.empty()) {
+    std::cout << "wrote run artifacts to " << spec.artifact_dir << "\n";
   }
 
   util::TextTable table({"type", "jobs", "mean_slowdown", "sd"});
@@ -223,10 +247,109 @@ int cmd_run(const Args& args) {
   std::cout << "QoS worst 90th-pct degradation: "
             << util::TextTable::format_double(result.qos.worst_quantile(), 2) << "\n";
   if (args.has("out")) {
-    core::save_experiment_report(args.str("out"), result);
+    engine::save_run_result(args.str("out"), result);
     std::cout << "wrote experiment report to " << args.str("out") << "\n";
   }
   return 0;
+}
+
+int cmd_parity(const Args& args) {
+  const double duration = args.num("duration", 900.0);
+  const int nodes = static_cast<int>(args.num("nodes", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  const double budget_w = args.num("budget", 165.0 * nodes);
+  const double tracking_tol = args.num("tracking-tol", 0.25);
+  const double slowdown_tol = args.num("slowdown-tol", 0.25);
+
+  workload::PoissonScheduleConfig sched_config;
+  sched_config.duration_s = duration;
+  sched_config.utilization = args.num("utilization", 0.8);
+  sched_config.cluster_nodes = nodes;
+  const workload::Schedule base_schedule = workload::generate_poisson_schedule(
+      workload::nas_long_job_types(), sched_config, util::Rng(seed));
+  std::cout << "parity: " << base_schedule.jobs.size() << " jobs on " << nodes
+            << " nodes, " << budget_w << " W budget, both backends x four policies\n";
+
+  const engine::PolicyKind policies[] = {
+      engine::PolicyKind::kUniform, engine::PolicyKind::kCharacterized,
+      engine::PolicyKind::kMisclassified, engine::PolicyKind::kAdjusted};
+
+  struct Cell {
+    double mean_slowdown = 0.0;
+    double p90_tracking = 0.0;
+    bool qos_ok = false;
+  };
+  std::map<std::string, std::map<std::string, Cell>> grid;  // policy -> backend
+
+  util::TextTable table(
+      {"policy", "backend", "jobs", "mean_slowdown", "p90_tracking", "qos"});
+  for (const engine::PolicyKind policy : policies) {
+    workload::Schedule schedule = base_schedule;
+    if (engine::expects_misclassification(policy)) {
+      workload::misclassify(schedule, "bt.D.x", "is.D.x");
+    }
+    for (const engine::Backend backend :
+         {engine::Backend::kEmulated, engine::Backend::kTabular}) {
+      engine::ScenarioSpec spec;
+      spec.name = "parity-" + engine::to_string(policy);
+      spec.backend = backend;
+      spec.schedule = schedule;
+      spec.policy = policy;
+      spec.static_budget_w = budget_w;
+      // Normalize tracking error by the budget (a flat target has no span
+      // to derive a reserve from), so the columns compare across backends.
+      spec.tracking_reserve_w = budget_w;
+      spec.node_count = nodes;
+      spec.seed = seed;
+      const engine::RunResult result = engine::run_scenario(spec, run_base_config());
+
+      util::RunningStats slowdowns;
+      for (const auto& job : result.completed) slowdowns.add(job.slowdown());
+      Cell cell;
+      cell.mean_slowdown = slowdowns.mean();
+      cell.p90_tracking = result.tracking.p90_error;
+      cell.qos_ok = result.qos.satisfied();
+      grid[engine::to_string(policy)][engine::to_string(backend)] = cell;
+      table.add_row({engine::to_string(policy), engine::to_string(backend),
+                     std::to_string(result.jobs_completed),
+                     util::TextTable::format_percent(cell.mean_slowdown),
+                     util::TextTable::format_percent(cell.p90_tracking),
+                     cell.qos_ok ? "ok" : "violated"});
+    }
+  }
+  table.print(std::cout);
+
+  int rc = 0;
+  for (const auto& [policy, cells] : grid) {
+    const Cell& emu = cells.at("emulated");
+    const Cell& tab = cells.at("tabular");
+    if (std::abs(emu.p90_tracking - tab.p90_tracking) > tracking_tol) {
+      std::cerr << "parity: " << policy << ": tracking p90 diverged ("
+                << emu.p90_tracking << " vs " << tab.p90_tracking << ")\n";
+      rc = 1;
+    }
+    if (std::abs(emu.mean_slowdown - tab.mean_slowdown) > slowdown_tol) {
+      std::cerr << "parity: " << policy << ": mean slowdown diverged ("
+                << emu.mean_slowdown << " vs " << tab.mean_slowdown << ")\n";
+      rc = 1;
+    }
+    if (emu.qos_ok != tab.qos_ok) {
+      std::cerr << "parity: " << policy << ": QoS verdicts disagree\n";
+      rc = 1;
+    }
+  }
+  // The paper's qualitative ordering must hold on both backends: the
+  // performance-aware budgeter with correct models beats the uniform one.
+  for (const char* backend : {"emulated", "tabular"}) {
+    if (grid.at("characterized").at(backend).mean_slowdown >
+        grid.at("uniform").at(backend).mean_slowdown + 1e-9) {
+      std::cerr << "parity: " << backend
+                << ": characterized policy slower than uniform\n";
+      rc = 1;
+    }
+  }
+  std::cout << (rc == 0 ? "parity OK\n" : "parity FAILED\n");
+  return rc;
 }
 
 int cmd_simulate(const Args& args) {
@@ -552,8 +675,8 @@ int cmd_selftest() {
 }
 
 void usage() {
-  std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|simulate|replay|"
-               "chaos|metrics|trace|selftest> "
+  std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|parity|simulate|"
+               "replay|chaos|metrics|trace|selftest> "
                "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
 
@@ -586,6 +709,7 @@ int main(int argc, char** argv) {
     if (command == "gen-schedule") return cmd_gen_schedule(args);
     if (command == "gen-targets") return cmd_gen_targets(args);
     if (command == "run") return cmd_run(args);
+    if (command == "parity") return cmd_parity(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "chaos") return cmd_chaos(args);

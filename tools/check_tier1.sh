@@ -17,6 +17,21 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cd "$repo_root"
 
+# Run a gtest binary with a filter, refusing to silently pass when the
+# filter matches nothing.  gtest exits 0 when a filter selects zero tests
+# (and our gtest predates --gtest_fail_if_no_test_selected), so a renamed
+# suite would turn a sanitizer gate into a no-op without this guard.
+run_gtest() {
+  local binary="$1" filter="$2"
+  local listed
+  listed="$("$binary" --gtest_filter="$filter" --gtest_list_tests | grep -c '^  ' || true)"
+  if [[ "$listed" -eq 0 ]]; then
+    echo "error: filter '$filter' selects no tests in $binary" >&2
+    return 1
+  fi
+  "$binary" --gtest_filter="$filter"
+}
+
 echo "== tier-1: configure =="
 cmake -B "$build_dir" -S .
 
@@ -34,7 +49,7 @@ cmake -B "$asan_dir" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$asan_dir" -j"$jobs" --target telemetry_test util_test anorctl
 "$asan_dir/tests/telemetry_test"
-"$asan_dir/tests/util_test" --gtest_filter='Logger.*:VirtualClock.*'
+run_gtest "$asan_dir/tests/util_test" 'Logger.*:VirtualClock.*'
 
 echo "== sanitizers: TSan parallel-trial + sharded-step suite =="
 tsan_dir="${build_dir}-tsan"
@@ -43,9 +58,12 @@ cmake -B "$tsan_dir" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test
-"$tsan_dir/tests/sim_test" --gtest_filter='SimDeterminism.*'
-"$tsan_dir/tests/util_test" --gtest_filter='ThreadPool.*:ParallelForEachIndex.*'
-"$tsan_dir/tests/platform_test" --gtest_filter='ClusterHw.ShardedStepMatchesSerialBitForBit'
+# Known false positives from the uninstrumented system libstdc++ (see
+# tools/tsan.supp); real races in our code are still reported.
+export TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}"
+run_gtest "$tsan_dir/tests/sim_test" 'SimDeterminism.*'
+run_gtest "$tsan_dir/tests/util_test" 'ThreadPool.*:ParallelForEachIndex.*'
+run_gtest "$tsan_dir/tests/platform_test" 'ClusterHw.ShardedStepMatchesSerialBitForBit'
 
 echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
 # Closed-loop fault injection: the command itself exits non-zero unless

@@ -20,4 +20,10 @@ done
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_scale -j "$(nproc)"
 
-"$BUILD_DIR"/bench/bench_sim_scale BENCH_sim.json $QUICK
+# Stamp the report with the revision that produced it (dirty trees are
+# marked so a number from uncommitted code can't masquerade as HEAD's).
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ "$rev" != unknown ]] && ! git diff --quiet HEAD -- 2>/dev/null; then
+  rev="${rev}-dirty"
+fi
+ANOR_GIT_REVISION="$rev" "$BUILD_DIR"/bench/bench_sim_scale BENCH_sim.json $QUICK
