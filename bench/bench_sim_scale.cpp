@@ -17,6 +17,7 @@
 #include "engine/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prof/prof.hpp"
 #include "util/json.hpp"
 #include "workload/schedule.hpp"
 
@@ -153,7 +154,28 @@ int main(int argc, char** argv) {
       auto& cell = phase_cell(phase);
       before.push_back({cell.count(), cell.sum()});
     }
+    // The span profiler rides along on the instrumented run: per-phase
+    // wall attribution with quantiles, and a second determinism witness
+    // (the hash check below also proves profiling never touches sim
+    // state).  A small trace ring keeps the 100k-node cases cheap; phase
+    // statistics cover every span regardless.
+    telemetry::prof::Profiler& profiler = telemetry::prof::Profiler::global();
+    profiler.set_trace_capacity(4096);
+    profiler.reset();
+    profiler.set_enabled(true);
     const RunOutcome instrumented = run_case(spec, /*telemetry=*/true);
+    profiler.set_enabled(false);
+    util::JsonObject prof_phases;
+    for (const telemetry::prof::PhaseReport& pr : profiler.phase_report()) {
+      util::JsonObject phase;
+      phase["count"] = util::Json(static_cast<double>(pr.count));
+      phase["us_per_step"] =
+          util::Json(pr.total_ns / 1e3 / static_cast<double>(instrumented.steps));
+      phase["p50_us"] = util::Json(pr.p50_ns / 1e3);
+      phase["p95_us"] = util::Json(pr.p95_ns / 1e3);
+      phase["p99_us"] = util::Json(pr.p99_ns / 1e3);
+      prof_phases[pr.name] = util::Json(std::move(phase));
+    }
     util::JsonObject phases;
     for (std::size_t i = 0; i < std::size(kPhases); ++i) {
       auto& cell = phase_cell(kPhases[i]);
@@ -191,6 +213,7 @@ int main(int argc, char** argv) {
     entry["trace_hash"] = util::Json(hash_hex(timed.trace_hash));
     entry["matches_serial_hash"] = util::Json(matches_serial);
     entry["phase_us"] = util::Json(std::move(phases));
+    entry["profile"] = util::Json(std::move(prof_phases));
     cases.push_back(util::Json(std::move(entry)));
 
     std::printf("nodes=%-6d workers=%d steps=%ld wall_s=%.3f steps_per_sec=%.1f "

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/prof/prof.hpp"
+
 namespace anor::budget {
 
 // cap_for_slowdown bisects (64 iterations) and the caller bisects over it
@@ -61,7 +64,12 @@ void EvenSlowdownBudgeter::caps_at_slowdown(ModelGroups& groups, double slowdown
                       std::bit_cast<std::uint64_t>(m.p_max_w()),
                       std::bit_cast<std::uint64_t>(slowdown)}};
     const auto [it, inserted] = cap_cache_.try_emplace(key, 0.0);
-    if (inserted) it->second = m.cap_for_slowdown(slowdown);
+    if (inserted) {
+      it->second = m.cap_for_slowdown(slowdown);
+      ++memo_misses_;
+    } else {
+      ++memo_hits_;
+    }
     groups.caps[k] = it->second;
   }
 }
@@ -81,6 +89,11 @@ BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>
                                               double budget_w) const {
   BudgetResult result;
   if (jobs.empty()) return result;
+
+  ANOR_PROF_SCOPE("budget.solve");
+  const std::uint64_t hits_before = memo_hits_;
+  const std::uint64_t misses_before = memo_misses_;
+  int bisect_iters = 0;
 
   ModelGroups groups = group_models(jobs);
 
@@ -102,6 +115,7 @@ BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>
     for (const JobPowerProfile& j : jobs) hi = std::max(hi, j.model.max_slowdown());
     hi = std::max(hi, 1e-6);
     for (int iter = 0; iter < 100; ++iter) {
+      ++bisect_iters;
       const double mid = 0.5 * (lo + hi);
       const double total = total_power_at_slowdown(jobs, groups, mid);
       if (std::abs(total - budget_w) <= tolerance_w_) {
@@ -123,6 +137,22 @@ BudgetResult EvenSlowdownBudgeter::distribute(const std::vector<JobPowerProfile>
     const double cap = groups.caps[groups.group_of[i]];
     result.node_cap_w[jobs[i].job_id] = cap;
     result.allocated_w += jobs[i].nodes * cap;
+  }
+
+  // Flush the solve's memo traffic and bisection depth to telemetry only
+  // when profiling is on, so the golden hot path stays free of registry
+  // lookups and atomic adds.
+  if (telemetry::prof::enabled()) {
+    if (memo_hits_counter_ == nullptr) {
+      auto& registry = telemetry::MetricsRegistry::global();
+      memo_hits_counter_ = &registry.counter("budget.memo_hits");
+      memo_misses_counter_ = &registry.counter("budget.memo_misses");
+      bisect_iters_hist_ = &registry.histogram("budget.bisect_iters",
+                                               telemetry::linear_bounds(0.0, 10.0, 11));
+    }
+    memo_hits_counter_->inc(memo_hits_ - hits_before);
+    memo_misses_counter_->inc(memo_misses_ - misses_before);
+    bisect_iters_hist_->observe(static_cast<double>(bisect_iters));
   }
   return result;
 }

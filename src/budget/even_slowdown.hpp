@@ -14,6 +14,11 @@
 
 #include "budget/budgeter.hpp"
 
+namespace anor::telemetry {
+class Counter;
+class Histogram;
+}  // namespace anor::telemetry
+
 namespace anor::budget {
 
 /// Internal to the even-slowdown solve: jobs grouped by distinct model
@@ -56,6 +61,17 @@ class EvenSlowdownBudgeter final : public Budgeter {
     std::size_t operator()(const CapKey& key) const;
   };
   mutable std::unordered_map<CapKey, double, CapKeyHash> cap_cache_;
+  /// Memo traffic tallied locally (no atomics on the solve path) and
+  /// flushed to telemetry counters once per distribute() when profiling
+  /// is enabled.
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
+  /// Registry handles resolved once on the first flush (registrations are
+  /// permanent, so the pointers stay valid across reset_values()); the
+  /// name lookups are too slow for once-per-control-step work.
+  mutable telemetry::Counter* memo_hits_counter_ = nullptr;
+  mutable telemetry::Counter* memo_misses_counter_ = nullptr;
+  mutable telemetry::Histogram* bisect_iters_hist_ = nullptr;
 };
 
 }  // namespace anor::budget

@@ -1,0 +1,91 @@
+#include "cluster/metrics_service.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace anor::cluster {
+
+namespace {
+
+/// Write the whole buffer to a (possibly non-blocking) socket, waiting
+/// out short writes with poll() up to the budget.  Returns false if the
+/// peer wedged or hung up.
+bool write_all(int fd, const char* data, std::size_t size, int budget_ms) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, budget_ms) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsExpositionServer::MetricsExpositionServer(Provider provider, std::uint16_t port)
+    : provider_(std::move(provider)), listener_(port) {}
+
+int MetricsExpositionServer::poll() {
+  int served = 0;
+  while (auto channel = listener_.accept()) {
+    const std::string body = provider_ ? provider_() : std::string();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    // We answer regardless of what the client asked (it is a
+    // single-resource server); drain whatever request bytes arrived so
+    // the close is clean, then write and close.
+    char sink[512];
+    while (::recv(channel->fd(), sink, sizeof(sink), 0) > 0) {
+    }
+    write_all(channel->fd(), response.data(), response.size(),
+              TcpChannel::kSendBudgetMs);
+    ++served;
+  }
+  return served;
+}
+
+std::string fetch_metrics_exposition(std::uint16_t port, int timeout_ms) {
+  std::unique_ptr<TcpChannel> channel = tcp_connect(port);
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!write_all(channel->fd(), request, sizeof(request) - 1, timeout_ms)) return "";
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(channel->fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // orderly close: response complete
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      struct pollfd pfd{channel->fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    break;
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return "";
+  return response.substr(header_end + 4);
+}
+
+}  // namespace anor::cluster

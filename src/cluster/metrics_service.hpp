@@ -1,0 +1,46 @@
+// Live metrics exposition over the cluster tier's TCP transport.
+//
+// The future anord daemon needs to publish the Prometheus text exposition
+// (telemetry/prof_export.hpp) while a run is in flight.  The tier's
+// Message variant is a closed protocol, so the exposition rides a plain
+// HTTP/1.0 text response on a raw accepted socket instead — any scraper
+// (curl, Prometheus itself) can read it, and the server never blocks the
+// control loop: poll() accepts whatever clients are waiting, writes the
+// current exposition produced by the provider callback, and closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/tcp_transport.hpp"
+
+namespace anor::cluster {
+
+class MetricsExpositionServer {
+ public:
+  /// The provider is invoked once per accepted client, at poll() time, so
+  /// every scrape sees the freshest snapshot.
+  using Provider = std::function<std::string()>;
+
+  /// Binds 127.0.0.1:port (0 picks a free port).
+  explicit MetricsExpositionServer(Provider provider, std::uint16_t port = 0);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Accept and answer every waiting client; returns the number served.
+  /// Call from the owning loop between control iterations.
+  int poll();
+
+ private:
+  Provider provider_;
+  TcpListener listener_;
+};
+
+/// Blocking test/CLI helper: connect to a local exposition server, issue
+/// a GET, and return the response body (without the HTTP header).  Throws
+/// TransportError on connect failure; returns "" on a malformed response.
+std::string fetch_metrics_exposition(std::uint16_t port, int timeout_ms = 2000);
+
+}  // namespace anor::cluster

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/prof/prof.hpp"
 #include "util/logging.hpp"
 
 namespace anor::cluster {
@@ -51,6 +52,7 @@ void ReliableChannel::enqueue_failed(Message message) {
 }
 
 bool ReliableChannel::send(const Message& message) {
+  ANOR_PROF_SCOPE("channel.send");
   Message stamped = message;
   if (config_.stamp_seq) set_seq(stamped, ++next_seq_);
   // Preserve order: while older messages wait on retry, new ones queue
@@ -88,11 +90,13 @@ void ReliableChannel::flush(double now_s) {
 }
 
 void ReliableChannel::poll(double now_s) {
+  ANOR_PROF_SCOPE("channel.poll");
   now_s_ = std::max(now_s_, now_s);
   flush(now_s_);
 }
 
 std::optional<Message> ReliableChannel::receive() {
+  ANOR_PROF_SCOPE("channel.receive");
   flush(now_s_);
   static auto& dups = counter("transport.dup_dropped");
   static auto& gaps = counter("transport.seq_gaps");

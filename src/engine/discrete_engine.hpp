@@ -19,6 +19,7 @@
 // checks pin this).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -42,10 +43,19 @@ class DiscreteEngine {
 
   DiscreteEngine(double step_s, ClockMode mode);
 
+  /// How a component is attributed in the span profiler.  Components whose
+  /// per-tick cost sits below the clock's measurement floor (tens of ns on
+  /// a virtualized TSC) should not pay for a dedicated clock read each
+  /// tick: `kHousekeeping` folds consecutive such components into one
+  /// shared "engine.housekeeping" span, so a run of N cheap components
+  /// costs one read instead of N.
+  enum class SpanMode { kOwnSpan, kHousekeeping };
+
   /// Register a component, invoked in registration order each tick.
   /// `period_s` <= 0 fires every tick; a positive period fires when
   /// `now + 1e-9 >= next_due` and then re-arms at `now + period_s`.
-  void add_component(std::string name, double period_s, ComponentFn fn);
+  void add_component(std::string name, double period_s, ComponentFn fn,
+                     SpanMode span_mode = SpanMode::kOwnSpan);
 
   void set_stop_predicate(StopFn fn) { stop_ = std::move(fn); }
 
@@ -83,10 +93,20 @@ class DiscreteEngine {
     double period_s = 0.0;
     double next_due_s = 0.0;
     ComponentFn fn;
+    std::uint16_t prof_id = 0;  // interned "engine.<name>" span phase
+    SpanMode span_mode = SpanMode::kOwnSpan;
   };
 
   double step_s_;
   ClockMode mode_;
+  std::uint16_t tick_prof_id_ = 0;          // "engine.tick" wrapper span
+  std::uint16_t housekeeping_prof_id_ = 0;  // shared span for cheap components
+  // Cross-step timestamp chain: the last clock read of step N doubles as
+  // the first timestamp of step N+1 (the inter-step loop overhead is a few
+  // ns and lands in the next tick's first span).  Valid only while
+  // profiling stays enabled and the engine keeps stepping on one thread.
+  std::int64_t prof_last_ticks_ = 0;
+  bool prof_chain_valid_ = false;
   double now_s_ = 0.0;
   long step_index_ = 0;
   bool stopped_ = false;

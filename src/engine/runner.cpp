@@ -109,7 +109,21 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
   }
   config.tracking_warmup_s = spec.tracking_warmup_s;
   config.tracking_reserve_w = spec.tracking_reserve_w;
+  config.step_workers = spec.step_workers;
+  config.step_shard_nodes = spec.step_shard_nodes;
   return config;
+}
+
+sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec) {
+  const sim::SimConfig config = make_sim_config(spec);
+  workload::Schedule schedule = spec.schedule;
+  if (spec.policy == PolicyKind::kAdjusted) {
+    // Converged feedback: the budgeter sees the true types (see
+    // run_scenario's tabular branch, which this mirrors).
+    for (workload::JobRequest& job : schedule.jobs) job.classified_as.clear();
+  }
+  return sim::TabularSimulator(config, std::move(schedule),
+                               util::Rng(spec.seed).child("sim"));
 }
 
 RunResult run_scenario(const ScenarioSpec& spec) {
@@ -137,15 +151,7 @@ RunResult run_scenario(const ScenarioSpec& spec,
     result = emu.run();
     if (artifacts != nullptr) emu.attach_artifacts(nullptr);
   } else {
-    const sim::SimConfig config = make_sim_config(spec);
-    workload::Schedule schedule = spec.schedule;
-    if (spec.policy == PolicyKind::kAdjusted) {
-      // Converged feedback: the cluster tier has recovered the true
-      // models, so the budgeter sees the true types.
-      for (workload::JobRequest& job : schedule.jobs) job.classified_as.clear();
-    }
-    sim::TabularSimulator simulator(config, std::move(schedule),
-                                    util::Rng(spec.seed).child("sim"));
+    sim::TabularSimulator simulator = make_tabular_simulator(spec);
     simulator.set_artifacts(artifacts.get());
     result = simulator.run();
     simulator.set_artifacts(nullptr);

@@ -12,6 +12,7 @@
 #include "cluster/emulation.hpp"
 #include "engine/scenario.hpp"
 #include "sim/sim_config.hpp"
+#include "sim/simulator.hpp"
 
 namespace anor::engine {
 
@@ -41,6 +42,11 @@ cluster::EmulatedCluster make_emulated_cluster(const ScenarioSpec& spec,
 /// floor aligned with the emulated platform, the power objective as an
 /// explicit target series.
 sim::SimConfig make_sim_config(const ScenarioSpec& spec);
+
+/// Build the tabular simulator for a spec (exposed so `anorctl profile`
+/// and benches can time `run()` without the construction cost).  Applies
+/// the same Adjusted-policy label stripping as run_scenario.
+sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec);
 
 /// Run a scenario to completion on its selected backend.
 RunResult run_scenario(const ScenarioSpec& spec);

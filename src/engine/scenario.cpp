@@ -117,6 +117,8 @@ util::Json scenario_spec_to_json(const ScenarioSpec& spec) {
   obj["node_count"] = util::Json(spec.node_count);
   obj["perf_variation_sigma"] = util::Json(spec.perf_variation_sigma);
   obj["seed"] = util::Json(static_cast<double>(spec.seed));
+  obj["step_workers"] = util::Json(spec.step_workers);
+  obj["step_shard_nodes"] = util::Json(spec.step_shard_nodes);
   obj["tracking_warmup_s"] = util::Json(spec.tracking_warmup_s);
   obj["tracking_reserve_w"] = util::Json(spec.tracking_reserve_w);
   if (!spec.artifact_dir.empty()) {
@@ -142,6 +144,9 @@ ScenarioSpec scenario_spec_from_json(const util::Json& json) {
   spec.perf_variation_sigma =
       json.number_or("perf_variation_sigma", spec.perf_variation_sigma);
   spec.seed = static_cast<std::uint64_t>(json.number_or("seed", 1.0));
+  spec.step_workers = static_cast<int>(json.number_or("step_workers", spec.step_workers));
+  spec.step_shard_nodes =
+      static_cast<int>(json.number_or("step_shard_nodes", spec.step_shard_nodes));
   spec.tracking_warmup_s = json.number_or("tracking_warmup_s", spec.tracking_warmup_s);
   spec.tracking_reserve_w = json.number_or("tracking_reserve_w", spec.tracking_reserve_w);
   spec.artifact_dir = json.string_or("artifact_dir", "");

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "telemetry/prof/prof.hpp"
 #include "util/error.hpp"
 
 namespace anor::sim {
@@ -141,6 +142,7 @@ double TabularSimulator::current_target_w() const {
 void TabularSimulator::refresh_changed_nodes() {
   const std::vector<int>& pending = nodes_.pending_refresh();
   if (pending.empty()) return;
+  ANOR_PROF_SCOPE("sim.refresh");
   for (int n : pending) {
     if (nodes_.idle(n)) {
       nodes_.set_rate(n, 0.0);
@@ -189,6 +191,9 @@ void TabularSimulator::update_nodes(double dt_s) {
   refresh_changed_nodes();
   busy_node_seconds_ += static_cast<double>(nodes_.busy_count()) * dt_s;
   const int count = nodes_.size();
+  // No span of its own: the engine.node_update component span covers this
+  // sweep (minus sim.refresh, which is recorded separately), and a
+  // per-step extra span would eat the profiler-overhead budget.
   if (pool_ != nullptr && count > shard_nodes_) {
     // Fixed shard boundaries derived from node count alone: the worker
     // count decides only which thread sweeps which shard, never what any
@@ -297,6 +302,9 @@ double TabularSimulator::projected_qos(const JobRow& row) const {
 }
 
 void TabularSimulator::schedule_and_cap() {
+  // No span: the engine.control component span is this function wall-for-
+  // wall, and budget.solve covers the budgeter below; the scheduling-only
+  // share is engine.control minus budget.solve.
   // --- scheduling ---
   sched::SchedulerView view;
   view.free_nodes = nodes_.idle_count();
@@ -453,34 +461,46 @@ void TabularSimulator::build_engine() {
     PhaseTimer timer(time_phases(), metrics_.update);
     update_nodes(dt);
   });
-  engine_->add_component("complete_jobs", 0.0, [this](double, double) {
-    PhaseTimer timer(time_phases(), metrics_.complete);
-    complete_finished_jobs();
-  });
-  engine_->add_component("admit_arrivals", 0.0, [this](double, double) {
-    PhaseTimer timer(time_phases(), metrics_.admit);
-    admit_arrivals();
-  });
+  // Completions, arrivals, and the log sampler are tens of ns on most
+  // ticks — below the span clock's own cost — so they share one
+  // "engine.housekeeping" span instead of paying a clock read each.
+  engine_->add_component(
+      "complete_jobs", 0.0,
+      [this](double, double) {
+        PhaseTimer timer(time_phases(), metrics_.complete);
+        complete_finished_jobs();
+      },
+      engine::DiscreteEngine::SpanMode::kHousekeeping);
+  engine_->add_component(
+      "admit_arrivals", 0.0,
+      [this](double, double) {
+        PhaseTimer timer(time_phases(), metrics_.admit);
+        admit_arrivals();
+      },
+      engine::DiscreteEngine::SpanMode::kHousekeeping);
   engine_->add_component("control", config_.control_period_s, [this](double, double) {
     PhaseTimer timer(time_phases(), metrics_.control);
     schedule_and_cap();
   });
-  engine_->add_component("log_sampler", 0.0, [this](double, double) {
-    PhaseTimer timer(time_phases(), metrics_.log);
-    const double power_w = nodes_.total_power_w();
-    result_.power_w.add(now_s_, power_w);
-    if (regulation_ != nullptr || !config_.power_targets.empty()) {
-      result_.target_w.add(now_s_, current_target_w());
-    }
-    append_table_log();
-    if (config_.telemetry_enabled) {
-      metrics_.power->set(power_w);
-      if (time_phases()) {
-        metrics_.running->set(static_cast<double>(jobs_.running().size()));
-      }
-    }
-    if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s_);
-  });
+  engine_->add_component(
+      "log_sampler", 0.0,
+      [this](double, double) {
+        PhaseTimer timer(time_phases(), metrics_.log);
+        const double power_w = nodes_.total_power_w();
+        result_.power_w.add(now_s_, power_w);
+        if (regulation_ != nullptr || !config_.power_targets.empty()) {
+          result_.target_w.add(now_s_, current_target_w());
+        }
+        append_table_log();
+        if (config_.telemetry_enabled) {
+          metrics_.power->set(power_w);
+          if (time_phases()) {
+            metrics_.running->set(static_cast<double>(jobs_.running().size()));
+          }
+        }
+        if (artifacts_ != nullptr) artifacts_->maybe_sample(now_s_);
+      },
+      engine::DiscreteEngine::SpanMode::kHousekeeping);
   engine_->set_stop_predicate([this](double now) {
     const bool horizon_passed = now >= config_.duration_s;
     const bool drained = next_arrival_ >= schedule_.jobs.size() &&

@@ -1,0 +1,247 @@
+#include "telemetry/prof/prof.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace anor::telemetry::prof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      const std::uint64_t lo = bucket_floor(i);
+      const std::uint64_t hi = bucket_ceil(i);
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min(), max());
+    }
+  }
+  return max();
+}
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Profiler::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::string> phase_names;
+  std::unordered_map<std::string, std::uint16_t> phase_ids;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::size_t trace_capacity = 1 << 16;
+  // Calibration epoch: a (ticks, steady ns) pair taken together.
+  std::int64_t epoch_ticks = 0;
+  std::int64_t epoch_steady_ns = 0;
+
+  void stamp_epoch() {
+    epoch_ticks = now_ticks();
+    epoch_steady_ns = steady_ns();
+  }
+};
+
+Profiler::Profiler() : impl_(std::make_unique<Impl>()) { impl_->stamp_epoch(); }
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const bool was = detail::g_enabled.exchange(on, std::memory_order_relaxed);
+  // Re-arm the calibration epoch when profiling turns on over an empty
+  // profiler, so tick conversion uses the live measurement window.  With
+  // spans already recorded the old epoch must stand — their absolute
+  // starts are rebased against it.
+  if (on && !was) {
+    bool empty = true;
+    for (const auto& buffer : impl_->buffers) {
+      if (buffer->total_ != 0) empty = false;
+    }
+    if (empty) impl_->stamp_epoch();
+  }
+}
+
+std::uint16_t Profiler::phase_id(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->phase_ids.find(std::string(name));
+  if (it != impl_->phase_ids.end()) return it->second;
+  if (impl_->phase_names.size() >= 0xFFFF) {
+    throw std::length_error("prof::Profiler: too many phases");
+  }
+  const std::uint16_t id = static_cast<std::uint16_t>(impl_->phase_names.size());
+  impl_->phase_names.emplace_back(name);
+  impl_->phase_ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::vector<std::string> Profiler::phase_names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->phase_names;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& buffer : impl_->buffers) {
+    buffer->ring_.clear();
+    buffer->next_ = 0;
+    buffer->total_ = 0;
+    for (LogHistogram& stat : buffer->stats_) stat.reset();
+  }
+  impl_->stamp_epoch();
+}
+
+void Profiler::set_trace_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->trace_capacity = std::max<std::size_t>(capacity, 1);
+  for (auto& buffer : impl_->buffers) {
+    buffer->capacity_ = impl_->trace_capacity;
+    buffer->ring_.clear();
+    buffer->ring_.reserve(buffer->capacity_);
+    buffer->next_ = 0;
+  }
+}
+
+std::size_t Profiler::trace_capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->trace_capacity;
+}
+
+ThreadBuffer& Profiler::register_thread() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const int lane = static_cast<int>(impl_->buffers.size());
+  std::string name = lane == 0 ? "main" : "thread-" + std::to_string(lane);
+  impl_->buffers.push_back(
+      std::make_unique<ThreadBuffer>(lane, std::move(name), impl_->trace_capacity));
+  return *impl_->buffers.back();
+}
+
+ThreadBuffer& Profiler::local_buffer() {
+  thread_local ThreadBuffer* buffer = &register_thread();
+  return *buffer;
+}
+
+void Profiler::set_thread_name(std::string_view name) {
+  Profiler& profiler = global();
+  ThreadBuffer& buffer = profiler.local_buffer();
+  std::lock_guard<std::mutex> lock(profiler.impl_->mutex);
+  buffer.name_ = std::string(name);
+}
+
+std::vector<PhaseReport> Profiler::phase_report() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const double k = ns_per_tick_locked();
+  std::vector<PhaseReport> out;
+  for (std::size_t p = 0; p < impl_->phase_names.size(); ++p) {
+    LogHistogram merged;
+    for (const auto& buffer : impl_->buffers) {
+      if (p < buffer->stats_.size()) merged.merge(buffer->stats_[p]);
+    }
+    if (merged.count() == 0) continue;
+    PhaseReport report;
+    report.name = impl_->phase_names[p];
+    report.count = merged.count();
+    report.total_ns = static_cast<double>(merged.sum()) * k;
+    report.min_ns = static_cast<double>(merged.min()) * k;
+    report.max_ns = static_cast<double>(merged.max()) * k;
+    report.p50_ns = static_cast<double>(merged.quantile(0.50)) * k;
+    report.p95_ns = static_cast<double>(merged.quantile(0.95)) * k;
+    report.p99_ns = static_cast<double>(merged.quantile(0.99)) * k;
+    out.push_back(std::move(report));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseReport& a, const PhaseReport& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<LaneSnapshot> Profiler::lanes() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<LaneSnapshot> out;
+  for (const auto& buffer : impl_->buffers) {
+    if (buffer->ring_.empty()) continue;
+    LaneSnapshot lane;
+    lane.lane = buffer->lane_;
+    lane.thread_name = buffer->name_;
+    lane.dropped = buffer->dropped();
+    lane.events.reserve(buffer->ring_.size());
+    // Oldest first: the ring is ordered until it wraps, then next_ points
+    // at the oldest slot.
+    const std::size_t n = buffer->ring_.size();
+    const std::size_t head = n < buffer->capacity_ ? 0 : buffer->next_;
+    for (std::size_t i = 0; i < n; ++i) {
+      SpanEvent event = buffer->ring_[(head + i) % n];
+      event.start_ticks -= impl_->epoch_ticks;
+      lane.events.push_back(event);
+    }
+    std::sort(lane.events.begin(), lane.events.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                if (a.start_ticks != b.start_ticks) return a.start_ticks < b.start_ticks;
+                return a.dur_ticks > b.dur_ticks;  // parents before children
+              });
+    out.push_back(std::move(lane));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LaneSnapshot& a, const LaneSnapshot& b) { return a.lane < b.lane; });
+  return out;
+}
+
+std::uint64_t Profiler::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : impl_->buffers) dropped += buffer->dropped();
+  return dropped;
+}
+
+std::uint64_t Profiler::total_spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : impl_->buffers) total += buffer->total_;
+  return total;
+}
+
+double Profiler::ns_per_tick() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return ns_per_tick_locked();
+}
+
+std::int64_t Profiler::epoch_ticks() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->epoch_ticks;
+}
+
+double Profiler::ns_per_tick_locked() const {
+#if defined(__x86_64__) || defined(__i386__)
+  // Calibrate against the elapsed (ticks, steady ns) window since the
+  // epoch; insist on a 200 us minimum baseline so a snapshot taken
+  // immediately after reset() still converts sanely.
+  constexpr std::int64_t kMinBaselineNs = 200'000;
+  std::int64_t dt_ns = steady_ns() - impl_->epoch_steady_ns;
+  while (dt_ns < kMinBaselineNs) {
+    dt_ns = steady_ns() - impl_->epoch_steady_ns;
+  }
+  const std::int64_t dt_ticks = now_ticks() - impl_->epoch_ticks;
+  if (dt_ticks <= 0) return 1.0;
+  return static_cast<double>(dt_ns) / static_cast<double>(dt_ticks);
+#else
+  return 1.0;  // now_ticks() already returns nanoseconds
+#endif
+}
+
+}  // namespace anor::telemetry::prof

@@ -32,9 +32,37 @@ void TraceRecorder::push(TraceEvent event) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
-    ring_[total_ % capacity_] = std::move(event);
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
   }
   ++total_;
+}
+
+std::size_t TraceRecorder::head_locked() const {
+  return ring_.size() < capacity_ ? 0 : next_;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity = std::max<std::size_t>(capacity, 1);
+  if (capacity == capacity_) return;
+  // Rebuild oldest-first, keeping the newest events that still fit; the
+  // rebuilt ring starts at index 0 so the cursor resets cleanly.
+  std::vector<TraceEvent> kept;
+  const std::size_t keep = std::min(capacity, ring_.size());
+  kept.reserve(capacity);
+  const std::size_t head = head_locked();
+  for (std::size_t i = ring_.size() - keep; i < ring_.size(); ++i) {
+    kept.push_back(std::move(ring_[(head + i) % ring_.size()]));
+  }
+  ring_ = std::move(kept);
+  capacity_ = capacity;
+  next_ = 0;
 }
 
 void TraceRecorder::begin(std::string_view name, std::string_view category, double t_s) {
@@ -93,12 +121,12 @@ std::uint64_t TraceRecorder::dropped() const {
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (total_ <= capacity_) return ring_;
+  const std::size_t head = head_locked();
+  if (head == 0) return ring_;
   std::vector<TraceEvent> ordered;
   ordered.reserve(ring_.size());
-  const std::size_t head = total_ % capacity_;  // oldest retained event
   for (std::size_t i = 0; i < ring_.size(); ++i) {
-    ordered.push_back(ring_[(head + i) % capacity_]);
+    ordered.push_back(ring_[(head + i) % ring_.size()]);
   }
   return ordered;
 }
@@ -106,6 +134,7 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 void TraceRecorder::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
+  next_ = 0;
   total_ = 0;
 }
 

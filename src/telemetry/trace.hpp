@@ -70,7 +70,10 @@ class TraceRecorder {
   void instant(std::string_view name, std::string_view category);
   void counter(std::string_view name, std::string_view category, double value);
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const;
+  /// Rebound the ring at runtime (minimum 1).  Keeps the newest
+  /// min(new_capacity, size()) events; anything older counts as dropped.
+  void set_capacity(std::size_t capacity);
   /// Events currently retained (<= capacity).
   std::size_t size() const;
   /// Events recorded over the recorder's lifetime (>= size()).
@@ -94,9 +97,14 @@ class TraceRecorder {
  private:
   void push(TraceEvent event);
 
+  /// Oldest retained event's index when the ring is full (the overwrite
+  /// cursor); 0 while still filling.
+  std::size_t head_locked() const;
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // overwrite cursor once full
   std::uint64_t total_ = 0;
   const util::VirtualClock* clock_ = nullptr;
   bool enabled_ = true;

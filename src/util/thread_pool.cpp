@@ -1,8 +1,13 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/prof/prof.hpp"
 
 namespace anor::util {
+
+namespace prof = telemetry::prof;
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -10,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,15 +41,21 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  ANOR_PROF_SCOPE("pool.parallel_for");
   const std::size_t chunk = (count + worker_count() - 1) / worker_count();
   std::vector<std::future<void>> futures;
   futures.reserve((count + chunk - 1) / chunk);
-  for (std::size_t begin = 0; begin < count; begin += chunk) {
-    const std::size_t end = std::min(count, begin + chunk);
-    futures.push_back(submit([&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    }));
+  {
+    ANOR_PROF_SCOPE("pool.dispatch");
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+      const std::size_t end = std::min(count, begin + chunk);
+      futures.push_back(submit([&body, begin, end] {
+        ANOR_PROF_SCOPE("pool.chunk");
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }));
+    }
   }
+  ANOR_PROF_SCOPE("pool.join");
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
@@ -56,7 +67,8 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  prof::Profiler::set_thread_name("worker-" + std::to_string(index));
   for (;;) {
     std::packaged_task<void()> task;
     {

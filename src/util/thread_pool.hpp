@@ -41,7 +41,7 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> threads_;
   std::deque<std::packaged_task<void()>> queue_;

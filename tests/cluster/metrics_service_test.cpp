@@ -1,0 +1,75 @@
+#include "cluster/metrics_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prof_export.hpp"
+
+namespace anor::cluster {
+namespace {
+
+TEST(MetricsExpositionServer, ServesProviderSnapshotToScraper) {
+  std::atomic<int> calls{0};
+  MetricsExpositionServer server(
+      [&calls] {
+        ++calls;
+        return std::string("# TYPE up gauge\nup 1\n");
+      },
+      0);
+  ASSERT_GT(server.port(), 0);
+
+  std::string body;
+  std::thread scraper([&body, port = server.port()] {
+    body = fetch_metrics_exposition(port);
+  });
+  // The server is poll-driven: answer clients until the scraper returns.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  int served = 0;
+  while (served == 0 && std::chrono::steady_clock::now() < deadline) {
+    served = server.poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  scraper.join();
+
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(body, "# TYPE up gauge\nup 1\n");
+}
+
+TEST(MetricsExpositionServer, FreshSnapshotPerScrapeAndLiveRegistryBody) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("svc.scrapes");
+  MetricsExpositionServer server(
+      [&registry] {
+        registry.counter("svc.scrapes").inc();
+        return telemetry::prometheus_exposition(registry);
+      },
+      0);
+
+  for (int scrape = 1; scrape <= 2; ++scrape) {
+    std::string body;
+    std::thread scraper([&body, port = server.port()] {
+      body = fetch_metrics_exposition(port);
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.poll() == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    scraper.join();
+    EXPECT_NE(body.find("svc_scrapes " + std::to_string(scrape)), std::string::npos)
+        << body;
+  }
+}
+
+TEST(MetricsExpositionServer, PollWithNoClientsReturnsZero) {
+  MetricsExpositionServer server([] { return std::string("x"); }, 0);
+  EXPECT_EQ(server.poll(), 0);
+}
+
+}  // namespace
+}  // namespace anor::cluster

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "telemetry/prof/prof.hpp"
 #include "util/error.hpp"
 
 namespace anor::engine {
@@ -109,6 +111,43 @@ TEST(DiscreteEngine, StepIndexIsPreIncrementDuringTheTick) {
   engine.step();
   EXPECT_EQ(indices, (std::vector<long>{0, 1, 2}));
   EXPECT_EQ(engine.step_index(), 3);
+}
+
+TEST(DiscreteEngine, HousekeepingComponentsShareOneSpanPhase) {
+  namespace prof = telemetry::prof;
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.reset();
+  profiler.set_enabled(true);
+
+  DiscreteEngine engine(1.0, DiscreteEngine::ClockMode::kAdvanceLast);
+  engine.add_component("heavy", 0.0, [](double, double) {});
+  engine.add_component("cheap_a", 0.0, [](double, double) {},
+                       DiscreteEngine::SpanMode::kHousekeeping);
+  engine.add_component("cheap_b", 0.0, [](double, double) {},
+                       DiscreteEngine::SpanMode::kHousekeeping);
+  const int kSteps = 5;
+  for (int i = 0; i < kSteps; ++i) engine.step();
+
+  profiler.set_enabled(false);
+  std::uint64_t tick_count = 0;
+  std::uint64_t heavy_count = 0;
+  std::uint64_t housekeeping_count = 0;
+  bool cheap_phase_present = false;
+  for (const prof::PhaseReport& phase : profiler.phase_report()) {
+    if (phase.name == "engine.tick") tick_count = phase.count;
+    if (phase.name == "engine.heavy") heavy_count = phase.count;
+    if (phase.name == "engine.housekeeping") housekeeping_count = phase.count;
+    if (phase.name == "engine.cheap_a" || phase.name == "engine.cheap_b") {
+      cheap_phase_present = true;
+    }
+  }
+  EXPECT_EQ(tick_count, static_cast<std::uint64_t>(kSteps));
+  EXPECT_EQ(heavy_count, static_cast<std::uint64_t>(kSteps));
+  // The consecutive cheap components fold into one housekeeping span per
+  // tick instead of one span (and one clock read) each.
+  EXPECT_EQ(housekeeping_count, static_cast<std::uint64_t>(kSteps));
+  EXPECT_FALSE(cheap_phase_present);
+  profiler.reset();
 }
 
 TEST(DiscreteEngine, ComponentTableIsIntrospectable) {

@@ -1,0 +1,288 @@
+#include "telemetry/prof/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prof_export.hpp"
+#include "util/json.hpp"
+
+namespace anor::telemetry::prof {
+namespace {
+
+// The profiler is process-global; every test that enables it restores the
+// disabled/empty state so later tests (and the rest of the binary) see a
+// clean slate.
+class ProfilerGuard {
+ public:
+  ProfilerGuard() {
+    Profiler::global().reset();
+    Profiler::global().set_enabled(true);
+  }
+  ~ProfilerGuard() {
+    Profiler::global().set_enabled(false);
+    Profiler::global().reset();
+  }
+};
+
+TEST(LogHistogram, BucketBoundariesTileTheValueRange) {
+  // Values below kSub land in identity buckets of width 1.
+  for (std::uint64_t v = 0; v < LogHistogram::kSub; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_floor(static_cast<std::uint32_t>(v)), v);
+    EXPECT_EQ(LogHistogram::bucket_ceil(static_cast<std::uint32_t>(v)), v + 1);
+  }
+  // Every probed value falls inside its bucket's [floor, ceil) and the
+  // bucket is at most 1/8 of the value wide (the 12.5% error contract).
+  for (std::uint64_t v : std::vector<std::uint64_t>{8, 9, 15, 16, 17, 100, 255, 256, 1000,
+                                                    4096, 123456789, 1ull << 40,
+                                                    (1ull << 60) + 12345}) {
+    const std::uint32_t index = LogHistogram::bucket_index(v);
+    ASSERT_LT(index, LogHistogram::kBucketCount);
+    const std::uint64_t lo = LogHistogram::bucket_floor(index);
+    const std::uint64_t hi = LogHistogram::bucket_ceil(index);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_LT(v, hi) << v;
+    EXPECT_LE(hi - lo, std::max<std::uint64_t>(1, v / LogHistogram::kSub)) << v;
+  }
+  // Buckets tile without gaps: each bucket's ceil is the next one's floor.
+  for (std::uint32_t i = 0; i + 1 < 200; ++i) {
+    EXPECT_EQ(LogHistogram::bucket_ceil(i), LogHistogram::bucket_floor(i + 1));
+  }
+}
+
+TEST(LogHistogram, QuantilesOnKnownUniformDistribution) {
+  LogHistogram hist;
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(hist.sum(), 500500u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 1000u);
+  // Bucketed quantiles return the holding bucket's midpoint: within the
+  // 12.5% relative-error contract of the exact order statistic.
+  EXPECT_NEAR(static_cast<double>(hist.quantile(0.50)), 500.0, 500.0 * 0.125 + 1);
+  EXPECT_NEAR(static_cast<double>(hist.quantile(0.95)), 950.0, 950.0 * 0.125 + 1);
+  EXPECT_NEAR(static_cast<double>(hist.quantile(0.99)), 990.0, 990.0 * 0.125 + 1);
+  EXPECT_EQ(hist.quantile(0.0), 1u);
+  EXPECT_LE(hist.quantile(1.0), 1000u);
+  EXPECT_GE(hist.quantile(1.0), 875u);  // within one bucket of the max
+}
+
+TEST(LogHistogram, QuantileOfPointMassIsExactWithinBucket) {
+  LogHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.record(42);
+  for (double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(hist.quantile(q), 42u) << q;  // clamped to observed min == max
+  }
+  LogHistogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+}
+
+TEST(LogHistogram, MergeMatchesRecordingEverythingInOne) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 3);
+    all.record(v * 3);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.record(v * 7 + 1);
+    all.record(v * 7 + 1);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (std::uint32_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(a.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << q;
+  }
+  // Merging an empty histogram must not disturb min/max.
+  LogHistogram empty;
+  const std::uint64_t min_before = a.min();
+  a.merge(empty);
+  EXPECT_EQ(a.min(), min_before);
+}
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  Profiler& profiler = Profiler::global();
+  profiler.set_enabled(false);
+  profiler.reset();
+  const std::uint64_t before = profiler.total_spans();
+  for (int i = 0; i < 100; ++i) {
+    ANOR_PROF_SCOPE("prof_test.disabled");
+  }
+  EXPECT_EQ(profiler.total_spans(), before);
+}
+
+TEST(Profiler, MergesThreadLocalBuffersAcrossThreads) {
+  ProfilerGuard guard;
+  Profiler& profiler = Profiler::global();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Profiler::set_thread_name("prof-test-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ANOR_PROF_SCOPE("prof_test.merge");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Collection after join is the quiescence contract: the merged report
+  // must see every thread's spans.
+  const std::vector<PhaseReport> report = profiler.phase_report();
+  const auto it = std::find_if(report.begin(), report.end(), [](const PhaseReport& p) {
+    return p.name == "prof_test.merge";
+  });
+  ASSERT_NE(it, report.end());
+  EXPECT_EQ(it->count, static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+  EXPECT_GT(it->total_ns, 0.0);
+  EXPECT_LE(it->min_ns, it->p50_ns);
+  EXPECT_LE(it->p50_ns, it->p95_ns + 1e-9);
+  EXPECT_LE(it->p95_ns, it->p99_ns + 1e-9);
+  EXPECT_LE(it->p99_ns, it->max_ns + 1e-9);
+  // The report is name-sorted for deterministic output.
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_LT(report[i - 1].name, report[i].name);
+  }
+}
+
+TEST(Profiler, NestedScopesCarryDepth) {
+  ProfilerGuard guard;
+  Profiler& profiler = Profiler::global();
+  {
+    ANOR_PROF_SCOPE("prof_test.outer");
+    ANOR_PROF_SCOPE("prof_test.inner");
+  }
+  const std::vector<LaneSnapshot> lanes = profiler.lanes();
+  ASSERT_FALSE(lanes.empty());
+  std::map<std::string, std::uint16_t> depth_by_phase;
+  const std::vector<std::string> names = profiler.phase_names();
+  for (const LaneSnapshot& lane : lanes) {
+    for (const SpanEvent& event : lane.events) {
+      depth_by_phase[names[event.phase]] = event.depth;
+    }
+  }
+  EXPECT_EQ(depth_by_phase.at("prof_test.outer"), 0);
+  EXPECT_EQ(depth_by_phase.at("prof_test.inner"), 1);
+}
+
+TEST(Profiler, RingDropsOldestAndCounts) {
+  ProfilerGuard guard;
+  Profiler& profiler = Profiler::global();
+  profiler.set_trace_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    ANOR_PROF_SCOPE("prof_test.ring");
+  }
+  const std::vector<LaneSnapshot> lanes = profiler.lanes();
+  ASSERT_FALSE(lanes.empty());
+  std::uint64_t retained = 0;
+  for (const LaneSnapshot& lane : lanes) retained += lane.events.size();
+  EXPECT_LE(retained, 8u);
+  EXPECT_EQ(profiler.total_spans(), 20u);
+  EXPECT_EQ(profiler.dropped_spans(), 20u - retained);
+  profiler.set_trace_capacity(1 << 16);
+}
+
+TEST(ProfExport, ChromeTraceRoundTripsWithMonotonicLanes) {
+  ProfilerGuard guard;
+  Profiler& profiler = Profiler::global();
+  Profiler::set_thread_name("main");
+  for (int i = 0; i < 10; ++i) {
+    ANOR_PROF_SCOPE("prof_test.main_phase");
+  }
+  std::thread worker([] {
+    Profiler::set_thread_name("prof-test-worker");
+    for (int i = 0; i < 10; ++i) {
+      ANOR_PROF_SCOPE("prof_test.worker_phase");
+    }
+  });
+  worker.join();
+
+  std::ostringstream out;
+  write_prof_chrome_trace(out, profiler);
+  const util::Json trace = util::Json::parse(out.str());
+  const auto& events = trace.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 0u);
+
+  std::set<std::int64_t> lanes_with_events;
+  std::set<std::string> thread_names;
+  std::map<std::int64_t, double> last_ts;
+  for (const util::Json& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    const auto tid = static_cast<std::int64_t>(event.at("tid").as_number());
+    if (ph == "M") {
+      EXPECT_EQ(event.at("name").as_string(), "thread_name");
+      thread_names.insert(event.at("args").at("name").as_string());
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    const double ts = event.at("ts").as_number();
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second - 1e-9) << "timestamps regress in lane " << tid;
+    }
+    last_ts[tid] = ts;
+    lanes_with_events.insert(tid);
+  }
+  EXPECT_GE(lanes_with_events.size(), 2u);  // main + worker
+  EXPECT_TRUE(thread_names.count("main") == 1);
+  EXPECT_TRUE(thread_names.count("prof-test-worker") == 1);
+}
+
+TEST(ProfExport, PrometheusExpositionIsSortedAndStable) {
+  MetricsRegistry registry;
+  // Insert in non-alphabetical order; exposition must sort families.
+  registry.counter("zulu.count").inc(3);
+  registry.gauge("alpha.gauge").set(1.5);
+  registry.histogram("mid.hist", linear_bounds(0.0, 10.0, 3)).observe(15.0);
+
+  const std::string text = prometheus_exposition(registry);
+  const std::string again = prometheus_exposition(registry);
+  EXPECT_EQ(text, again);
+
+  const std::size_t alpha = text.find("alpha_gauge");
+  const std::size_t mid = text.find("mid_hist");
+  const std::size_t zulu = text.find("zulu_count");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zulu, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zulu);
+  // Histogram exposition carries cumulative buckets and the +Inf bound.
+  EXPECT_NE(text.find("mid_hist_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("mid_hist_count 1"), std::string::npos);
+}
+
+TEST(ProfExport, PhaseSummariesRideTheExposition) {
+  ProfilerGuard guard;
+  {
+    ANOR_PROF_SCOPE("prof_test.expo_phase");
+  }
+  MetricsRegistry registry;
+  const std::string text = prometheus_exposition(registry, Profiler::global());
+  EXPECT_NE(text.find("anor_prof_span_ns{phase=\"prof_test.expo_phase\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anor_prof_span_ns_count{phase=\"prof_test.expo_phase\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace anor::telemetry::prof

@@ -51,6 +51,47 @@ TEST(TraceRecorder, RingOverwritesOldestFirst) {
   EXPECT_EQ(events[3].name, "e5");
 }
 
+TEST(TraceRecorder, SetCapacityShrinkKeepsNewestEvents) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.instant("e" + std::to_string(i), "test", static_cast<double>(i));
+  }
+  recorder.set_capacity(2);
+  EXPECT_EQ(recorder.capacity(), 2u);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.total_recorded(), 6u);
+  EXPECT_EQ(recorder.dropped(), 4u);
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "e4");
+  EXPECT_EQ(events[1].name, "e5");
+  // The rebound ring keeps overwriting oldest-first.
+  recorder.instant("e6", "test", 6.0);
+  events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "e5");
+  EXPECT_EQ(events[1].name, "e6");
+  EXPECT_EQ(recorder.dropped(), 5u);
+}
+
+TEST(TraceRecorder, SetCapacityGrowRetainsEventsAndStopsDropping) {
+  TraceRecorder recorder(2);
+  recorder.instant("a", "t", 0.0);
+  recorder.instant("b", "t", 1.0);
+  recorder.instant("c", "t", 2.0);  // overwrites "a"
+  recorder.set_capacity(8);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  recorder.instant("d", "t", 3.0);
+  recorder.instant("e", "t", 4.0);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "b");
+  EXPECT_EQ(events[1].name, "c");
+  EXPECT_EQ(events[2].name, "d");
+  EXPECT_EQ(events[3].name, "e");
+  EXPECT_EQ(recorder.dropped(), 1u);  // only "a", from before the resize
+}
+
 TEST(TraceRecorder, ClocklessOverloadsUseBoundClock) {
   TraceRecorder recorder(8);
   util::VirtualClock clock;

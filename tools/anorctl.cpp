@@ -26,9 +26,25 @@
 //       Run the tabular cluster simulator and print QoS/tracking stats.
 //   anorctl replay --report FILE
 //       Summarize a saved experiment report (produced by run --out).
+//   anorctl profile [--scenario FILE] [--backend emulated|tabular] [--nodes N]
+//       [--duration S] [--utilization F] [--workers K] [--shard-nodes N]
+//       [--seed K] [--trace-out FILE] [--metrics-out FILE] [--check]
+//       Run a scenario with the span profiler enabled and print a
+//       per-phase breakdown table (count, total, %wall, p50/p95/p99)
+//       plus a Chrome trace (chrome://tracing / Perfetto).  Default
+//       scenario: 1000 nodes tracking a demand-response target for an
+//       hour.  --check validates the trace (parses, per-lane monotonic
+//       timestamps, expected phases, >= 90% wall coverage) and exits
+//       nonzero on failure.
 //   anorctl metrics dump --dir DIR
 //       Print the final metric snapshot of a run artifact directory
-//       (written by run/simulate --artifacts, or any RunArtifactWriter).
+//       (written by run/simulate --artifacts, or any RunArtifactWriter)
+//       in stable key-sorted order.
+//   anorctl metrics expose --dir DIR
+//       Print the same snapshot as a Prometheus text exposition.
+//   anorctl metrics serve --dir DIR [--port P] [--once] [--timeout S]
+//       Serve the exposition over HTTP on 127.0.0.1 (port 0 picks a free
+//       port; --once exits after the first scrape).
 //   anorctl trace export --dir DIR [--out FILE]
 //       Rebuild Chrome trace_event JSON from an artifact's trace.jsonl
 //       (load the result in chrome://tracing or ui.perfetto.dev).
@@ -40,6 +56,8 @@
 //       --verify-determinism) two runs disagree on the fault-event trace.
 //   anorctl selftest
 //       Exercise the whole flow in a temporary directory (used by ctest).
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -48,10 +66,15 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/metrics_service.hpp"
 #include "core/anor.hpp"
+#include "telemetry/prof/prof.hpp"
+#include "telemetry/prof_export.hpp"
 #include "workload/grid_signals.hpp"
 
 namespace {
@@ -467,19 +490,258 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// The default `anorctl profile` workload: a demand-response tracking
+/// scenario (Poisson arrivals at 75% utilization, random-walk regulation
+/// around a per-node bid) on the tabular backend.  --scenario FILE loads
+/// a full spec instead.
+engine::ScenarioSpec profile_spec(const Args& args) {
+  if (args.has("scenario")) {
+    return engine::scenario_spec_from_json(util::load_json_file(args.str("scenario")));
+  }
+  engine::ScenarioSpec spec;
+  spec.name = "profile";
+  spec.backend = engine::Backend::kTabular;
+  spec.policy = engine::PolicyKind::kCharacterized;
+  spec.node_count = static_cast<int>(args.num("nodes", 1000));
+  spec.seed = args.seed();
+  const double duration = args.num("duration", 3600.0);
+
+  workload::PoissonScheduleConfig sched;
+  sched.duration_s = duration;
+  sched.utilization = args.num("utilization", 0.75);
+  sched.cluster_nodes = spec.node_count;
+  spec.schedule = workload::generate_poisson_schedule(
+      workload::nas_long_job_types(), sched, util::Rng(spec.seed).child("schedule"));
+
+  workload::DemandResponseBid bid;
+  bid.average_power_w = spec.node_count * args.num("mean-per-node", 150.0);
+  bid.reserve_w = spec.node_count * args.num("reserve-per-node", 18.0);
+  const workload::RandomWalkRegulation regulation(
+      util::Rng(spec.seed).child("regulation"), duration + 60.0, 4.0);
+  spec.targets = workload::make_power_target_series(bid, regulation, duration, 4.0);
+  spec.tracking_warmup_s = 300.0;
+  spec.tracking_reserve_w = bid.reserve_w;
+  return spec;
+}
+
+int cmd_profile(const Args& args) {
+  engine::ScenarioSpec spec = profile_spec(args);
+  if (args.has("backend")) {
+    spec.backend = engine::backend_from_string(args.str("backend"));
+  }
+  // Default shard size 64 so the default 1000-node run actually fans out
+  // across worker lanes (the library default of 8192 never shards it).
+  spec.step_workers = static_cast<int>(args.num("workers", 4));
+  spec.step_shard_nodes = static_cast<int>(args.num("shard-nodes", 64));
+
+  namespace prof = telemetry::prof;
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.set_trace_capacity(
+      static_cast<std::size_t>(args.num("trace-capacity", 65536)));
+
+  std::cout << "profiling " << spec.schedule.jobs.size() << " jobs on "
+            << spec.node_count << " nodes (" << engine::to_string(spec.backend)
+            << " backend, " << spec.step_workers << " step workers)...\n";
+
+  // Build the backend first, then arm the profiler and time run() tightly
+  // so construction cost does not dilute the coverage number.
+  std::uint64_t steps = 0;
+  double wall_s = 0.0;
+  engine::RunResult result;
+  if (spec.backend == engine::Backend::kEmulated) {
+    cluster::EmulatedCluster emu = engine::make_emulated_cluster(spec, run_base_config());
+    profiler.reset();
+    profiler.set_enabled(true);
+    const auto start = std::chrono::steady_clock::now();
+    result = emu.run();
+    wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } else {
+    sim::TabularSimulator simulator = engine::make_tabular_simulator(spec);
+    profiler.reset();
+    profiler.set_enabled(true);
+    const auto start = std::chrono::steady_clock::now();
+    result = simulator.run();
+    wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    steps = simulator.steps_taken();
+  }
+  profiler.set_enabled(false);
+
+  const std::vector<prof::PhaseReport> report = profiler.phase_report();
+  const double wall_ns = wall_s * 1e9;
+  double engine_total_ns = 0.0;
+  util::TextTable table(
+      {"phase", "count", "total_ms", "%wall", "mean_us", "p50_us", "p95_us", "p99_us"});
+  for (const prof::PhaseReport& phase : report) {
+    if (phase.name.rfind("engine.", 0) == 0 && phase.name != "engine.tick") {
+      engine_total_ns += phase.total_ns;
+    }
+    table.add_row(
+        {phase.name, std::to_string(phase.count),
+         util::TextTable::format_double(phase.total_ns / 1e6, 2),
+         util::TextTable::format_percent(wall_ns > 0.0 ? phase.total_ns / wall_ns : 0.0),
+         util::TextTable::format_double(phase.mean_ns() / 1e3, 1),
+         util::TextTable::format_double(phase.p50_ns / 1e3, 1),
+         util::TextTable::format_double(phase.p95_ns / 1e3, 1),
+         util::TextTable::format_double(phase.p99_ns / 1e3, 1)});
+  }
+  table.print(std::cout);
+
+  const double coverage = wall_ns > 0.0 ? engine_total_ns / wall_ns : 0.0;
+  std::cout << "wall " << util::TextTable::format_double(wall_s, 2) << " s, "
+            << result.jobs_completed << " jobs completed";
+  if (steps > 0 && wall_s > 0.0) {
+    std::cout << ", " << util::TextTable::format_double(steps / wall_s, 0) << " steps/s";
+  }
+  std::cout << ", engine phase coverage " << util::TextTable::format_percent(coverage)
+            << " of wall\n";
+  if (profiler.dropped_spans() > 0) {
+    std::cout << "note: " << profiler.dropped_spans() << "/" << profiler.total_spans()
+              << " spans dropped from the trace ring (raise --trace-capacity); "
+                 "phase statistics still cover every span\n";
+  }
+
+  const std::string trace_path = args.str("trace-out", "profile_trace.json");
+  {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << "\n";
+      return 1;
+    }
+    telemetry::write_prof_chrome_trace(out, profiler);
+  }
+  std::cout << "wrote Chrome trace (" << (profiler.total_spans() - profiler.dropped_spans())
+            << " spans) to " << trace_path << "\n";
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.str("metrics-out"));
+    if (!out) {
+      std::cerr << "cannot open " << args.str("metrics-out") << "\n";
+      return 1;
+    }
+    out << telemetry::prometheus_exposition(telemetry::MetricsRegistry::global(),
+                                            profiler);
+    std::cout << "wrote Prometheus exposition to " << args.str("metrics-out") << "\n";
+  }
+
+  if (!args.has("check")) return 0;
+  int rc = 0;
+  const util::Json trace = util::load_json_file(trace_path);
+  const util::JsonArray& events = trace.at("traceEvents").as_array();
+  std::set<int> lanes;
+  std::map<int, double> last_ts;
+  bool has_thread_names = false;
+  for (const util::Json& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "M") {
+      has_thread_names = true;
+      continue;
+    }
+    if (ph != "X") continue;
+    const int tid = static_cast<int>(event.at("tid").as_number());
+    const double ts = event.at("ts").as_number();
+    lanes.insert(tid);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end() && ts + 1e-9 < it->second) {
+      std::cerr << "profile check: lane " << tid << " timestamps not monotonic ("
+                << ts << " after " << it->second << ")\n";
+      rc = 1;
+    }
+    last_ts[tid] = it != last_ts.end() ? std::max(it->second, ts) : ts;
+  }
+  if (lanes.empty()) {
+    std::cerr << "profile check: trace has no span events\n";
+    rc = 1;
+  }
+  if (!has_thread_names) {
+    std::cerr << "profile check: trace has no thread_name metadata\n";
+    rc = 1;
+  }
+  if (spec.backend == engine::Backend::kTabular && spec.step_workers > 1 &&
+      lanes.size() < 2) {
+    std::cerr << "profile check: expected worker lanes beyond main (" << spec.step_workers
+              << " step workers requested, " << lanes.size() << " lane(s) traced)\n";
+    rc = 1;
+  }
+  std::set<std::string> have;
+  for (const prof::PhaseReport& phase : report) have.insert(phase.name);
+  std::vector<std::string> required = {"engine.tick"};
+  if (spec.backend == engine::Backend::kTabular) {
+    // complete_jobs/admit_arrivals/log_sampler are housekeeping components
+    // and share the engine.housekeeping span (see DiscreteEngine::SpanMode).
+    required = {"engine.tick", "engine.node_update", "engine.control",
+                "engine.housekeeping"};
+  }
+  for (const std::string& name : required) {
+    if (have.count(name) == 0) {
+      std::cerr << "profile check: phase '" << name << "' missing from report\n";
+      rc = 1;
+    }
+  }
+  const double min_coverage = args.num("min-coverage", 0.9);
+  if (coverage < min_coverage) {
+    std::cerr << "profile check: engine phase coverage "
+              << util::TextTable::format_percent(coverage) << " below "
+              << util::TextTable::format_percent(min_coverage) << "\n";
+    rc = 1;
+  }
+  std::cout << (rc == 0 ? "profile check OK\n" : "profile check FAILED\n");
+  return rc;
+}
+
 int cmd_metrics_dump(const Args& args) {
   const std::string dir = args.require("dir");
   const util::Json metrics = util::load_json_file(dir + "/metrics.json");
+  // Rows sorted by metric key explicitly (not left to the JSON object's
+  // internal ordering) so diffs and CI greps stay deterministic.
+  std::vector<std::pair<std::string, const util::Json*>> rows;
+  for (const auto& [key, entry] : metrics.as_object()) rows.emplace_back(key, &entry);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   util::TextTable table({"metric", "type", "value", "sum"});
-  for (const auto& [key, entry] : metrics.as_object()) {
-    const std::string type = entry.at("type").as_string();
+  for (const auto& [key, entry] : rows) {
+    const std::string type = entry->at("type").as_string();
     table.add_row({key, type,
-                   util::TextTable::format_double(entry.number_or("value", 0.0), 3),
+                   util::TextTable::format_double(entry->number_or("value", 0.0), 3),
                    type == "histogram"
-                       ? util::TextTable::format_double(entry.number_or("sum", 0.0), 3)
+                       ? util::TextTable::format_double(entry->number_or("sum", 0.0), 3)
                        : ""});
   }
   table.print(std::cout);
+  return 0;
+}
+
+int cmd_metrics_expose(const Args& args) {
+  const std::string dir = args.require("dir");
+  const util::Json metrics = util::load_json_file(dir + "/metrics.json");
+  std::cout << telemetry::prometheus_exposition_from_artifact(metrics);
+  return 0;
+}
+
+int cmd_metrics_serve(const Args& args) {
+  const std::string dir = args.require("dir");
+  const util::Json metrics = util::load_json_file(dir + "/metrics.json");
+  const std::string body = telemetry::prometheus_exposition_from_artifact(metrics);
+  cluster::MetricsExpositionServer server(
+      [body] { return body; }, static_cast<std::uint16_t>(args.num("port", 0)));
+  std::cout << "serving metrics exposition on 127.0.0.1:" << server.port()
+            << (args.has("once") ? " (exit after first scrape)" : "") << "\n"
+            << std::flush;
+  const double timeout_s = args.num("timeout", 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  int served_total = 0;
+  for (;;) {
+    served_total += server.poll();
+    if (args.has("once") && served_total > 0) break;
+    if (timeout_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count() >
+            timeout_s) {
+      std::cerr << "metrics serve: timed out after " << timeout_s << " s\n";
+      return served_total > 0 ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::cout << "served " << served_total << " scrape(s)\n";
   return 0;
 }
 
@@ -676,7 +938,7 @@ int cmd_selftest() {
 
 void usage() {
   std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|parity|simulate|"
-               "replay|chaos|metrics|trace|selftest> "
+               "profile|replay|chaos|metrics|trace|selftest> "
                "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
 
@@ -694,13 +956,15 @@ int main(int argc, char** argv) {
     const Args sub_args(argc, argv, 3);
     try {
       if (command == "metrics" && sub == "dump") return cmd_metrics_dump(sub_args);
+      if (command == "metrics" && sub == "expose") return cmd_metrics_expose(sub_args);
+      if (command == "metrics" && sub == "serve") return cmd_metrics_serve(sub_args);
       if (command == "trace" && sub == "export") return cmd_trace_export(sub_args);
     } catch (const std::exception& error) {
       std::cerr << "anorctl: " << error.what() << "\n";
       return 1;
     }
-    std::cerr << "usage: anorctl metrics dump --dir DIR | anorctl trace export --dir DIR "
-                 "[--out FILE]\n";
+    std::cerr << "usage: anorctl metrics <dump|expose|serve> --dir DIR | "
+                 "anorctl trace export --dir DIR [--out FILE]\n";
     return 2;
   }
   const Args args(argc, argv, 2);
@@ -711,6 +975,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "parity") return cmd_parity(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "profile") return cmd_profile(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "chaos") return cmd_chaos(args);
     if (command == "selftest") return cmd_selftest();

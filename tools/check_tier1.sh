@@ -41,6 +41,17 @@ cmake --build "$build_dir" -j"$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 
+echo "== tier-1: profile smoke (span profiler + Chrome trace) =="
+# The profiler must produce a parseable Chrome trace with the expected
+# top-level engine phases, per-lane monotonic timestamps, worker lanes,
+# and >= 90% wall-time coverage; `anorctl profile --check` exits nonzero
+# otherwise.  Small scenario so the gate stays fast.
+profile_dir="$(mktemp -d)"
+trap 'rm -rf "$profile_dir"' EXIT
+"$build_dir/tools/anorctl" profile --nodes 300 --duration 600 --workers 2 \
+  --check --trace-out "$profile_dir/profile_trace.json" \
+  --metrics-out "$profile_dir/profile_metrics.prom"
+
 echo "== sanitizers: ASan/UBSan telemetry suite =="
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S . \

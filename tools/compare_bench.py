@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_sim.json reports (schema anor.bench_sim.v1).
+
+Matches cases by (nodes, duration_s, step_workers), prints a side-by-side
+steps/sec table with the per-phase profile deltas that moved most, and
+exits nonzero if any case's steps_per_sec regressed by more than the
+threshold (default 10%).
+
+    tools/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def case_key(case):
+    return (case["nodes"], case["duration_s"], case["step_workers"])
+
+
+def fmt_key(key):
+    nodes, duration, workers = key
+    return f"{nodes}n/{duration:g}s/w{workers}"
+
+
+def load_cases(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "anor.bench_sim.v1":
+        sys.exit(f"{path}: unexpected schema {report.get('schema')!r}")
+    return report, {case_key(c): c for c in report["cases"]}
+
+
+def phase_deltas(base_case, cand_case):
+    """Per-phase us_per_step deltas from the span-profiler summary,
+    largest absolute change first."""
+    base = base_case.get("profile", {})
+    cand = cand_case.get("profile", {})
+    deltas = []
+    for phase in sorted(set(base) | set(cand)):
+        b = base.get(phase, {}).get("us_per_step", 0.0)
+        c = cand.get(phase, {}).get("us_per_step", 0.0)
+        deltas.append((phase, b, c, c - b))
+    deltas.sort(key=lambda d: abs(d[3]), reverse=True)
+    return deltas
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated fractional steps/sec regression "
+                             "(default 0.10)")
+    parser.add_argument("--top-phases", type=int, default=3,
+                        help="profile phases to show per regressed case")
+    args = parser.parse_args()
+
+    base_report, base_cases = load_cases(args.baseline)
+    cand_report, cand_cases = load_cases(args.candidate)
+
+    print(f"baseline:  {args.baseline} (rev {base_report.get('git_revision')})")
+    print(f"candidate: {args.candidate} (rev {cand_report.get('git_revision')})")
+
+    shared = [k for k in base_cases if k in cand_cases]
+    if not shared:
+        sys.exit("no cases in common between the two reports")
+    for key in set(base_cases) ^ set(cand_cases):
+        side = "baseline" if key in base_cases else "candidate"
+        print(f"note: case {fmt_key(key)} only in {side}; skipped")
+
+    regressions = []
+    header = f"{'case':>16} {'base steps/s':>14} {'cand steps/s':>14} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(shared):
+        base_sps = base_cases[key]["steps_per_sec"]
+        cand_sps = cand_cases[key]["steps_per_sec"]
+        change = cand_sps / base_sps - 1.0
+        flag = ""
+        if change < -args.threshold:
+            flag = "  REGRESSED"
+            regressions.append(key)
+        print(f"{fmt_key(key):>16} {base_sps:>14.1f} {cand_sps:>14.1f} "
+              f"{change:>+7.1%}{flag}")
+
+    for key in regressions:
+        print(f"\n{fmt_key(key)}: largest per-phase us_per_step changes "
+              f"(from the span profiler):")
+        for phase, b, c, d in phase_deltas(base_cases[key], cand_cases[key])[:args.top_phases]:
+            print(f"  {phase:<24} {b:>9.2f} -> {c:>9.2f} us/step ({d:+.2f})")
+
+    for key in sorted(shared):
+        bh = base_cases[key].get("trace_hash")
+        ch = cand_cases[key].get("trace_hash")
+        if bh and ch and bh != ch:
+            print(f"note: {fmt_key(key)}: trace hash changed {bh} -> {ch} "
+                  f"(simulation behavior differs, not just speed)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} case(s) regressed more than "
+              f"{args.threshold:.0%}")
+        return 1
+    print(f"\nOK: no case regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Build and run the simulator scaling bench, writing BENCH_sim.json at the
-# repo root (schema anor.bench_sim.v1; see README.md).
+# repo root (schema anor.bench_sim.v1; see README.md).  Every case carries
+# a per-phase span-profiler summary ("profile": us_per_step + p50/p95/p99
+# per phase) next to the steps/sec numbers; the profiler-overhead gate
+# (bench_prof_overhead) runs afterwards so a regression in the profiler
+# itself fails the harness.  Compare two reports with
+# tools/compare_bench.py.
 #
 # Usage: tools/run_bench.sh [build_dir] [--quick]
 #   build_dir  CMake build directory (default: build)
@@ -18,7 +23,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_sim_scale -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_sim_scale bench_prof_overhead -j "$(nproc)"
 
 # Stamp the report with the revision that produced it (dirty trees are
 # marked so a number from uncommitted code can't masquerade as HEAD's).
@@ -27,3 +32,4 @@ if [[ "$rev" != unknown ]] && ! git diff --quiet HEAD -- 2>/dev/null; then
   rev="${rev}-dirty"
 fi
 ANOR_GIT_REVISION="$rev" "$BUILD_DIR"/bench/bench_sim_scale BENCH_sim.json $QUICK
+"$BUILD_DIR"/bench/bench_prof_overhead $QUICK
