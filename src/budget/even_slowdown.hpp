@@ -34,10 +34,22 @@ class EvenSlowdownBudgeter final : public Budgeter {
   BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
                           double budget_w) const override;
 
+  /// Parallel mode: group building shards the job list over the team,
+  /// memo misses solve concurrently, and each bisection iteration
+  /// speculatively warms the memo for both possible next midpoints.  All
+  /// of it is pure-function fan-out — caps and the balance point are
+  /// bit-identical to the serial solve.
+  void set_shard_workers(util::ShardWorkers* workers) override { workers_ = workers; }
+
  private:
   /// Fill groups.caps with each distinct model's cap at the slowdown,
   /// consulting the memo cache first.
   void caps_at_slowdown(ModelGroups& groups, double slowdown) const;
+  /// Memo-warm every (model, slowdown) pair from `slowdowns` that is not
+  /// yet cached, solving the misses concurrently on the team.  Values are
+  /// pure, so warming changes only *when* they are computed.
+  void warm_caps(const ModelGroups& groups, const double* slowdowns,
+                 std::size_t count) const;
   /// Sum of nodes * cap over jobs in the original job order (order fixes
   /// the floating-point accumulation).
   double total_power_at_slowdown(const std::vector<JobPowerProfile>& jobs,
@@ -57,6 +69,7 @@ class EvenSlowdownBudgeter final : public Budgeter {
     std::array<std::uint64_t, 6> bits;  // a, b, c, p_min, p_max, slowdown
     bool operator==(const CapKey&) const = default;
   };
+  static CapKey cap_key(const model::PowerPerfModel& m, double slowdown);
   struct CapKeyHash {
     std::size_t operator()(const CapKey& key) const;
   };
@@ -72,6 +85,9 @@ class EvenSlowdownBudgeter final : public Budgeter {
   mutable telemetry::Counter* memo_hits_counter_ = nullptr;
   mutable telemetry::Counter* memo_misses_counter_ = nullptr;
   mutable telemetry::Histogram* bisect_iters_hist_ = nullptr;
+
+  /// Borrowed worker team (see set_shard_workers); nullptr = serial.
+  util::ShardWorkers* workers_ = nullptr;
 };
 
 }  // namespace anor::budget

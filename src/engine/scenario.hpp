@@ -108,11 +108,12 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
 
   /// Tabular backend only: worker threads for the sharded progress sweep
-  /// (<= 1 steps serially) and nodes per shard (floored at 64 by the
-  /// simulator).  Shard boundaries depend on node count alone, so results
-  /// are bit-identical at any worker count.
+  /// (<= 1 steps serially) and nodes per shard (0 auto-sizes from node
+  /// and worker count; explicit values are floored at 64).  Shard
+  /// boundaries depend on node count alone, so results are bit-identical
+  /// at any worker count.
   int step_workers = 0;
-  int step_shard_nodes = 8192;
+  int step_shard_nodes = 0;
 
   /// Exclude this initial window from tracking-error statistics (before
   /// the queue fills, a loaded-power target is unreachable).

@@ -7,7 +7,7 @@
 
 #include "platform/node.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "util/shard_workers.hpp"
 
 namespace anor::platform {
 
@@ -52,8 +52,8 @@ class ClusterHw {
   double max_cap_w() const;
 
   /// Advance every node by dt_s.  Serial by default; sharded across a
-  /// worker pool when config.step_workers > 1 (per-node state is
-  /// independent, so sharding cannot change any node's trajectory).
+  /// persistent worker team when config.step_workers > 1 (per-node state
+  /// is independent, so sharding cannot change any node's trajectory).
   void step(double dt_s);
 
   /// Node indices currently without a load attached.
@@ -62,7 +62,7 @@ class ClusterHw {
  private:
   ClusterHwConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unique_ptr<util::ThreadPool> pool_;  // only when step_workers > 1
+  std::unique_ptr<util::ShardWorkers> workers_;  // only when step_workers > 1
 };
 
 /// Convert a "99 % of performance within ±x" band half-width (fraction,

@@ -96,14 +96,23 @@ struct SimConfig {
   /// metrics registry (sim.ticks, sim.phase_us{phase=...}).
   bool telemetry_enabled = true;
 
-  /// Shard the per-tick progress sweep across this many pool workers
-  /// (<= 1 keeps the sweep on the stepping thread).  Shard boundaries
-  /// depend only on node count, so any worker count produces traces
-  /// bit-identical to the serial sweep.
+  /// Shard the per-tick progress sweep across this many persistent
+  /// workers (<= 1 keeps the sweep on the stepping thread).  Shard
+  /// boundaries depend only on node count, so any worker count produces
+  /// traces bit-identical to the serial sweep.
   int step_workers = 0;
-  /// Nodes per shard when step_workers > 1 (floored at 64).
-  int step_shard_nodes = 8192;
+  /// Nodes per shard when step_workers > 1.  0 (the default) auto-sizes
+  /// from node count and worker count via resolve_step_shard_nodes();
+  /// explicit values are floored at 64.
+  int step_shard_nodes = 0;
 };
+
+/// Effective nodes-per-shard for a run.  `configured` > 0 wins (floored
+/// at 64); 0 auto-sizes so the cluster splits into ~4 shards per worker
+/// (enough slack that uneven shards don't serialize the team) without
+/// dropping below 64-node shards.  The result depends only on the inputs,
+/// never on which thread asks — sharding stays deterministic.
+int resolve_step_shard_nodes(int node_count, int step_workers, int configured);
 
 /// The six-type / eight-type standard mixes, as SimJobTypes.
 std::vector<SimJobType> standard_sim_types(bool long_types_only, int node_scale);

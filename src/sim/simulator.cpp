@@ -10,6 +10,7 @@
 
 #include "telemetry/prof/prof.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace anor::sim {
 
@@ -101,10 +102,24 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
   // the progress sweep needs no idle test).
   for (int n = 0; n < config_.node_count; ++n) nodes_.set_power(n, config_.idle_power_w);
 
+  shard_nodes_ =
+      resolve_step_shard_nodes(config_.node_count, config_.step_workers, config_.step_shard_nodes);
   if (config_.step_workers > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(config_.step_workers));
+    workers_ =
+        std::make_unique<util::ShardWorkers>(static_cast<std::size_t>(config_.step_workers));
+    lane_touched_.resize(workers_->worker_count());
+    const int shards = (config_.node_count + shard_nodes_ - 1) / shard_nodes_;
+    if (shards < config_.step_workers) {
+      util::log_warn("sim", "step_shard_nodes=" + std::to_string(shard_nodes_) + " yields " +
+                                std::to_string(shards) + " shard(s) for " +
+                                std::to_string(config_.node_count) + " nodes — fewer than " +
+                                std::to_string(config_.step_workers) +
+                                " step_workers; extra workers will idle (use "
+                                "step_shard_nodes=0 to auto-size)");
+    }
+    budgeter_->set_shard_workers(workers_.get());
   }
-  shard_nodes_ = std::max(64, config_.step_shard_nodes);
+  min_earliest_done_s_ = std::numeric_limits<double>::infinity();
 
   if (config_.telemetry_enabled) {
     auto& registry = telemetry::MetricsRegistry::global();
@@ -139,39 +154,70 @@ double TabularSimulator::current_target_w() const {
   return config_.bid.target_at(*regulation_, now_s_);
 }
 
-void TabularSimulator::refresh_changed_nodes() {
+void TabularSimulator::refresh_pending_range(std::size_t begin, std::size_t end,
+                                             std::vector<int>& touched) {
   const std::vector<int>& pending = nodes_.pending_refresh();
-  if (pending.empty()) return;
-  ANOR_PROF_SCOPE("sim.refresh");
-  for (int n : pending) {
+  double* rate = nodes_.rate_data();
+  double* power = nodes_.power_data();
+  // Nodes of one job share a row and (in every current policy) a cap, and
+  // the pending list keeps event bursts contiguous — so memoizing the last
+  // (row, cap) pair skips the row deref and the rate interpolation for all
+  // but the first node of each run.  The memo changes which *instructions*
+  // compute a value, never the value: identical inputs, identical bits.
+  int last_row = -2;
+  double last_cap = 0.0;
+  double run_rate = 0.0;
+  double run_power = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const int n = pending[i];
     if (nodes_.idle(n)) {
-      nodes_.set_rate(n, 0.0);
-      nodes_.set_power(n, config_.idle_power_w);
+      rate[n] = 0.0;
+      power[n] = config_.idle_power_w;
       continue;
     }
     const int row_index = nodes_.job_row(n);
-    const JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
-    const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
     const double cap = nodes_.cap_w(n);
-    nodes_.set_rate(n, type.progress_rate(cap) / nodes_.perf_multiplier(n));
-    nodes_.set_power(n, type.power_at(cap));
-    touched_rows_.push_back(row_index);
+    if (row_index != last_row || cap != last_cap) {
+      const JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
+      const SimJobType& type = config_.job_types[static_cast<std::size_t>(row.type_index)];
+      run_rate = type.progress_rate(cap);
+      run_power = type.power_at(cap);
+      last_row = row_index;
+      last_cap = cap;
+      touched.push_back(row_index);
+    }
+    // Multiply by the precomputed reciprocal instead of dividing per node.
+    // With no performance variation the multiplier is exactly 1.0 and the
+    // product is the unscaled rate bit-for-bit; with variation the
+    // reformulation is uniform across worker counts, so parity holds.
+    rate[n] = run_rate * nodes_.inv_perf_multiplier(n);
+    power[n] = run_power;
   }
-  nodes_.clear_pending_refresh();
+}
 
-  // Re-predict the earliest completion time of every affected running
-  // job: rates are constant until the next cap event, so "all nodes reach
+void TabularSimulator::repredict_row_completion(int row_index) {
+  // Rates are constant until the next cap event, so "all nodes reach
   // progress 1" cannot happen before now + max remaining time.  The
   // margin (relative 1e-9 plus two steps) covers the rounding drift of
   // the additive progress accumulation; the completion scan still does
-  // the exact per-node test once the skip window closes.
-  std::sort(touched_rows_.begin(), touched_rows_.end());
-  touched_rows_.erase(std::unique(touched_rows_.begin(), touched_rows_.end()),
-                      touched_rows_.end());
-  for (int row_index : touched_rows_) {
-    JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
-    if (!row.started() || row.finished()) continue;
-    double max_remaining_s = 0.0;
+  // the exact per-node test once the skip window closes.  The prediction
+  // is a conservative gate, never hashed.
+  JobRow& row = jobs_.row(static_cast<std::size_t>(row_index));
+  if (!row.started() || row.finished()) return;
+  double max_remaining_s = 0.0;
+  if (config_.perf_variation_sigma == 0.0 && !row.nodes.empty()) {
+    // Uniform multipliers => every node of the row shares one rate, and
+    // division by a positive constant is monotone: the worst node is the
+    // least-progressed one.  One divide per row instead of per node.
+    double min_progress = nodes_.progress(row.nodes.front());
+    for (int n : row.nodes) min_progress = std::min(min_progress, nodes_.progress(n));
+    const double remaining = 1.0 - min_progress;
+    if (remaining > 0.0) {
+      const double rate = nodes_.rate(row.nodes.front());
+      max_remaining_s =
+          rate > 0.0 ? remaining / rate : std::numeric_limits<double>::infinity();
+    }
+  } else {
     for (int n : row.nodes) {
       const double remaining = 1.0 - nodes_.progress(n);
       if (remaining <= 0.0) continue;
@@ -182,40 +228,137 @@ void TabularSimulator::refresh_changed_nodes() {
       }
       max_remaining_s = std::max(max_remaining_s, remaining / rate);
     }
-    row.earliest_done_s = now_s_ + max_remaining_s * (1.0 - 1e-9) - 2.0 * config_.step_s;
+  }
+  row.earliest_done_s = now_s_ + max_remaining_s * (1.0 - 1e-9) - 2.0 * config_.step_s;
+}
+
+void TabularSimulator::recompute_min_earliest_done() {
+  double min_done = std::numeric_limits<double>::infinity();
+  for (std::size_t i : jobs_.running()) {
+    min_done = std::min(min_done, jobs_.row(i).earliest_done_s);
+  }
+  min_earliest_done_s_ = min_done;
+}
+
+void TabularSimulator::refresh_changed_nodes() {
+  const std::vector<int>& pending = nodes_.pending_refresh();
+  if (pending.empty()) return;
+  ANOR_PROF_SCOPE("sim.refresh");
+
+  // Sharded refresh: pending nodes are unique, so slices write disjoint
+  // rate/power entries, and every entry is a pure function of the tables —
+  // the partition cannot change any value.  Per-lane touched-row lists are
+  // merged in lane order and canonicalized by the sort below, so the
+  // touched set is worker-count-invariant too.
+  if (workers_ != nullptr && pending.size() > static_cast<std::size_t>(shard_nodes_)) {
+    const std::size_t lanes = workers_->worker_count();
+    workers_->run([&](std::size_t lane) {
+      std::vector<int>& touched = lane_touched_[lane];
+      touched.clear();
+      const util::ShardWorkers::Slice s =
+          util::ShardWorkers::slice(pending.size(), lanes, lane);
+      refresh_pending_range(s.begin, s.end, touched);
+    });
+    for (const std::vector<int>& touched : lane_touched_) {
+      touched_rows_.insert(touched_rows_.end(), touched.begin(), touched.end());
+    }
+  } else {
+    refresh_pending_range(0, pending.size(), touched_rows_);
+  }
+  nodes_.mark_power_dirty();
+  nodes_.clear_pending_refresh();
+
+  std::sort(touched_rows_.begin(), touched_rows_.end());
+  touched_rows_.erase(std::unique(touched_rows_.begin(), touched_rows_.end()),
+                      touched_rows_.end());
+  if (workers_ != nullptr && touched_rows_.size() > 64) {
+    // Each lane re-predicts a disjoint slice of rows; a row's prediction
+    // reads only that row's nodes and writes only that row.
+    const std::size_t lanes = workers_->worker_count();
+    workers_->run([&](std::size_t lane) {
+      const util::ShardWorkers::Slice s =
+          util::ShardWorkers::slice(touched_rows_.size(), lanes, lane);
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        repredict_row_completion(touched_rows_[i]);
+      }
+    });
+  } else {
+    for (int row_index : touched_rows_) repredict_row_completion(row_index);
   }
   touched_rows_.clear();
+  recompute_min_earliest_done();
+}
+
+void TabularSimulator::flush_sweep() {
+  if (sweep_lag_ == 0) return;
+  const long lag = sweep_lag_;
+  sweep_lag_ = 0;
+  const int count = nodes_.size();
+  // No span of its own: the engine.node_update component span covers this
+  // sweep (minus sim.refresh, which is recorded separately), and an extra
+  // span here would eat the profiler-overhead budget.
+  if (workers_ != nullptr && count > shard_nodes_) {
+    // Fixed shard boundaries derived from node count alone: the worker
+    // count decides only which thread sweeps which shards, never what any
+    // shard computes, so traces are bit-identical at any worker count.
+    const int shards = (count + shard_nodes_ - 1) / shard_nodes_;
+    const std::size_t lanes = workers_->worker_count();
+    const double dt_s = config_.step_s;
+    workers_->run([&](std::size_t lane) {
+      const util::ShardWorkers::Slice s =
+          util::ShardWorkers::slice(static_cast<std::size_t>(shards), lanes, lane);
+      const int begin = static_cast<int>(s.begin) * shard_nodes_;
+      const int end = std::min(count, static_cast<int>(s.end) * shard_nodes_);
+      nodes_.advance_progress_batch(begin, end, dt_s, lag);
+    });
+  } else {
+    nodes_.advance_progress_batch(0, count, config_.step_s, lag);
+  }
+}
+
+double TabularSimulator::virtual_progress(int node) const {
+  double p = nodes_.progress(node);
+  if (sweep_lag_ > 0) {
+    const double d = nodes_.rate(node) * config_.step_s;
+    // Replay the owed per-step additions exactly (see
+    // NodeTable::advance_progress_batch); d == 0 adds nothing.
+    if (d != 0.0) {
+      for (long k = 0; k < sweep_lag_; ++k) p += d;
+    }
+  }
+  return p;
 }
 
 void TabularSimulator::update_nodes(double dt_s) {
-  refresh_changed_nodes();
-  busy_node_seconds_ += static_cast<double>(nodes_.busy_count()) * dt_s;
-  const int count = nodes_.size();
-  // No span of its own: the engine.node_update component span covers this
-  // sweep (minus sim.refresh, which is recorded separately), and a
-  // per-step extra span would eat the profiler-overhead budget.
-  if (pool_ != nullptr && count > shard_nodes_) {
-    // Fixed shard boundaries derived from node count alone: the worker
-    // count decides only which thread sweeps which shard, never what any
-    // shard computes, so traces are bit-identical at any worker count.
-    const int shards = (count + shard_nodes_ - 1) / shard_nodes_;
-    pool_->parallel_for(static_cast<std::size_t>(shards), [&](std::size_t s) {
-      const int begin = static_cast<int>(s) * shard_nodes_;
-      nodes_.advance_progress(begin, std::min(count, begin + shard_nodes_), dt_s);
-    });
-  } else {
-    nodes_.advance_progress(0, count, dt_s);
+  if (!nodes_.pending_refresh().empty()) {
+    // A cap/ownership event is about to rewrite rates: settle every owed
+    // substep at the old rates first, exactly where the per-tick sweep
+    // would have applied them.
+    flush_sweep();
+    refresh_changed_nodes();
   }
+  busy_node_seconds_ += static_cast<double>(nodes_.busy_count()) * dt_s;
+  // This tick's substep is owed from here on; it is applied by the next
+  // flush (or replayed virtually by readers before then).
+  sweep_lag_ += 1;
 }
 
 void TabularSimulator::complete_finished_jobs() {
+  // O(1) on almost every tick: no running job can possibly be done before
+  // the cached minimum of the per-row predictions.  (A scan that would
+  // have skipped every row is a no-op, so skipping it wholesale cannot
+  // change the trace.)
+  if (min_earliest_done_s_ > now_s_) return;
   finished_scratch_.clear();
   for (std::size_t i : jobs_.running()) {
     JobRow& row = jobs_.row(i);
     if (row.earliest_done_s > now_s_) continue;
     bool all_done = true;
     for (int n : row.nodes) {
-      if (nodes_.progress(n) < 1.0) {
+      // Progress through *this* tick, with owed substeps replayed
+      // virtually — the released nodes below are zeroed anyway, so the
+      // table itself need not be flushed to decide completion.
+      if (virtual_progress(n) < 1.0) {
         all_done = false;
         break;
       }
@@ -259,6 +402,7 @@ void TabularSimulator::complete_finished_jobs() {
     record.t_min_s = type.time_at_pmax_s;
     result_.qos.add(std::move(record));
   }
+  if (!finished_scratch_.empty()) recompute_min_earliest_done();
 }
 
 void TabularSimulator::admit_arrivals() {
@@ -305,6 +449,11 @@ void TabularSimulator::schedule_and_cap() {
   // No span: the engine.control component span is this function wall-for-
   // wall, and budget.solve covers the budgeter below; the scheduling-only
   // share is engine.control minus budget.solve.
+  //
+  // Only these two variants read node progress during control; the common
+  // path leaves the owed substeps lazy (assignments zero their nodes'
+  // progress, and a zero-rate node accrues exactly zero either way).
+  if (config_.backfill || config_.protect_at_risk_jobs) flush_sweep();
   // --- scheduling ---
   sched::SchedulerView view;
   view.free_nodes = nodes_.idle_count();
@@ -415,6 +564,7 @@ void TabularSimulator::set_table_log(std::ostream* out, int every_n_steps) {
 
 void TabularSimulator::append_table_log() {
   if (table_log_ == nullptr || step_index_ % table_log_stride_ != 0) return;
+  flush_sweep();  // the log snapshots the progress column
   // Format into one buffer and hand the stream a single write per logged
   // step instead of seven operator<< calls per node row.  %g matches the
   // default ostream precision-6 formatting byte for byte.
@@ -454,6 +604,12 @@ void TabularSimulator::build_engine() {
   engine_ = std::make_unique<engine::DiscreteEngine>(
       config_.step_s, engine::DiscreteEngine::ClockMode::kAdvanceLast);
   engine_->add_component("node_update", 0.0, [this](double, double dt) {
+    // First component of the tick: sync the clock/tick mirrors here so a
+    // batched engine_->run() keeps every later phase seeing the tick-start
+    // time, exactly as the per-step() loop did.  (kAdvanceLast: the
+    // engine's clock still holds the tick's start during components.)
+    now_s_ = engine_->now_s();
+    step_index_ = engine_->step_index();
     if (config_.telemetry_enabled) metrics_.ticks->inc();
     // Phase timing reads the wall clock twice per phase, which would
     // dominate a short tick if done every step; sampling every 8th tick
@@ -517,12 +673,24 @@ bool TabularSimulator::step() {
   now_s_ = engine_->now_s();
   step_index_ = engine_->step_index();
   done_ = engine_->stopped();
+  // Single-step callers inspect the tables between ticks: settle the owed
+  // substeps so progress reads exactly as the per-tick sweep left it.
+  flush_sweep();
   return !done_;
 }
 
 SimResult TabularSimulator::run() {
-  while (step()) {
+  // Batched path: hand the whole loop to the engine.  Nothing observes the
+  // tables between ticks, so the deferred sweep only settles at rate
+  // events (and once here at the end) instead of every tick.
+  if (!done_) {
+    if (engine_ == nullptr) build_engine();
+    engine_->run();
+    now_s_ = engine_->now_s();
+    step_index_ = engine_->step_index();
+    done_ = true;
   }
+  flush_sweep();
   result_.end_time_s = now_s_;
   if (regulation_ != nullptr || !config_.power_targets.empty()) {
     double reserve = config_.tracking_reserve_w;

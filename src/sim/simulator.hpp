@@ -6,13 +6,18 @@
 // updates inputs to the node table that will be processed in the
 // node-update stage of the next time step."
 //
-// Hot-path layout (see DESIGN.md "Performance model of the simulator"):
-// per-node rates/powers are cached in the node table and refreshed only
-// for nodes whose cap or ownership changed since the previous tick, the
-// running-job set / idle count / floor power / total power are maintained
-// incrementally at assign/release/cap events, and the per-tick progress
-// sweep can be sharded across a thread pool with fixed shard boundaries
-// so results are bit-identical at any worker count.
+// Hot-path layout (see DESIGN.md "Performance model of the simulator" and
+// 6h "Persistent sharded stepping"): per-node rates/powers are cached in
+// the node table and refreshed only for nodes whose cap or ownership
+// changed since the previous tick; the running-job set / idle count /
+// floor power / total power are maintained incrementally at
+// assign/release/cap events; the per-tick progress sweep is *deferred* —
+// ticks between two rate-change events owe one `rate * dt` substep each,
+// and the owed substeps are flushed in one batched pass (bit-identical to
+// per-tick sweeps) right before anything reads or rewrites a rate; and
+// both the flush and the refresh shard across a persistent worker team
+// with fixed shard boundaries so results are bit-identical at any worker
+// count.
 #pragma once
 
 #include <memory>
@@ -31,7 +36,7 @@
 #include "telemetry/metrics.hpp"
 #include "sim/tables.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "util/shard_workers.hpp"
 #include "util/time_series.hpp"
 #include "workload/schedule.hpp"
 
@@ -85,6 +90,24 @@ class TabularSimulator {
     return config_.telemetry_enabled && (step_index_ % 8) == 0;
   }
   void refresh_changed_nodes();
+  /// Refresh rate/power for pending[begin, end); appends every affected
+  /// job row (possibly with duplicates) to `touched`.  Pure per-node math
+  /// over disjoint index ranges — safe to run concurrently on disjoint
+  /// slices of the pending list.
+  void refresh_pending_range(std::size_t begin, std::size_t end, std::vector<int>& touched);
+  /// Recompute `earliest_done_s` for one touched running row.  Writes only
+  /// that row — rows shard trivially.
+  void repredict_row_completion(int row_index);
+  void recompute_min_earliest_done();
+  /// Apply every owed `progress += rate * dt` substep (one per elapsed
+  /// tick since the last flush) in a single batched sweep, sharded across
+  /// the worker team when one exists.  Bit-identical to having swept every
+  /// tick serially: rates are constant between flush points by
+  /// construction (any rate write is preceded by a flush).
+  void flush_sweep();
+  /// progress(node) as it will read after the owed substeps are flushed —
+  /// the exact per-step accumulation replayed without touching the table.
+  double virtual_progress(int node) const;
   void update_nodes(double dt_s);
   void append_table_log();
   void complete_finished_jobs();
@@ -121,10 +144,18 @@ class TabularSimulator {
   double busy_floor_w_ = 0.0;
   bool done_ = false;
 
-  /// Sharded progress sweep: lazily built pool (config.step_workers > 1)
-  /// plus fixed shard boundaries derived from node count alone.
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// Persistent worker team (config.step_workers > 1) shared by the
+  /// batched sweep flush, the sharded refresh, and the budgeter's
+  /// speculative solves; fixed shard boundaries derive from node count
+  /// alone.
+  std::unique_ptr<util::ShardWorkers> workers_;
   int shard_nodes_ = 0;
+  /// Owed progress substeps (one per tick since the last flush_sweep).
+  long sweep_lag_ = 0;
+  /// min over running rows of earliest_done_s: the completion scan is
+  /// skipped entirely while now < this.  Exact after every mutation of a
+  /// running row's prediction (refresh) or of the running set (finish).
+  double min_earliest_done_s_ = 0.0;
 
   /// Per-instance telemetry handles, resolved once in the constructor so
   /// the step loop never touches the registry map (concurrent seeded
@@ -142,6 +173,7 @@ class TabularSimulator {
   StepMetrics metrics_;
 
   std::vector<int> touched_rows_;              // scratch: rows to re-predict
+  std::vector<std::vector<int>> lane_touched_;  // per-lane touched rows
   std::vector<std::size_t> finished_scratch_;  // scratch: completions this tick
   std::string log_buffer_;                     // table-log formatting buffer
 

@@ -11,6 +11,7 @@ NodeTable::NodeTable(int node_count)
       power_w_(static_cast<std::size_t>(node_count), 0.0),
       progress_(static_cast<std::size_t>(node_count), 0.0),
       perf_mult_(static_cast<std::size_t>(node_count), 1.0),
+      inv_perf_mult_(static_cast<std::size_t>(node_count), 1.0),
       rate_(static_cast<std::size_t>(node_count), 0.0),
       job_row_(static_cast<std::size_t>(node_count), -1),
       idle_count_(node_count),
@@ -34,6 +35,23 @@ void NodeTable::advance_progress(int begin, int end, double dt_s) {
   double* progress = progress_.data();
   const double* rate = rate_.data();
   for (int n = begin; n < end; ++n) progress[n] += rate[n] * dt_s;
+}
+
+void NodeTable::advance_progress_batch(int begin, int end, double dt_s, long substeps) {
+  if (substeps <= 0) return;
+  double* progress = progress_.data();
+  const double* rate = rate_.data();
+  for (int n = begin; n < end; ++n) {
+    // Repeated addition, not d * substeps: floating-point accumulation is
+    // not distributive, and the batch must land on the exact bits the
+    // per-step sweep would have produced.  The per-node delta is loop
+    // invariant, so the inner loop is a register-only add chain.
+    const double d = rate[n] * dt_s;
+    if (d == 0.0) continue;
+    double p = progress[n];
+    for (long k = 0; k < substeps; ++k) p += d;
+    progress[n] = p;
+  }
 }
 
 void NodeTable::assign(int node, int job, int job_row) {

@@ -43,7 +43,14 @@ class NodeTable {
   /// Row index of the owning job in the JobTable (-1 while idle).
   int job_row(int node) const { return job_row_[idx(node)]; }
 
-  void set_perf_multiplier(int node, double m) { perf_mult_[idx(node)] = m; }
+  /// Precomputed 1 / perf_multiplier, kept alongside the multiplier so
+  /// the refresh sweep multiplies instead of dividing per node.
+  double inv_perf_multiplier(int node) const { return inv_perf_mult_[idx(node)]; }
+
+  void set_perf_multiplier(int node, double m) {
+    perf_mult_[idx(node)] = m;
+    inv_perf_mult_[idx(node)] = 1.0 / m;
+  }
   /// Writes the cap and queues the node for a rate/power refresh.  A
   /// write that does not change the value is a no-op (caps are rewritten
   /// every control period even when the budget is unchanged).
@@ -58,6 +65,23 @@ class NodeTable {
   /// rate 0, so the sweep needs no busy test.  Writes only the progress
   /// column of its own range — shards over disjoint ranges never race.
   void advance_progress(int begin, int end, double dt_s);
+
+  /// Apply `substeps` consecutive per-step sweeps in one pass: each node
+  /// receives its additive updates in step order, so the result is
+  /// bit-identical to calling advance_progress(begin, end, dt_s)
+  /// `substeps` times — but the rate/progress columns are streamed once,
+  /// not `substeps` times (the deferred-sweep flush in the simulator
+  /// batches all steps between two rate-change events into one call).
+  void advance_progress_batch(int begin, int end, double dt_s, long substeps);
+
+  /// Direct access to the derived-state columns for the sharded refresh
+  /// sweep: workers write disjoint [begin, end) ranges of rate/power, so
+  /// no per-call bookkeeping is allowed here.  Callers that touch the
+  /// power column must call mark_power_dirty() (once, from one thread)
+  /// so total_power_w() recomputes.
+  double* rate_data() { return rate_.data(); }
+  double* power_data() { return power_w_.data(); }
+  void mark_power_dirty() { power_clean_ = false; }
 
   void assign(int node, int job, int job_row = -1);
   void release(int node);
@@ -86,6 +110,7 @@ class NodeTable {
   std::vector<double> power_w_;
   std::vector<double> progress_;
   std::vector<double> perf_mult_;
+  std::vector<double> inv_perf_mult_;
   std::vector<double> rate_;
   std::vector<int> job_row_;
 

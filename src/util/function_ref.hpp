@@ -1,0 +1,45 @@
+// Non-owning, non-allocating reference to a callable.
+//
+// The thread pool's fork/join path used to take `const std::function&`,
+// which costs a heap allocation (or SBO copy) and two indirect calls per
+// chunk when built from a capturing lambda.  A FunctionRef is two words —
+// an opaque context pointer and a trampoline — so passing a loop body into
+// the pool is free.  The referenced callable must outlive every call
+// through the ref; the dispatch sites here always complete before the
+// caller's frame unwinds, which is exactly that contract.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace anor::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function_ref
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(ctx_, std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace anor::util

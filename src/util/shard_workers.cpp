@@ -1,0 +1,127 @@
+#include "util/shard_workers.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "telemetry/prof/prof.hpp"
+
+namespace anor::util {
+
+namespace prof = telemetry::prof;
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// On a single-CPU host spinning only steals cycles from the thread we
+/// are waiting on, so both sides park/complete immediately; with real
+/// parallelism a short spin keeps the dispatch latency in the ~100 ns
+/// range between consecutive simulator rendezvous.
+unsigned spin_budget() {
+  static const unsigned budget = std::thread::hardware_concurrency() > 1 ? 4096 : 1;
+  return budget;
+}
+
+}  // namespace
+
+ShardWorkers::ShardWorkers(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ShardWorkers::~ShardWorkers() {
+  stopping_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ShardWorkers::Slice ShardWorkers::slice(std::size_t count, std::size_t parts,
+                                        std::size_t part) {
+  // ceil(count/parts)-sized blocks, final ones possibly short/empty: the
+  // same fixed boundaries parallel_for's chunking uses.
+  const std::size_t len = parts == 0 ? count : (count + parts - 1) / parts;
+  Slice s;
+  s.begin = std::min(count, part * len);
+  s.end = std::min(count, s.begin + len);
+  return s;
+}
+
+void ShardWorkers::run(FunctionRef<void(std::size_t)> task) {
+  const auto workers = static_cast<std::uint32_t>(threads_.size());
+  task_ = task;
+  first_error_ = nullptr;
+  pending_.store(workers, std::memory_order_relaxed);
+  // seq_cst pairs with the worker's parked_++ / epoch recheck (Dekker
+  // pattern): either the worker sees the new epoch and never sleeps, or
+  // we see parked_ > 0 and pay the notify.
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) epoch_.notify_all();
+
+  unsigned spins = 0;
+  std::uint32_t left = pending_.load(std::memory_order_acquire);
+  while (left != 0) {
+    if (++spins <= spin_budget()) {
+      cpu_relax();
+    } else {
+      // Workers notify only on the transition to zero; an intermediate
+      // decrement just makes this wait return early and re-park.
+      pending_.wait(left, std::memory_order_acquire);
+      spins = 0;
+    }
+    left = pending_.load(std::memory_order_acquire);
+  }
+  if (first_error_ != nullptr) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+void ShardWorkers::worker_loop(std::size_t lane) {
+  prof::Profiler::set_thread_name("worker-" + std::to_string(lane));
+  // The epoch starts at 0 and only ever increments; starting from the
+  // constant (not a load) means a dispatch issued before this thread is
+  // scheduled still reads as "new" on the first pass.
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    while (e == seen) {
+      if (++spins <= spin_budget()) {
+        cpu_relax();
+        e = epoch_.load(std::memory_order_acquire);
+        continue;
+      }
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      e = epoch_.load(std::memory_order_seq_cst);
+      if (e == seen) {
+        epoch_.wait(seen, std::memory_order_acquire);
+        e = epoch_.load(std::memory_order_acquire);
+      }
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      spins = 0;
+    }
+    seen = e;
+    if (stopping_.load(std::memory_order_acquire)) return;
+    try {
+      ANOR_PROF_SCOPE("pool.shard");
+      task_(lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pending_.notify_all();
+    }
+  }
+}
+
+}  // namespace anor::util

@@ -5,6 +5,14 @@
 // with `parallel_for`.  Determinism is preserved because each trial owns a
 // seed derived from (base seed, trial index) — scheduling order cannot
 // change results.
+//
+// The hot fork/join path is allocation-free: `parallel_for` takes a
+// two-word FunctionRef (no std::function copy), stages one fixed POD task
+// per chunk that points at a stack-resident job record, and joins on an
+// atomic chunk countdown instead of per-chunk futures.  Per-tick stepping
+// inside the simulator uses the cheaper persistent `ShardWorkers` team
+// (see util/shard_workers.hpp); this pool remains the right tool for
+// coarse-grained fan-out with heterogeneous tasks.
 #pragma once
 
 #include <condition_variable>
@@ -15,6 +23,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace anor::util {
 
@@ -36,22 +46,34 @@ class ThreadPool {
   /// Run body(i) for i in [0, count) across the pool and wait.  Indices
   /// are split into one contiguous chunk per worker (ceil(count/workers)
   /// each) so the queue sees worker_count tasks, not count — cheap enough
-  /// to call once per simulator tick.  Exceptions from tasks are rethrown
-  /// (the one from the lowest-index chunk that threw).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  /// to call once per simulator tick.  The body is passed by reference
+  /// (no allocation, no std::function); it must tolerate concurrent
+  /// invocation from multiple workers.  Exceptions from tasks are
+  /// rethrown (the first one recorded).
+  void parallel_for(std::size_t count, FunctionRef<void(std::size_t)> body);
 
  private:
+  /// One queued unit: either a parallel_for chunk over [begin, end)
+  /// pointing at the caller's stack-resident job record, or a submitted
+  /// task whose ctx owns a heap-allocated packaged_task.
+  struct Task {
+    void (*fn)(void* ctx, std::size_t begin, std::size_t end) = nullptr;
+    void* ctx = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> threads_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };
 
 /// Convenience: run body(i) for i in [0, count) on a transient pool.
-void parallel_for_each_index(std::size_t count, const std::function<void(std::size_t)>& body,
+void parallel_for_each_index(std::size_t count, FunctionRef<void(std::size_t)> body,
                              std::size_t workers = 0);
 
 }  // namespace anor::util

@@ -4,6 +4,7 @@
 
 #include "budget/even_power.hpp"
 #include "model/default_models.hpp"
+#include "util/shard_workers.hpp"
 
 namespace anor::budget {
 namespace {
@@ -107,6 +108,41 @@ TEST(EvenSlowdown, MonotoneInBudget) {
     const BudgetResult result = budgeter.distribute(jobs, budget);
     EXPECT_LE(result.balance_point, prev_s + 1e-9) << budget;
     prev_s = result.balance_point;
+  }
+}
+
+TEST(EvenSlowdown, ShardedSolveIsBitIdenticalToSerial) {
+  // The parallel solve (sharded group building, concurrent memo warming,
+  // speculative bisection probes) claims bit-identical results to the
+  // serial path.  Hold it to that: same jobs, same budgets, one budgeter
+  // with a worker team attached, one without — every cap and every balance
+  // point must be EXACTLY equal, not merely close.  The job list is large
+  // enough (> 4096) to cross the sharded-grouping threshold, with a
+  // ragged tail block and an interleaved mix of models so block-local rep
+  // tables come out permuted relative to the serial scan.
+  const char* const kTypes[] = {"bt.D.x", "sp.D.x", "ft.D.x", "cg.D.x",
+                                "ep.D.x", "is.D.x", "lu.D.x"};
+  std::vector<JobPowerProfile> jobs;
+  for (int i = 0; i < 5003; ++i) {
+    jobs.push_back(profile(i, kTypes[i % std::size(kTypes)], 1 + i % 4));
+  }
+
+  EvenSlowdownBudgeter serial;
+  EvenSlowdownBudgeter sharded;
+  util::ShardWorkers team(4);
+  sharded.set_shard_workers(&team);
+
+  const double max_total = total_max_power_w(jobs);
+  for (double frac : {0.95, 0.7, 0.5, 0.3}) {
+    const double budget = frac * max_total;
+    const BudgetResult a = serial.distribute(jobs, budget);
+    const BudgetResult b = sharded.distribute(jobs, budget);
+    EXPECT_EQ(a.balance_point, b.balance_point) << "budget fraction " << frac;
+    EXPECT_EQ(a.allocated_w, b.allocated_w) << "budget fraction " << frac;
+    ASSERT_EQ(a.node_cap_w.size(), b.node_cap_w.size());
+    for (const auto& [job_id, cap] : a.node_cap_w) {
+      EXPECT_EQ(cap, b.node_cap_w.at(job_id)) << "job " << job_id;
+    }
   }
 }
 

@@ -41,7 +41,8 @@ std::uint64_t trace_hash(const SimResult& r) {
   return h;
 }
 
-std::uint64_t run_seeded(int nodes, double duration_s, int step_workers, bool telemetry) {
+std::uint64_t run_seeded(int nodes, double duration_s, int step_workers, bool telemetry,
+                         int step_shard_nodes = 256) {
   SimConfig config;
   config.node_count = nodes;
   config.duration_s = duration_s;
@@ -50,7 +51,7 @@ std::uint64_t run_seeded(int nodes, double duration_s, int step_workers, bool te
   config.bid.reserve_w = nodes * 18.0;
   config.telemetry_enabled = telemetry;
   config.step_workers = step_workers;
-  config.step_shard_nodes = 256;
+  config.step_shard_nodes = step_shard_nodes;
 
   util::Rng rng(42);
   std::vector<workload::JobType> gen_types;
@@ -92,6 +93,34 @@ TEST(SimDeterminism, WorkerCountCannotChangeTheTrace) {
 TEST(SimDeterminism, TelemetryCannotChangeTheTrace) {
   EXPECT_EQ(run_seeded(1000, 600.0, 0, true), kGolden1000Node600s);
   EXPECT_EQ(run_seeded(1000, 600.0, 4, true), kGolden1000Node600s);
+}
+
+TEST(SimDeterminism, WorkerAndShardSizeMatrixAtOddNodeCount) {
+  // 777 nodes: odd, non-power-of-two, not a multiple of any shard size
+  // below — ragged final shards and ragged lane slices everywhere.  The
+  // trace must be invariant across the full (workers x shard size) matrix,
+  // including shard size 0 (auto-sized from nodes and workers, so the
+  // shard boundaries themselves differ per column) and a shard size larger
+  // than the node count (one shard, all workers but one idle).
+  const std::uint64_t reference = run_seeded(777, 300.0, 0, false, 256);
+  ASSERT_NE(reference, 0u);
+  for (int workers : {0, 2, 4, 8}) {
+    for (int shard : {0, 64, 257, 1000}) {
+      EXPECT_EQ(run_seeded(777, 300.0, workers, false, shard), reference)
+          << "step_workers=" << workers << " step_shard_nodes=" << shard;
+    }
+  }
+}
+
+TEST(SimDeterminism, AutoShardSizeResolution) {
+  // step_shard_nodes = 0 auto-sizes to ~4 shards per worker, floored at 64
+  // nodes per shard so tiny clusters do not shatter into dispatch overhead.
+  EXPECT_EQ(resolve_step_shard_nodes(1'000'000, 8, 0), 31250);
+  EXPECT_EQ(resolve_step_shard_nodes(10'000, 4, 0), 625);
+  EXPECT_EQ(resolve_step_shard_nodes(1000, 8, 0), 64);    // floor engaged
+  EXPECT_EQ(resolve_step_shard_nodes(777, 0, 0), 195);    // serial treated as 1 worker
+  EXPECT_EQ(resolve_step_shard_nodes(1000, 4, 256), 256); // explicit wins
+  EXPECT_EQ(resolve_step_shard_nodes(1000, 4, 7), 64);    // explicit but floored
 }
 
 TEST(SimDeterminism, ParallelSeededTrialsShareRegistrySafely) {

@@ -68,13 +68,18 @@ cmake -B "$tsan_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test
+cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test budget_test
 # Known false positives from the uninstrumented system libstdc++ (see
 # tools/tsan.supp); real races in our code are still reported.
 export TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}"
+# SimDeterminism covers the persistent-team stepping at workers {1,2,4,8}
+# and the full worker x shard-size matrix; ShardWorkers exercises the
+# epoch rendezvous directly (dispatch storms, exception rethrow); the
+# budget filter runs the sharded even-slowdown solve against serial.
 run_gtest "$tsan_dir/tests/sim_test" 'SimDeterminism.*'
-run_gtest "$tsan_dir/tests/util_test" 'ThreadPool.*:ParallelForEachIndex.*'
+run_gtest "$tsan_dir/tests/util_test" 'ThreadPool.*:ParallelForEachIndex.*:ShardWorkers.*'
 run_gtest "$tsan_dir/tests/platform_test" 'ClusterHw.ShardedStepMatchesSerialBitForBit'
+run_gtest "$tsan_dir/tests/budget_test" 'EvenSlowdown.ShardedSolveIsBitIdenticalToSerial'
 
 echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
 # Closed-loop fault injection: the command itself exits non-zero unless

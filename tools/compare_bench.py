@@ -6,7 +6,16 @@ steps/sec table with the per-phase profile deltas that moved most, and
 exits nonzero if any case's steps_per_sec regressed by more than the
 threshold (default 10%).
 
+Also prints a workers-vs-serial speedup column for the candidate: each
+sharded case against the serial case with the same (nodes, duration_s).
+With --require-parallel-win the script fails when any sharded case at
+>= 10k nodes is slower than its serial reference — but only when the
+candidate report was produced on a multicore host (hardware_threads > 1);
+on a single hardware thread a parallel win is physically impossible and
+the gate is reported as skipped.
+
     tools/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+        [--require-parallel-win]
 """
 
 import argparse
@@ -54,6 +63,14 @@ def main():
                              "(default 0.10)")
     parser.add_argument("--top-phases", type=int, default=3,
                         help="profile phases to show per regressed case")
+    parser.add_argument("--require-parallel-win", action="store_true",
+                        help="fail when a sharded case at >= 10k nodes is "
+                             "slower than its serial reference (skipped when "
+                             "the candidate host has one hardware thread)")
+    parser.add_argument("--parallel-win-min-nodes", type=int, default=10_000,
+                        help="node-count floor for the parallel-win gate "
+                             "(default 10000; smaller cases are dispatch-"
+                             "overhead-bound)")
     args = parser.parse_args()
 
     base_report, base_cases = load_cases(args.baseline)
@@ -97,12 +114,52 @@ def main():
             print(f"note: {fmt_key(key)}: trace hash changed {bh} -> {ch} "
                   f"(simulation behavior differs, not just speed)")
 
+    # Workers-vs-serial speedup inside the candidate report: each sharded
+    # case against the serial run of the same (nodes, duration_s).
+    serial_ref = {(c["nodes"], c["duration_s"]): c["steps_per_sec"]
+                  for c in cand_cases.values() if c["step_workers"] <= 1}
+    sharded = [c for c in cand_cases.values()
+               if c["step_workers"] > 1 and (c["nodes"], c["duration_s"]) in serial_ref]
+    parallel_losses = []
+    if sharded:
+        print("\ncandidate workers-vs-serial speedup:")
+        header = f"{'case':>16} {'serial steps/s':>15} {'sharded steps/s':>16} {'speedup':>8}"
+        print(header)
+        print("-" * len(header))
+        for c in sorted(sharded, key=case_key):
+            ref = serial_ref[(c["nodes"], c["duration_s"])]
+            speedup = c["steps_per_sec"] / ref
+            flag = ""
+            if speedup < 1.0 and c["nodes"] >= args.parallel_win_min_nodes:
+                flag = "  SLOWER THAN SERIAL"
+                parallel_losses.append(case_key(c))
+            print(f"{fmt_key(case_key(c)):>16} {ref:>15.1f} "
+                  f"{c['steps_per_sec']:>16.1f} {speedup:>7.2f}x{flag}")
+
+    failed = bool(regressions)
     if regressions:
         print(f"\nFAIL: {len(regressions)} case(s) regressed more than "
               f"{args.threshold:.0%}")
-        return 1
-    print(f"\nOK: no case regressed more than {args.threshold:.0%}")
-    return 0
+    else:
+        print(f"\nOK: no case regressed more than {args.threshold:.0%}")
+
+    if args.require_parallel_win:
+        hw_threads = cand_report.get("hardware_threads", 0)
+        if hw_threads <= 1:
+            print(f"parallel-win gate skipped: candidate host reports "
+                  f"{hw_threads:g} hardware thread(s); a speedup over serial "
+                  f"is impossible without real concurrency")
+        elif parallel_losses:
+            print(f"FAIL: {len(parallel_losses)} sharded case(s) at >= "
+                  f"{args.parallel_win_min_nodes} nodes slower than serial on "
+                  f"a {hw_threads:g}-thread host")
+            failed = True
+        else:
+            print("OK: every sharded case at >= "
+                  f"{args.parallel_win_min_nodes} nodes beats its serial "
+                  "reference")
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
