@@ -214,6 +214,11 @@ int main(int argc, char** argv) {
     entry["jobs_completed"] = util::Json(timed.jobs_completed);
     entry["trace_hash"] = util::Json(hash_hex(timed.trace_hash));
     entry["matches_serial_hash"] = util::Json(matches_serial);
+    // Provenance for the wall-clock numbers: this bench always computes
+    // (never serves a cached RunResult), so its timings are comparable to
+    // any other "off"/"miss" case — and never to a "hit" one
+    // (compare_bench.py enforces this).
+    entry["cache"] = util::Json(std::string("off"));
     entry["phase_us"] = util::Json(std::move(phases));
     entry["profile"] = util::Json(std::move(prof_phases));
     cases.push_back(util::Json(std::move(entry)));

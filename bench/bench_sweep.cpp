@@ -1,0 +1,278 @@
+// Cross-run sweep executor bench: warm-start reuse and the result cache
+// against N sequential cold runs, writing BENCH_sweep.json (schema
+// anor.bench_sweep.v1).
+//
+// Three timed passes over the SAME >= 32-cell grid:
+//   cold_sequential — what the executor replaces: one fresh materializer
+//                     and one cold run_scenario per cell, in grid order
+//                     (every cell regenerates its schedule/targets and
+//                     refits its models, as N separate invocations would).
+//   warm_sweep      — run_sweep with the cache OFF: the speedup is pure
+//                     warm-start reuse (pooled NodeTable/worker team,
+//                     shared fitted models, memoized schedules/targets),
+//                     never a served result.  Gate: >= 3x vs cold.
+//   cached_sweep    — a repeat of an identical sweep against a populated
+//                     result cache.  Gate: >= 10x vs cold, 100% hits.
+//
+// Every pass hashes every cell's full-fidelity result; any byte of
+// divergence between passes fails the bench — speed that changes results
+// is a bug, not a win.  Cases carry the "cache" provenance field
+// ("hit" | "miss" | "off"); compare_bench.py refuses to score a cached
+// wall time against a computed one.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "engine/sweep/executor.hpp"
+#include "engine/sweep/result_cache.hpp"
+#include "engine/sweep/sweep.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace anor;
+using engine::sweep::SweepCell;
+using engine::sweep::SweepGrid;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t result_hash(const engine::RunResult& result) {
+  return fnv1a(engine::sweep::run_result_to_cache_json(result).dump());
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// The benched grid: 4 policies x 8 utilizations = 32 cells (quick: 2x2)
+/// at a large node count, short horizon, and nonzero node variation —
+/// the setup-dominated regime sweeps live in.  Cells share schedules
+/// across the policy axis (8 unique workloads), power targets across all
+/// 32 cells, and the NodeTable / fitted models / drawn variation column
+/// across every cell a worker touches — exactly the per-run setup
+/// (table construction, O(nodes) variation draws, model fits) that N
+/// separate cold invocations repeat.
+SweepGrid bench_grid(bool quick) {
+  util::JsonObject base;
+  base["backend"] = util::Json(std::string("tabular"));
+  base["node_count"] = util::Json(quick ? 4096 : 65536);
+  base["seed"] = util::Json(11);
+  base["perf_variation_sigma"] = util::Json(0.05);
+
+  util::JsonObject generate;
+  generate["duration_s"] = util::Json(3.0);
+  generate["signal"] = util::Json(std::string("dr"));
+
+  util::JsonArray policies;
+  policies.push_back(util::Json(std::string("uniform")));
+  policies.push_back(util::Json(std::string("characterized")));
+  if (!quick) {
+    policies.push_back(util::Json(std::string("misclassified")));
+    policies.push_back(util::Json(std::string("adjusted")));
+  }
+  util::JsonObject policy_axis;
+  policy_axis["field"] = util::Json(std::string("policy"));
+  policy_axis["values"] = util::Json(std::move(policies));
+
+  util::JsonArray utils;
+  const std::vector<double> values =
+      quick ? std::vector<double>{0.08, 0.24}
+            : std::vector<double>{0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.28, 0.32};
+  for (const double u : values) utils.push_back(util::Json(u));
+  util::JsonObject util_axis;
+  util_axis["field"] = util::Json(std::string("utilization"));
+  util_axis["values"] = util::Json(std::move(utils));
+
+  util::JsonArray axes;
+  axes.push_back(util::Json(std::move(policy_axis)));
+  axes.push_back(util::Json(std::move(util_axis)));
+
+  util::JsonObject grid;
+  grid["schema"] = util::Json(std::string("anor.sweep.v1"));
+  grid["name"] = util::Json(std::string("bench-sweep"));
+  grid["base"] = util::Json(std::move(base));
+  grid["generate"] = util::Json(std::move(generate));
+  grid["axes"] = util::Json(std::move(axes));
+  return SweepGrid::from_json(util::Json(std::move(grid)));
+}
+
+struct PassResult {
+  double wall_s = 0.0;
+  std::vector<std::uint64_t> hashes;  // grid order
+};
+
+/// The replaced workflow: each cell materialized from scratch (fresh
+/// materializer = no schedule/target memo) and run cold.
+PassResult run_cold_sequential(const SweepGrid& grid) {
+  const std::vector<SweepCell> cells = grid.expand();
+  std::vector<engine::RunResult> results;
+  results.reserve(cells.size());
+  PassResult pass;
+  const auto start = Clock::now();
+  for (const SweepCell& cell : cells) {
+    engine::sweep::SweepMaterializer materializer(grid);
+    results.push_back(engine::run_scenario(materializer.materialize(cell)));
+  }
+  pass.wall_s = seconds_since(start);  // hashing is verification, not timed work
+  for (const engine::RunResult& result : results) pass.hashes.push_back(result_hash(result));
+  return pass;
+}
+
+PassResult run_executor(const SweepGrid& grid, const engine::sweep::SweepOptions& options,
+                        engine::sweep::CacheStats* stats = nullptr) {
+  const auto start = Clock::now();
+  const engine::sweep::SweepReport report = engine::sweep::run_sweep(grid, options);
+  PassResult pass;
+  pass.wall_s = seconds_since(start);
+  for (const auto& cell : report.cells) pass.hashes.push_back(result_hash(cell.result));
+  if (stats != nullptr) *stats = report.cache_stats;
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sweep.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const SweepGrid grid = bench_grid(quick);
+  const std::size_t cell_count = grid.cell_count();
+  std::printf("bench_sweep: %zu cells (%s), 3 passes\n", cell_count,
+              quick ? "quick" : "full");
+
+  const PassResult cold = run_cold_sequential(grid);
+  std::printf("cold_sequential: %.3f s (%.1f ms/cell)\n", cold.wall_s,
+              cold.wall_s * 1e3 / static_cast<double>(cell_count));
+
+  engine::sweep::SweepOptions warm_options;
+  warm_options.cache = engine::sweep::CacheConfig::off();
+  const PassResult warm = run_executor(grid, warm_options);
+  const double warm_speedup = warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+  std::printf("warm_sweep:      %.3f s (%.2fx vs cold, cache off)\n", warm.wall_s,
+              warm_speedup);
+
+  // Prime the cache with one (untimed) sweep into a scratch dir, then time
+  // the repeat — the "re-run the same sweep tomorrow" case.
+  namespace fs = std::filesystem;
+  const fs::path cache_dir = fs::temp_directory_path() / "anor-bench-sweep-cache";
+  fs::remove_all(cache_dir);
+  engine::sweep::SweepOptions cached_options;
+  cached_options.cache.dir = cache_dir.string();
+  (void)run_executor(grid, cached_options);
+  engine::sweep::CacheStats cached_stats;
+  const PassResult cached = run_executor(grid, cached_options, &cached_stats);
+  fs::remove_all(cache_dir);
+  const double cached_speedup = cached.wall_s > 0.0 ? cold.wall_s / cached.wall_s : 0.0;
+  std::printf("cached_sweep:    %.3f s (%.2fx vs cold, hit rate %.0f%%)\n",
+              cached.wall_s, cached_speedup, cached_stats.hit_rate() * 100.0);
+
+  bool hashes_consistent = true;
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    if (warm.hashes[i] != cold.hashes[i] || cached.hashes[i] != cold.hashes[i]) {
+      std::fprintf(stderr, "FAIL: cell %zu results diverged (cold %s warm %s cached %s)\n",
+                   i, hash_hex(cold.hashes[i]).c_str(), hash_hex(warm.hashes[i]).c_str(),
+                   hash_hex(cached.hashes[i]).c_str());
+      hashes_consistent = false;
+    }
+  }
+
+  std::uint64_t combined = 1469598103934665603ULL;
+  for (const std::uint64_t h : cold.hashes) {
+    const std::string hex = hash_hex(h);
+    combined = fnv1a(hex + "/" + std::to_string(combined));
+  }
+
+  util::JsonArray cases;
+  const auto add_case = [&](const char* name, const PassResult& pass, const char* cache,
+                            double speedup) {
+    util::JsonObject entry;
+    entry["name"] = util::Json(std::string(name));
+    entry["cells"] = util::Json(cell_count);
+    entry["wall_s"] = util::Json(pass.wall_s);
+    entry["ms_per_cell"] = util::Json(pass.wall_s * 1e3 / static_cast<double>(cell_count));
+    // Wall-clock provenance: "hit" wall times measure the cache, not the
+    // simulator; compare_bench.py skips any comparison involving one.
+    entry["cache"] = util::Json(std::string(cache));
+    if (speedup > 0.0) entry["speedup_vs_cold"] = util::Json(speedup);
+    cases.push_back(util::Json(std::move(entry)));
+  };
+  add_case("cold_sequential", cold, "off", 0.0);
+  add_case("warm_sweep", warm, "off", warm_speedup);
+  add_case("cached_sweep", cached, "hit", cached_speedup);
+
+  util::JsonObject root;
+  root["schema"] = util::Json(std::string("anor.bench_sweep.v1"));
+  root["bench"] = util::Json(std::string("bench_sweep"));
+  const char* revision = std::getenv("ANOR_GIT_REVISION");
+  root["git_revision"] = util::Json(std::string(revision ? revision : "unknown"));
+  root["quick"] = util::Json(quick);
+  root["grid_cells"] = util::Json(cell_count);
+  root["hardware_threads"] =
+      util::Json(static_cast<double>(std::thread::hardware_concurrency()));
+  root["results_hash"] = util::Json(hash_hex(combined));
+  root["all_hashes_consistent"] = util::Json(hashes_consistent);
+  root["warm_speedup_vs_cold"] = util::Json(warm_speedup);
+  root["cached_speedup_vs_cold"] = util::Json(cached_speedup);
+  root["cache_hit_rate"] = util::Json(cached_stats.hit_rate());
+  root["cases"] = util::Json(std::move(cases));
+
+  std::ofstream out(out_path);
+  out << util::Json(std::move(root)).dump(2) << "\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  int rc = 0;
+  if (!hashes_consistent) {
+    std::fprintf(stderr, "FAIL: warm/cached results diverged from cold runs\n");
+    rc = 1;
+  }
+  // The perf gates only bind on the full grid: the quick pass exists to
+  // smoke the harness, not to measure.
+  if (!quick) {
+    if (warm_speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: warm-start sweep %.2fx vs cold (need >= 3x)\n",
+                   warm_speedup);
+      rc = 1;
+    }
+    if (cached_speedup < 10.0) {
+      std::fprintf(stderr, "FAIL: cached sweep %.2fx vs cold (need >= 10x)\n",
+                   cached_speedup);
+      rc = 1;
+    }
+    if (cached_stats.hit_rate() < 1.0) {
+      std::fprintf(stderr, "FAIL: repeat sweep hit rate %.0f%% (expected 100%%)\n",
+                   cached_stats.hit_rate() * 100.0);
+      rc = 1;
+    }
+  }
+  std::printf(rc == 0 ? "bench_sweep OK\n" : "bench_sweep FAILED\n");
+  return rc;
+}

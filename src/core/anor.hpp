@@ -29,6 +29,10 @@
 #include "engine/discrete_engine.hpp"
 #include "engine/runner.hpp"
 #include "engine/scenario.hpp"
+#include "engine/sweep/executor.hpp"
+#include "engine/sweep/result_cache.hpp"
+#include "engine/sweep/spec_canon.hpp"
+#include "engine/sweep/sweep.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"

@@ -115,6 +115,10 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec) {
 }
 
 sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec) {
+  return make_tabular_simulator(spec, nullptr);
+}
+
+sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec, sim::WarmStart* warm) {
   const sim::SimConfig config = make_sim_config(spec);
   workload::Schedule schedule = spec.schedule;
   if (spec.policy == PolicyKind::kAdjusted) {
@@ -123,7 +127,7 @@ sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec) {
     for (workload::JobRequest& job : schedule.jobs) job.classified_as.clear();
   }
   return sim::TabularSimulator(config, std::move(schedule),
-                               util::Rng(spec.seed).child("sim"));
+                               util::Rng(spec.seed).child("sim"), warm);
 }
 
 RunResult run_scenario(const ScenarioSpec& spec) {
@@ -161,6 +165,20 @@ RunResult run_scenario(const ScenarioSpec& spec,
   // Re-finalize tracking with the spec's normalization so verdicts are
   // comparable across backends (a zero reserve/warmup reproduces each
   // backend's own aggregation exactly).
+  finalize_tracking(result, spec.tracking_reserve_w, spec.tracking_warmup_s);
+  return result;
+}
+
+RunResult run_scenario_warm(const ScenarioSpec& spec, sim::WarmStart& warm) {
+  spec.validate();
+  if (spec.backend != Backend::kTabular || !spec.artifact_dir.empty()) {
+    // Nothing to pool for the emulated tier, and artifact runs need the
+    // writer wiring run_scenario owns; both stay on the cold path.
+    return run_scenario(spec);
+  }
+  sim::TabularSimulator simulator = make_tabular_simulator(spec, &warm);
+  RunResult result = simulator.run();
+  simulator.recycle(warm);
   finalize_tracking(result, spec.tracking_reserve_w, spec.tracking_warmup_s);
   return result;
 }

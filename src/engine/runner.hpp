@@ -47,11 +47,21 @@ sim::SimConfig make_sim_config(const ScenarioSpec& spec);
 /// and benches can time `run()` without the construction cost).  Applies
 /// the same Adjusted-policy label stripping as run_scenario.
 sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec);
+/// Same, drawing pooled NodeTable/worker-team/fitted-model resources from
+/// `warm` (may be nullptr = cold; see sim::WarmStart).
+sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec, sim::WarmStart* warm);
 
 /// Run a scenario to completion on its selected backend.
 RunResult run_scenario(const ScenarioSpec& spec);
 /// Same, with advanced emulation knobs for the emulated backend (ignored
 /// by the tabular one).
 RunResult run_scenario(const ScenarioSpec& spec, const cluster::EmulationConfig& emulated_base);
+
+/// Run a tabular scenario with warm-start pooling: construction draws on
+/// `warm`, and the reusable parts are recycled back into it afterwards.
+/// Bit-identical to run_scenario(spec) — the warm-start parity tests pin
+/// this.  Emulated-backend or artifact-writing specs fall back to the
+/// cold path (still correct, nothing pooled).
+RunResult run_scenario_warm(const ScenarioSpec& spec, sim::WarmStart& warm);
 
 }  // namespace anor::engine

@@ -1,0 +1,224 @@
+#include "engine/sweep/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "engine/runner.hpp"
+#include "engine/sweep/spec_canon.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prof/prof.hpp"
+
+namespace anor::engine::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Cheap size estimate (node-seconds) for LPT ordering, without paying
+/// materialization: node count and duration are both readable straight
+/// from the base/generate values plus the cell's assignment.
+double cell_weight(const SweepGrid& grid, const SweepCell& cell) {
+  double nodes = grid.base.node_count;
+  double duration =
+      grid.generate.enabled ? grid.generate.duration_s : grid.base.schedule.duration_s;
+  for (const auto& [field, value] : cell.assignment) {
+    if (field == "node_count" && value.is_number()) nodes = value.as_number();
+    if (field == "duration_s" && value.is_number()) duration = value.as_number();
+  }
+  return nodes * std::max(duration, 1.0);
+}
+
+struct SweepMetrics {
+  telemetry::Counter* cells_done = nullptr;
+  telemetry::Counter* cells_computed = nullptr;
+  telemetry::Counter* cache_hits = nullptr;
+
+  SweepMetrics() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    cells_done = &registry.counter("sweep.cells_done");
+    cells_computed = &registry.counter("sweep.cells_computed");
+    cache_hits = &registry.counter("sweep.cache_hits");
+  }
+};
+
+}  // namespace
+
+SweepReport run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  const auto sweep_start = Clock::now();
+  const std::vector<SweepCell> cells = grid.expand();
+
+  std::size_t run_workers = options.run_workers > 0
+                                ? static_cast<std::size_t>(options.run_workers)
+                                : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  run_workers = std::min(run_workers, std::max<std::size_t>(1, cells.size()));
+
+  // LPT order: biggest cells claimed first so a large run cannot be the
+  // last one dispatched.  Stable tie-break on grid order keeps the claim
+  // sequence deterministic.
+  std::vector<std::size_t> order(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cell_weight(grid, cells[a]) > cell_weight(grid, cells[b]);
+  });
+
+  SweepMaterializer materializer(grid);
+  ResultCache cache(options.cache);
+  SweepMetrics metrics;
+
+  SweepReport report;
+  report.grid_name = grid.name;
+  report.cells.resize(cells.size());
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  const auto worker_body = [&]() {
+    sim::WarmStart warm;
+    for (;;) {
+      const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) return;
+      const SweepCell& cell = cells[order[slot]];
+
+      ANOR_PROF_SCOPE("sweep.cell");
+      const auto cell_start = Clock::now();
+      ScenarioSpec spec = materializer.materialize(cell);
+
+      // Step-level sharding policy: with several run workers the cells
+      // step serially (pack many runs per core); a non-negative override
+      // pins it.  Bit-invariant either way, and excluded from the key.
+      int step_override = options.step_workers_override;
+      if (step_override < 0 && run_workers > 1) step_override = 1;
+      if (step_override >= 0) spec.step_workers = step_override;
+
+      SweepCellResult out;
+      out.cell = cell;
+      out.spec_name = spec.name;
+      // Canonicalization serializes the whole materialized schedule —
+      // milliseconds for large grids — so it runs once per cell, only
+      // when a cache will use it.  Cache-off reports carry an empty key.
+      CanonicalSpec canon;
+      if (cache.config().enabled()) {
+        canon = canonicalize_spec(spec);
+        out.key = canon.key;
+      }
+      out.cache = cache.lookup(canon, &out.result);
+      if (out.cache == CacheOutcome::kOff || out.cache == CacheOutcome::kMiss) {
+        if (options.warm_start) {
+          out.result = run_scenario_warm(spec, warm);
+        } else {
+          out.result = run_scenario(spec);
+        }
+        cache.store(canon, out.result);
+        metrics.cells_computed->inc();
+      } else {
+        metrics.cache_hits->inc();
+      }
+      out.wall_s = seconds_since(cell_start);
+      metrics.cells_done->inc();
+
+      report.cells[cell.index] = std::move(out);  // disjoint slots, no lock
+      const std::size_t finished = done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (options.on_cell_done) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.on_cell_done(report.cells[cell.index], finished, cells.size());
+      }
+    }
+  };
+
+  if (run_workers <= 1) {
+    worker_body();
+  } else {
+    std::vector<std::exception_ptr> errors(run_workers);
+    std::vector<std::thread> threads;
+    threads.reserve(run_workers);
+    for (std::size_t w = 0; w < run_workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          worker_body();
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::exception_ptr& e : errors) {
+      if (e != nullptr) std::rethrow_exception(e);
+    }
+  }
+
+  report.cache_stats = cache.stats();
+  report.wall_s = seconds_since(sweep_start);
+  for (const SweepCellResult& cell : report.cells) {
+    if (cell.cache == CacheOutcome::kMemoryHit || cell.cache == CacheOutcome::kDiskHit) {
+      ++report.cache_hits;
+    } else {
+      ++report.cells_computed;
+    }
+  }
+  return report;
+}
+
+util::Json sweep_report_json(const SweepReport& report) {
+  util::JsonArray cells;
+  for (const SweepCellResult& cell : report.cells) {
+    util::JsonObject c;
+    c["index"] = util::Json(cell.cell.index);
+    c["name"] = util::Json(cell.cell.name);
+    c["spec_name"] = util::Json(cell.spec_name);
+    c["key"] = util::Json(cell.key);
+    c["cache"] = util::Json(std::string(to_string(cell.cache)));
+    c["wall_s"] = util::Json(cell.wall_s);
+    c["result"] = run_result_json(cell.result);
+    cells.push_back(util::Json(std::move(c)));
+  }
+
+  util::JsonObject stats;
+  stats["lookups"] = util::Json(report.cache_stats.lookups);
+  stats["memory_hits"] = util::Json(report.cache_stats.memory_hits);
+  stats["disk_hits"] = util::Json(report.cache_stats.disk_hits);
+  stats["misses"] = util::Json(report.cache_stats.misses);
+  stats["stores"] = util::Json(report.cache_stats.stores);
+  stats["invalidated"] = util::Json(report.cache_stats.invalidated);
+  stats["hit_rate"] = util::Json(report.cache_stats.hit_rate());
+
+  util::JsonObject root;
+  root["schema"] = util::Json(std::string("anor.sweep_result.v1"));
+  root["grid"] = util::Json(report.grid_name);
+  root["cells_total"] = util::Json(report.cells.size());
+  root["cells_computed"] = util::Json(report.cells_computed);
+  root["cache_hits"] = util::Json(report.cache_hits);
+  root["wall_s"] = util::Json(report.wall_s);
+  root["cache_stats"] = util::Json(std::move(stats));
+  root["cells"] = util::Json(std::move(cells));
+  return util::Json(std::move(root));
+}
+
+util::Json sweep_results_deterministic_json(const SweepReport& report) {
+  util::JsonArray cells;
+  for (const SweepCellResult& cell : report.cells) {
+    util::JsonObject c;
+    c["index"] = util::Json(cell.cell.index);
+    c["name"] = util::Json(cell.cell.name);
+    c["key"] = util::Json(cell.key);
+    c["result"] = run_result_to_cache_json(cell.result);
+    cells.push_back(util::Json(std::move(c)));
+  }
+  util::JsonObject root;
+  root["schema"] = util::Json(std::string("anor.sweep_results.v1"));
+  root["epoch"] = util::Json(std::string(kCacheEpoch));
+  root["grid"] = util::Json(report.grid_name);
+  root["cells"] = util::Json(std::move(cells));
+  return util::Json(std::move(root));
+}
+
+}  // namespace anor::engine::sweep

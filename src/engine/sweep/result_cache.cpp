@@ -1,0 +1,277 @@
+#include "engine/sweep/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "engine/sweep/spec_canon.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace anor::engine::sweep {
+
+namespace {
+
+constexpr char kCacheSchema[] = "anor.result_cache.v1";
+
+util::Json series_json(const util::TimeSeries& series) {
+  util::JsonArray t;
+  util::JsonArray v;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    t.push_back(util::Json(series.times()[i]));
+    v.push_back(util::Json(series.values()[i]));
+  }
+  util::JsonObject obj;
+  obj["t_s"] = util::Json(std::move(t));
+  obj["value"] = util::Json(std::move(v));
+  return util::Json(std::move(obj));
+}
+
+util::TimeSeries series_from(const util::Json& json) {
+  const util::JsonArray& t = json.at("t_s").as_array();
+  const util::JsonArray& v = json.at("value").as_array();
+  if (t.size() != v.size()) throw util::ConfigError("result cache: series size mismatch");
+  util::TimeSeries series;
+  for (std::size_t i = 0; i < t.size(); ++i) series.add(t[i].as_number(), v[i].as_number());
+  return series;
+}
+
+}  // namespace
+
+const char* to_string(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kOff: return "off";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kMemoryHit: return "memory_hit";
+    case CacheOutcome::kDiskHit: return "disk_hit";
+  }
+  return "?";
+}
+
+const char* cache_state(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kOff: return "off";
+    case CacheOutcome::kMiss: return "miss";
+    case CacheOutcome::kMemoryHit:
+    case CacheOutcome::kDiskHit: return "hit";
+  }
+  return "?";
+}
+
+util::Json run_result_to_cache_json(const RunResult& result) {
+  util::JsonArray jobs;
+  for (const CompletedJob& job : result.completed) {
+    util::JsonObject j;
+    j["id"] = util::Json(job.request.job_id);
+    j["type"] = util::Json(job.request.type_name);
+    j["submit_time_s"] = util::Json(job.request.submit_time_s);
+    j["req_nodes"] = util::Json(job.request.nodes);
+    j["classified_as"] = util::Json(job.request.classified_as);
+    j["walltime_hint_s"] = util::Json(job.request.walltime_hint_s);
+    j["report"] = job.report.to_json();
+    j["submit_s"] = util::Json(job.submit_s);
+    j["start_s"] = util::Json(job.start_s);
+    j["end_s"] = util::Json(job.end_s);
+    j["reference_runtime_s"] = util::Json(job.reference_runtime_s);
+    jobs.push_back(util::Json(std::move(j)));
+  }
+
+  util::JsonObject tracking;
+  tracking["mean_error"] = util::Json(result.tracking.mean_error);
+  tracking["p90_error"] = util::Json(result.tracking.p90_error);
+  tracking["max_error"] = util::Json(result.tracking.max_error);
+  tracking["fraction_within_30"] = util::Json(result.tracking.fraction_within_30);
+  tracking["samples"] = util::Json(static_cast<double>(result.tracking.samples));
+
+  util::JsonArray qos_records;
+  for (const sched::JobQosRecord& record : result.qos.records()) {
+    util::JsonObject r;
+    r["id"] = util::Json(record.job_id);
+    r["type"] = util::Json(record.type_name);
+    r["submit_s"] = util::Json(record.submit_s);
+    r["start_s"] = util::Json(record.start_s);
+    r["end_s"] = util::Json(record.end_s);
+    r["t_min_s"] = util::Json(record.t_min_s);
+    qos_records.push_back(util::Json(std::move(r)));
+  }
+  util::JsonObject qos;
+  qos["limit"] = util::Json(result.qos.constraint().limit);
+  qos["probability"] = util::Json(result.qos.constraint().probability);
+  qos["records"] = util::Json(std::move(qos_records));
+
+  util::JsonObject root;
+  root["jobs"] = util::Json(std::move(jobs));
+  root["power_w"] = series_json(result.power_w);
+  root["target_w"] = series_json(result.target_w);
+  root["tracking"] = util::Json(std::move(tracking));
+  root["qos"] = util::Json(std::move(qos));
+  root["end_time_s"] = util::Json(result.end_time_s);
+  root["jobs_submitted"] = util::Json(result.jobs_submitted);
+  root["jobs_completed"] = util::Json(result.jobs_completed);
+  root["mean_utilization"] = util::Json(result.mean_utilization);
+  return util::Json(std::move(root));
+}
+
+RunResult run_result_from_cache_json(const util::Json& json) {
+  RunResult result;
+  for (const util::Json& item : json.at("jobs").as_array()) {
+    CompletedJob job;
+    job.request.job_id = static_cast<int>(item.at("id").as_int());
+    job.request.type_name = item.at("type").as_string();
+    job.request.submit_time_s = item.at("submit_time_s").as_number();
+    job.request.nodes = static_cast<int>(item.at("req_nodes").as_int());
+    job.request.classified_as = item.at("classified_as").as_string();
+    job.request.walltime_hint_s = item.at("walltime_hint_s").as_number();
+    job.report = geopm::JobReport::from_json(item.at("report"));
+    job.submit_s = item.at("submit_s").as_number();
+    job.start_s = item.at("start_s").as_number();
+    job.end_s = item.at("end_s").as_number();
+    job.reference_runtime_s = item.at("reference_runtime_s").as_number();
+    result.completed.push_back(std::move(job));
+  }
+  result.power_w = series_from(json.at("power_w"));
+  result.target_w = series_from(json.at("target_w"));
+
+  const util::Json& tracking = json.at("tracking");
+  result.tracking.mean_error = tracking.at("mean_error").as_number();
+  result.tracking.p90_error = tracking.at("p90_error").as_number();
+  result.tracking.max_error = tracking.at("max_error").as_number();
+  result.tracking.fraction_within_30 = tracking.at("fraction_within_30").as_number();
+  result.tracking.samples = static_cast<std::size_t>(tracking.at("samples").as_int());
+
+  const util::Json& qos = json.at("qos");
+  sched::QosConstraint constraint;
+  constraint.limit = qos.at("limit").as_number();
+  constraint.probability = qos.at("probability").as_number();
+  result.qos = sched::QosEvaluator(constraint);
+  for (const util::Json& item : qos.at("records").as_array()) {
+    sched::JobQosRecord record;
+    record.job_id = static_cast<int>(item.at("id").as_int());
+    record.type_name = item.at("type").as_string();
+    record.submit_s = item.at("submit_s").as_number();
+    record.start_s = item.at("start_s").as_number();
+    record.end_s = item.at("end_s").as_number();
+    record.t_min_s = item.at("t_min_s").as_number();
+    result.qos.add(std::move(record));
+  }
+
+  result.end_time_s = json.at("end_time_s").as_number();
+  result.jobs_submitted = static_cast<int>(json.at("jobs_submitted").as_int());
+  result.jobs_completed = static_cast<int>(json.at("jobs_completed").as_int());
+  result.mean_utilization = json.at("mean_utilization").as_number();
+  return result;
+}
+
+ResultCache::ResultCache(CacheConfig config) : config_(std::move(config)) {}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return config_.dir + "/" + key + ".json";
+}
+
+CacheOutcome ResultCache::lookup(const ScenarioSpec& spec, RunResult* result) {
+  if (!config_.enabled()) return CacheOutcome::kOff;
+  return lookup(canonicalize_spec(spec), result);
+}
+
+CacheOutcome ResultCache::lookup(const CanonicalSpec& canon, RunResult* result) {
+  if (!config_.enabled()) return CacheOutcome::kOff;
+  const std::string& key = canon.key;
+  const std::string& canonical = canon.canonical;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  if (config_.memory) {
+    const auto it = memory_.find(key);
+    if (it != memory_.end() && it->second.spec_canonical == canonical) {
+      *result = it->second.result;
+      ++stats_.memory_hits;
+      return CacheOutcome::kMemoryHit;
+    }
+  }
+  if (config_.disk) {
+    const CacheOutcome outcome = lookup_disk(key, canonical, result);
+    if (outcome == CacheOutcome::kDiskHit) {
+      if (config_.memory) memory_[key] = MemoryEntry{canonical, *result};
+      ++stats_.disk_hits;
+      return outcome;
+    }
+  }
+  ++stats_.misses;
+  return CacheOutcome::kMiss;
+}
+
+CacheOutcome ResultCache::lookup_disk(const std::string& key, const std::string& canonical,
+                                      RunResult* result) {
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return CacheOutcome::kMiss;
+  try {
+    const util::Json entry = util::load_json_file(path);
+    if (entry.string_or("schema", "") != kCacheSchema ||
+        entry.string_or("epoch", "") != kCacheEpoch ||
+        entry.string_or("spec_canonical", "") != canonical) {
+      // Stale epoch (the engine's golden hashes moved), a foreign schema,
+      // or a key collision: never serve it.  Stale entries are left for
+      // the next store() to overwrite.
+      ++stats_.invalidated;
+      return CacheOutcome::kMiss;
+    }
+    *result = run_result_from_cache_json(entry.at("result"));
+    return CacheOutcome::kDiskHit;
+  } catch (const std::exception& e) {
+    // Truncated/corrupt entries read as misses, not failures.
+    util::log_warn("sweep", "result cache: dropping unreadable entry " + path + " (" +
+                               e.what() + ")");
+    ++stats_.invalidated;
+    return CacheOutcome::kMiss;
+  }
+}
+
+void ResultCache::store(const ScenarioSpec& spec, const RunResult& result) {
+  if (!config_.enabled()) return;
+  store(canonicalize_spec(spec), result);
+}
+
+void ResultCache::store(const CanonicalSpec& canon, const RunResult& result) {
+  if (!config_.enabled()) return;
+  const std::string& key = canon.key;
+  const std::string& canonical = canon.canonical;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  if (config_.memory) memory_[key] = MemoryEntry{canonical, result};
+  if (config_.disk) {
+    util::JsonObject entry;
+    entry["schema"] = util::Json(std::string(kCacheSchema));
+    entry["epoch"] = util::Json(std::string(kCacheEpoch));
+    entry["key"] = util::Json(key);
+    entry["spec_canonical"] = util::Json(canonical);
+    entry["result"] = run_result_to_cache_json(result);
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    // Atomic publish: readers (this process or another) either see a
+    // complete entry or none.  A failed write degrades to "no disk
+    // cache", never to a corrupt hit.
+    const std::string tmp = entry_path(key) + ".tmp";
+    try {
+      util::save_json_file(tmp, util::Json(std::move(entry)), -1);
+      std::filesystem::rename(tmp, entry_path(key), ec);
+      if (ec) {
+        util::log_warn("sweep", "result cache: publish failed for " + key + ": " +
+                                    ec.message());
+        std::filesystem::remove(tmp, ec);
+      }
+    } catch (const std::exception& e) {
+      util::log_warn("sweep",
+                     "result cache: write failed for " + key + ": " + e.what());
+      std::filesystem::remove(tmp, ec);
+    }
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace anor::engine::sweep

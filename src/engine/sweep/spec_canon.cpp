@@ -1,0 +1,108 @@
+#include "engine/sweep/spec_canon.hpp"
+
+#include <cstdio>
+
+namespace anor::engine::sweep {
+
+namespace {
+
+/// -0.0 and 0.0 compare equal but print differently; fold to the one
+/// spelling so the canonical bytes (and hence the key) agree.
+double canon_num(double d) { return d == 0.0 ? 0.0 : d; }
+
+util::Json canon_series(const util::TimeSeries& series) {
+  util::JsonArray t;
+  util::JsonArray v;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    t.push_back(util::Json(canon_num(series.times()[i])));
+    v.push_back(util::Json(canon_num(series.values()[i])));
+  }
+  util::JsonObject obj;
+  obj["t_s"] = util::Json(std::move(t));
+  obj["power_w"] = util::Json(std::move(v));
+  return util::Json(std::move(obj));
+}
+
+util::Json canon_schedule(const workload::Schedule& schedule) {
+  util::JsonArray jobs;
+  for (const workload::JobRequest& job : schedule.jobs) {
+    util::JsonObject j;
+    // Every field materialized — Schedule::to_json omits empty
+    // classified_as / zero walltime hints, which is fine for storage but
+    // would make "default spelled out" hash differently from "default
+    // omitted" if reused here.
+    j["id"] = util::Json(job.job_id);
+    j["type"] = util::Json(job.type_name);
+    j["submit_s"] = util::Json(canon_num(job.submit_time_s));
+    j["nodes"] = util::Json(job.nodes);
+    j["classified_as"] = util::Json(job.classified_as);
+    j["walltime_hint_s"] = util::Json(canon_num(job.walltime_hint_s));
+    jobs.push_back(util::Json(std::move(j)));
+  }
+  util::JsonObject obj;
+  obj["duration_s"] = util::Json(canon_num(schedule.duration_s));
+  obj["jobs"] = util::Json(std::move(jobs));
+  return util::Json(std::move(obj));
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+util::Json canonical_spec_json(const ScenarioSpec& spec) {
+  util::JsonObject obj;
+  obj["backend"] = util::Json(to_string(spec.backend));
+  obj["policy"] = util::Json(to_string(spec.policy));
+  obj["schedule"] = canon_schedule(spec.schedule);
+  obj["static_budget_w"] = spec.static_budget_w
+                               ? util::Json(canon_num(*spec.static_budget_w))
+                               : util::Json(nullptr);
+  obj["targets"] = spec.targets.empty() ? util::Json(nullptr) : canon_series(spec.targets);
+  obj["node_count"] = util::Json(spec.node_count);
+  obj["perf_variation_sigma"] = util::Json(canon_num(spec.perf_variation_sigma));
+  // Decimal string, not a JSON number: a uint64 seed above 2^53 would
+  // lose bits through the double representation.
+  obj["seed"] = util::Json(std::to_string(spec.seed));
+  obj["tracking_warmup_s"] = util::Json(canon_num(spec.tracking_warmup_s));
+  obj["tracking_reserve_w"] = util::Json(canon_num(spec.tracking_reserve_w));
+  return util::Json(std::move(obj));
+}
+
+std::string canonical_spec_string(const ScenarioSpec& spec) {
+  return canonical_spec_json(spec).dump();
+}
+
+std::uint64_t canonical_spec_hash(const ScenarioSpec& spec) {
+  const std::string canon = canonical_spec_string(spec);
+  std::uint64_t h = fnv1a(kFnvOffset, kCacheEpoch, sizeof(kCacheEpoch) - 1);
+  return fnv1a(h, canon.data(), canon.size());
+}
+
+std::string canonical_spec_key(const ScenarioSpec& spec) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(canonical_spec_hash(spec)));
+  return std::string(buf);
+}
+
+CanonicalSpec canonicalize_spec(const ScenarioSpec& spec) {
+  CanonicalSpec canon;
+  canon.canonical = canonical_spec_string(spec);
+  std::uint64_t h = fnv1a(kFnvOffset, kCacheEpoch, sizeof(kCacheEpoch) - 1);
+  h = fnv1a(h, canon.canonical.data(), canon.canonical.size());
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  canon.key = buf;
+  return canon;
+}
+
+}  // namespace anor::engine::sweep

@@ -46,6 +46,16 @@ struct SimJobType {
   model::PowerPerfModel budget_model() const;
 };
 
+/// Exact field equality.  budget_model() is a pure function of these
+/// fields, so equal types fit bit-identical models — the warm-start cache
+/// keys its shared fitted-model table on this comparison.
+inline bool operator==(const SimJobType& a, const SimJobType& b) {
+  return a.name == b.name && a.nodes == b.nodes && a.p_max_w == b.p_max_w &&
+         a.p_min_w == b.p_min_w && a.time_at_pmax_s == b.time_at_pmax_s &&
+         a.time_at_pmin_s == b.time_at_pmin_s && a.qos_limit == b.qos_limit;
+}
+inline bool operator!=(const SimJobType& a, const SimJobType& b) { return !(a == b); }
+
 struct SimConfig {
   int node_count = 1000;
   double idle_power_w = 90.0;      // per idle node

@@ -47,10 +47,17 @@ telemetry::Histogram& phase_histogram(const char* phase) {
 
 TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule,
                                    util::Rng rng)
+    : TabularSimulator(std::move(config), std::move(schedule), rng, nullptr) {}
+
+TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule,
+                                   util::Rng rng, WarmStart* warm)
     : config_(std::move(config)),
       schedule_(std::move(schedule)),
       rng_(rng),
-      nodes_(config_.node_count),
+      // Adopt the pooled table's allocations when one is offered; reset()
+      // below restores exact fresh-construction state either way.
+      nodes_(warm != nullptr && warm->nodes != nullptr ? std::move(*warm->nodes)
+                                                       : NodeTable(config_.node_count)),
       scheduler_([&] {
         sched::SchedulerConfig sc;
         sc.cluster_nodes = config_.node_count;
@@ -71,6 +78,7 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
         return sc;
       }()) {
   if (config_.job_types.empty()) throw util::ConfigError("TabularSimulator: no job types");
+  nodes_.reset(config_.node_count);
   budgeter_ = budget::make_budgeter(config_.budgeter);
 
   for (std::size_t i = 0; i < config_.job_types.size(); ++i) {
@@ -84,17 +92,50 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
   }
 
   // Budgeter-facing models, one per type (the *classified* type indexes
-  // into these).
-  type_models_.reserve(config_.job_types.size());
-  for (const SimJobType& t : config_.job_types) type_models_.push_back(t.budget_model());
+  // into these).  The fit is a pure function of the type fields, so a
+  // warm pool fitted for an equal type vector supplies identical models.
+  if (warm != nullptr && warm->job_types == config_.job_types) {
+    type_models_ = warm->type_models;
+  } else {
+    type_models_.reserve(config_.job_types.size());
+    for (const SimJobType& t : config_.job_types) type_models_.push_back(t.budget_model());
+    if (warm != nullptr) {
+      warm->job_types = config_.job_types;
+      warm->type_models = type_models_;
+    }
+  }
 
   // Node-to-node performance variation, fixed for the simulation's
-  // lifetime (paper Sec. 5.6).
+  // lifetime (paper Sec. 5.6).  The draws depend only on the stream seed,
+  // sigma, and node count, so a warm pool that drew the same triple
+  // replays its column instead of re-sampling O(nodes) truncated normals.
   if (config_.perf_variation_sigma > 0.0) {
     util::Rng node_rng = rng_.child("node-variation");
-    for (int n = 0; n < config_.node_count; ++n) {
-      nodes_.set_perf_multiplier(
-          n, node_rng.truncated_normal(1.0, config_.perf_variation_sigma, 0.5, 1.5));
+    const bool pooled = warm != nullptr && warm->perf_nodes == config_.node_count &&
+                        warm->perf_sigma == config_.perf_variation_sigma &&
+                        warm->perf_stream_seed == node_rng.seed() &&
+                        warm->perf_multipliers.size() ==
+                            static_cast<std::size_t>(config_.node_count);
+    if (pooled) {
+      for (int n = 0; n < config_.node_count; ++n) {
+        nodes_.set_perf_multiplier(n, warm->perf_multipliers[n]);
+      }
+    } else {
+      if (warm != nullptr) {
+        warm->perf_multipliers.clear();
+        warm->perf_multipliers.reserve(static_cast<std::size_t>(config_.node_count));
+      }
+      for (int n = 0; n < config_.node_count; ++n) {
+        const double mult =
+            node_rng.truncated_normal(1.0, config_.perf_variation_sigma, 0.5, 1.5);
+        nodes_.set_perf_multiplier(n, mult);
+        if (warm != nullptr) warm->perf_multipliers.push_back(mult);
+      }
+      if (warm != nullptr) {
+        warm->perf_stream_seed = node_rng.seed();
+        warm->perf_sigma = config_.perf_variation_sigma;
+        warm->perf_nodes = config_.node_count;
+      }
     }
   }
 
@@ -105,8 +146,12 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
   shard_nodes_ =
       resolve_step_shard_nodes(config_.node_count, config_.step_workers, config_.step_shard_nodes);
   if (config_.step_workers > 1) {
-    workers_ =
-        std::make_unique<util::ShardWorkers>(static_cast<std::size_t>(config_.step_workers));
+    const auto want = static_cast<std::size_t>(config_.step_workers);
+    if (warm != nullptr && warm->workers != nullptr && warm->workers->worker_count() == want) {
+      workers_ = std::move(warm->workers);  // skip the thread spawn
+    } else {
+      workers_ = std::make_unique<util::ShardWorkers>(want);
+    }
     lane_touched_.resize(workers_->worker_count());
     const int shards = (config_.node_count + shard_nodes_ - 1) / shard_nodes_;
     if (shards < config_.step_workers) {
@@ -138,6 +183,20 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
               return a.submit_time_s < b.submit_time_s;
             });
   result_.jobs_submitted = static_cast<int>(schedule_.jobs.size());
+}
+
+void TabularSimulator::recycle(WarmStart& warm) {
+  if (warm.nodes == nullptr) {
+    warm.nodes = std::make_unique<NodeTable>(std::move(nodes_));
+  } else {
+    *warm.nodes = std::move(nodes_);
+  }
+  if (workers_ != nullptr) {
+    // The budgeter borrowed the team; detach before handing it to the pool
+    // so nothing holds a pointer past this simulator's lifetime.
+    budgeter_->set_shard_workers(nullptr);
+    warm.workers = std::move(workers_);
+  }
 }
 
 int TabularSimulator::type_index(const std::string& name) const {

@@ -46,11 +46,51 @@ namespace anor::sim {
 /// name remains as an alias.
 using SimResult = engine::RunResult;
 
+/// Pooled across-run resources for the sweep executor (DESIGN.md 6i).
+///
+/// A cold TabularSimulator construction pays for a NodeTable's eight
+/// column allocations, a ShardWorkers thread spawn, and one quadratic
+/// model fit per job type — none of which depend on the run's policy or
+/// signal.  A WarmStart carries those across runs: the constructor takes
+/// what fits (table via reset(), team when the worker count matches,
+/// fitted models when the job-type vector compares equal) and
+/// `recycle()` returns the reusable parts after run().  Reuse is
+/// bit-invisible by construction — reset() restores exact fresh-table
+/// state, the team never decides what is computed, and equal job types
+/// fit identical models — and pinned by the WarmStart parity tests.
+struct WarmStart {
+  std::unique_ptr<NodeTable> nodes;
+  std::unique_ptr<util::ShardWorkers> workers;
+  /// Signature for the fitted-model cache: models are valid for exactly
+  /// this job-type vector (order included — the classified index points
+  /// into it).
+  std::vector<SimJobType> job_types;
+  std::vector<model::PowerPerfModel> type_models;
+  /// Node-variation multipliers are a pure function of the variation
+  /// stream's seed, sigma, and node count — O(nodes) truncated-normal
+  /// draws that every same-seed cell of a sweep would otherwise repeat.
+  /// The cached column replays as plain writes when the triple matches.
+  std::uint64_t perf_stream_seed = 0;
+  double perf_sigma = 0.0;
+  int perf_nodes = 0;
+  std::vector<double> perf_multipliers;
+};
+
 class TabularSimulator {
  public:
   /// The schedule supplies arrivals; type names must exist in
   /// config.job_types (classified_as may name any type as well).
   TabularSimulator(SimConfig config, workload::Schedule schedule, util::Rng rng);
+
+  /// Same, reusing whatever the warm pool can supply (see WarmStart).
+  /// `warm` may be nullptr (cold) and is consumed: reused parts are moved
+  /// out of it.  Call recycle(*warm) after run() to return them.
+  TabularSimulator(SimConfig config, workload::Schedule schedule, util::Rng rng,
+                   WarmStart* warm);
+
+  /// Return the pooled resources to `warm` for the next run.  The
+  /// simulator must not step again afterwards (its tables are moved out).
+  void recycle(WarmStart& warm);
 
   /// Run to completion (duration plus drain of running jobs, bounded by
   /// 4x duration) and return the result.

@@ -19,6 +19,24 @@ NodeTable::NodeTable(int node_count)
   if (node_count <= 0) throw std::invalid_argument("NodeTable: node_count <= 0");
 }
 
+void NodeTable::reset(int node_count) {
+  if (node_count <= 0) throw std::invalid_argument("NodeTable: node_count <= 0");
+  const auto n = static_cast<std::size_t>(node_count);
+  job_id_.assign(n, -1);
+  cap_w_.assign(n, 0.0);
+  power_w_.assign(n, 0.0);
+  progress_.assign(n, 0.0);
+  perf_mult_.assign(n, 1.0);
+  inv_perf_mult_.assign(n, 1.0);
+  rate_.assign(n, 0.0);
+  job_row_.assign(n, -1);
+  idle_count_ = node_count;
+  pending_.clear();
+  pending_flag_.assign(n, 0);
+  total_power_cache_ = 0.0;
+  power_clean_ = false;
+}
+
 void NodeTable::mark_pending(int node) {
   if (pending_flag_[idx(node)]) return;
   pending_flag_[idx(node)] = 1;

@@ -25,6 +25,13 @@ class NodeTable {
  public:
   explicit NodeTable(int node_count);
 
+  /// Restore the exact state of a freshly constructed NodeTable(node_count)
+  /// while reusing the column allocations — the warm-start path pools one
+  /// table across sweep runs instead of reallocating eight columns per run.
+  /// Bit-equivalence with fresh construction is load-bearing (warm runs
+  /// must hash identically to cold ones) and pinned by WarmStart tests.
+  void reset(int node_count);
+
   int size() const { return static_cast<int>(job_id_.size()); }
 
   int job_id(int node) const { return job_id_[idx(node)]; }

@@ -85,6 +85,27 @@ void ShardWorkers::run(FunctionRef<void(std::size_t)> task) {
   if (first_error_ != nullptr) std::rethrow_exception(std::exchange(first_error_, nullptr));
 }
 
+void ShardWorkers::parallel_for(std::size_t count, FunctionRef<void(std::size_t)> body) {
+  if (count == 0) return;
+  ANOR_PROF_SCOPE("pool.parallel_for");
+  const std::size_t lanes = worker_count();
+  // Per-lane slots instead of run()'s first-chronological error: callers
+  // of a chunked loop expect the lowest-index chunk's exception no matter
+  // which worker happens to finish (and fail) first.
+  std::vector<std::exception_ptr> errors(lanes);
+  run([&](std::size_t lane) {
+    const Slice s = slice(count, lanes, lane);
+    try {
+      for (std::size_t i = s.begin; i < s.end; ++i) body(i);
+    } catch (...) {
+      errors[lane] = std::current_exception();
+    }
+  });
+  for (std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
 void ShardWorkers::worker_loop(std::size_t lane) {
   prof::Profiler::set_thread_name("worker-" + std::to_string(lane));
   // The epoch starts at 0 and only ever increments; starting from the

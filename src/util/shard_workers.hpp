@@ -48,6 +48,13 @@ class ShardWorkers {
   /// Not reentrant: one dispatch at a time per team.
   void run(FunctionRef<void(std::size_t)> task);
 
+  /// Run body(i) for i in [0, count) across the team and wait: lane k owns
+  /// the contiguous slice(count, worker_count(), k), so each chunk executes
+  /// entirely on one persistent thread.  Exceptions are collected per lane
+  /// and the lowest-lane one is rethrown, independent of finish order.
+  /// Shares run()'s non-reentrancy.
+  void parallel_for(std::size_t count, FunctionRef<void(std::size_t)> body);
+
   /// The contiguous slice of [0, count) that lane `part` of `parts` owns:
   /// a pure function of (count, parts, part), so every team size yields
   /// the same overall coverage with disjoint, order-preserving slices.

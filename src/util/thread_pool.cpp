@@ -1,47 +1,15 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <string>
+#include <utility>
 
 #include "telemetry/prof/prof.hpp"
+#include "util/shard_workers.hpp"
 
 namespace anor::util {
 
 namespace prof = telemetry::prof;
-
-namespace {
-
-/// Stack-resident state of one parallel_for call, shared by its chunks.
-struct ForJob {
-  FunctionRef<void(std::size_t)> body;
-  std::atomic<std::uint32_t> chunks_left{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-};
-
-void run_chunk(void* ctx, std::size_t begin, std::size_t end) {
-  auto* job = static_cast<ForJob*>(ctx);
-  try {
-    ANOR_PROF_SCOPE("pool.chunk");
-    for (std::size_t i = begin; i < end; ++i) job->body(i);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(job->error_mutex);
-    if (job->first_error == nullptr) job->first_error = std::current_exception();
-  }
-  if (job->chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    job->chunks_left.notify_all();
-  }
-}
-
-void run_submitted(void* ctx, std::size_t, std::size_t) {
-  auto* task = static_cast<std::packaged_task<void()>*>(ctx);
-  (*task)();
-  delete task;
-}
-
-}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -63,11 +31,11 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  auto* packaged = new std::packaged_task<void()>(std::move(task));
-  std::future<void> future = packaged->get_future();
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Task{&run_submitted, packaged, 0, 0});
+    queue_.push_back(std::move(packaged));
   }
   cv_.notify_one();
   return future;
@@ -75,56 +43,33 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t count, FunctionRef<void(std::size_t)> body) {
   if (count == 0) return;
-  ANOR_PROF_SCOPE("pool.parallel_for");
-  const std::size_t chunk = (count + worker_count() - 1) / worker_count();
-  const std::size_t chunks = (count + chunk - 1) / chunk;
-
-  ForJob job;
-  job.body = body;
-  job.chunks_left.store(static_cast<std::uint32_t>(chunks), std::memory_order_relaxed);
-  {
-    ANOR_PROF_SCOPE("pool.dispatch");
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t begin = 0; begin < count; begin += chunk) {
-      queue_.push_back(Task{&run_chunk, &job, begin, std::min(count, begin + chunk)});
-    }
+  std::lock_guard<std::mutex> lock(for_mutex_);
+  if (shard_team_ == nullptr) {
+    shard_team_ = std::make_unique<ShardWorkers>(threads_.size());
   }
-  if (chunks > 1) {
-    cv_.notify_all();
-  } else {
-    cv_.notify_one();
-  }
-
-  ANOR_PROF_SCOPE("pool.join");
-  // Chunks notify only on the transition to zero; an intermediate
-  // decrement just makes the wait return early and re-check.
-  std::uint32_t left = job.chunks_left.load(std::memory_order_acquire);
-  while (left != 0) {
-    job.chunks_left.wait(left, std::memory_order_acquire);
-    left = job.chunks_left.load(std::memory_order_acquire);
-  }
-  if (job.first_error != nullptr) std::rethrow_exception(job.first_error);
+  shard_team_->parallel_for(count, body);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
   prof::Profiler::set_thread_name("worker-" + std::to_string(index));
   for (;;) {
-    Task task;
+    std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = queue_.front();
+      task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task.fn(task.ctx, task.begin, task.end);
+    task();
   }
 }
 
 void parallel_for_each_index(std::size_t count, FunctionRef<void(std::size_t)> body,
                              std::size_t workers) {
-  ThreadPool pool(workers);
-  pool.parallel_for(count, body);
+  if (count == 0) return;
+  ShardWorkers team(workers);
+  team.parallel_for(count, body);
 }
 
 }  // namespace anor::util

@@ -2,17 +2,18 @@
 //
 // Figure 11 runs 10 seeded simulations per variation level; trials are
 // independent, so the bench harnesses fan them out across hardware threads
-// with `parallel_for`.  Determinism is preserved because each trial owns a
-// seed derived from (base seed, trial index) — scheduling order cannot
-// change results.
+// with `submit` futures or `parallel_for`.  Determinism is preserved
+// because each trial owns a seed derived from (base seed, trial index) —
+// scheduling order cannot change results.
 //
-// The hot fork/join path is allocation-free: `parallel_for` takes a
-// two-word FunctionRef (no std::function copy), stages one fixed POD task
-// per chunk that points at a stack-resident job record, and joins on an
-// atomic chunk countdown instead of per-chunk futures.  Per-tick stepping
-// inside the simulator uses the cheaper persistent `ShardWorkers` team
-// (see util/shard_workers.hpp); this pool remains the right tool for
-// coarse-grained fan-out with heterogeneous tasks.
+// There is exactly ONE sharded-dispatch implementation in the codebase:
+// `ShardWorkers::parallel_for` (util/shard_workers.hpp).  This pool's
+// `parallel_for` delegates to a lazily spawned ShardWorkers team of the
+// same width, so chunk boundaries (`ShardWorkers::slice`), thread
+// affinity, and exception order are identical whether a caller holds a
+// ThreadPool or a ShardWorkers team.  The queue+condvar side of the pool
+// remains the right tool for coarse-grained fan-out of heterogeneous
+// submitted tasks.
 #pragma once
 
 #include <condition_variable>
@@ -20,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,6 +29,8 @@
 #include "util/function_ref.hpp"
 
 namespace anor::util {
+
+class ShardWorkers;
 
 class ThreadPool {
  public:
@@ -43,36 +47,34 @@ class ThreadPool {
   /// exception it throws).
   std::future<void> submit(std::function<void()> task);
 
-  /// Run body(i) for i in [0, count) across the pool and wait.  Indices
-  /// are split into one contiguous chunk per worker (ceil(count/workers)
-  /// each) so the queue sees worker_count tasks, not count — cheap enough
-  /// to call once per simulator tick.  The body is passed by reference
-  /// (no allocation, no std::function); it must tolerate concurrent
-  /// invocation from multiple workers.  Exceptions from tasks are
-  /// rethrown (the first one recorded).
+  /// Run body(i) for i in [0, count) and wait.  Indices are split into one
+  /// contiguous chunk per worker (ShardWorkers::slice boundaries) and
+  /// dispatched on a persistent ShardWorkers team created on first use, so
+  /// each chunk executes entirely on one thread.  The body is passed by
+  /// reference (no allocation, no std::function); it must tolerate
+  /// concurrent invocation from multiple workers.  When several chunks
+  /// throw, the lowest-index chunk's exception is rethrown.  Concurrent
+  /// parallel_for calls on one pool serialize against each other (the
+  /// team rendezvous is not reentrant); submit() stays independent.
   void parallel_for(std::size_t count, FunctionRef<void(std::size_t)> body);
 
  private:
-  /// One queued unit: either a parallel_for chunk over [begin, end)
-  /// pointing at the caller's stack-resident job record, or a submitted
-  /// task whose ctx owns a heap-allocated packaged_task.
-  struct Task {
-    void (*fn)(void* ctx, std::size_t begin, std::size_t end) = nullptr;
-    void* ctx = nullptr;
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> threads_;
-  std::deque<Task> queue_;
+  std::deque<std::packaged_task<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  /// Sharded-dispatch team backing parallel_for, spawned on first use so
+  /// submit-only pools never pay for it.  for_mutex_ both guards the lazy
+  /// init and serializes dispatches (ShardWorkers::run is not reentrant).
+  std::mutex for_mutex_;
+  std::unique_ptr<ShardWorkers> shard_team_;
 };
 
-/// Convenience: run body(i) for i in [0, count) on a transient pool.
+/// Convenience: run body(i) for i in [0, count) on a transient team.
 void parallel_for_each_index(std::size_t count, FunctionRef<void(std::size_t)> body,
                              std::size_t workers = 0);
 

@@ -110,6 +110,52 @@ TEST(ShardWorkers, ParallelSumMatchesSerial) {
   EXPECT_EQ(merged, serial);
 }
 
+TEST(ShardWorkers, ParallelForVisitsEveryIndexOnce) {
+  ShardWorkers team(4);
+  std::vector<std::atomic<int>> hits(1001);
+  team.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Zero-count dispatch is a no-op (and must not deadlock the team).
+  team.parallel_for(0, [&](std::size_t) { FAIL() << "body ran for count 0"; });
+}
+
+TEST(ShardWorkers, ParallelForAssignsLaneOwnedSlices) {
+  // Index i must run on the lane whose slice(count, lanes, lane) owns it —
+  // the same fixed boundaries ThreadPool::parallel_for always chunked by.
+  ShardWorkers team(3);
+  const std::size_t count = 101;
+  std::vector<int> owner(count, -1);
+  team.parallel_for(count,
+                    [&](std::size_t i) { owner[i] = static_cast<int>(i); });
+  for (std::size_t lane = 0; lane < team.worker_count(); ++lane) {
+    const ShardWorkers::Slice s = ShardWorkers::slice(count, team.worker_count(), lane);
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      EXPECT_EQ(owner[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ShardWorkers, ParallelForRethrowsLowestLaneError) {
+  ShardWorkers team(4);
+  // Two lanes fail; the lowest lane's exception wins deterministically.
+  try {
+    team.parallel_for(8, [&](std::size_t i) {
+      const ShardWorkers::Slice low = ShardWorkers::slice(8, 4, 1);
+      const ShardWorkers::Slice high = ShardWorkers::slice(8, 4, 3);
+      if (i == low.begin) throw std::runtime_error("low lane");
+      if (i == high.begin) throw std::runtime_error("high lane");
+    });
+    FAIL() << "expected a rethrown lane error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "low lane");
+  }
+  // Still usable afterwards.
+  std::atomic<int> hits{0};
+  team.parallel_for(4, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
 TEST(ShardWorkers, LaneExceptionRethrownOnCaller) {
   ShardWorkers team(4);
   EXPECT_THROW(

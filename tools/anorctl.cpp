@@ -20,6 +20,17 @@
 //       simulator under all four policies and check the backends agree:
 //       tracking errors within tolerance, per-policy slowdown ordering
 //       consistent, QoS verdicts identical.  Exits nonzero on divergence.
+//   anorctl sweep --grid FILE [--out FILE] [--results-out FILE]
+//       [--run-workers N] [--no-cache] [--cache-dir DIR] [--no-warm]
+//       [--step-workers N] [--min-hit-rate F] [--quiet]
+//       Expand an anor.sweep.v1 grid file and run every cell through the
+//       batch executor: run-level worker pool, canonical-spec result
+//       cache (memory + .anor-cache/ on disk), and warm-start run reuse.
+//       Prints live per-cell progress and a summary table; --out writes
+//       the full anor.sweep_result.v1 report, --results-out writes the
+//       deterministic anor.sweep_results.v1 projection (byte-identical
+//       across reruns of the same grid).  --min-hit-rate exits nonzero
+//       if the cache hit rate lands below the threshold (CI smoke).
 //   anorctl simulate [--nodes N] [--duration S] [--utilization F]
 //       [--variation F] [--scale K] [--mean-per-node W] [--reserve-per-node W]
 //       [--seed K]
@@ -373,6 +384,86 @@ int cmd_parity(const Args& args) {
   }
   std::cout << (rc == 0 ? "parity OK\n" : "parity FAILED\n");
   return rc;
+}
+
+int cmd_sweep(const Args& args) {
+  const engine::sweep::SweepGrid grid =
+      engine::sweep::SweepGrid::from_json(util::load_json_file(args.require("grid")));
+
+  engine::sweep::SweepOptions options;
+  options.run_workers = static_cast<int>(args.num("run-workers", 1));
+  options.warm_start = !args.has("no-warm");
+  if (args.has("step-workers")) {
+    options.step_workers_override = static_cast<int>(args.num("step-workers", -1));
+  }
+  if (args.has("no-cache")) {
+    options.cache = engine::sweep::CacheConfig::off();
+  } else if (args.has("cache-dir")) {
+    options.cache.dir = args.str("cache-dir");
+  }
+
+  std::cout << "sweep '" << grid.name << "': " << grid.cell_count() << " cells, "
+            << (options.run_workers == 0 ? "auto" : std::to_string(options.run_workers))
+            << " run worker(s), cache "
+            << (options.cache.enabled() ? options.cache.dir : std::string("off"))
+            << ", warm-start " << (options.warm_start ? "on" : "off") << "\n";
+  if (!args.has("quiet")) {
+    options.on_cell_done = [](const engine::sweep::SweepCellResult& cell,
+                              std::size_t done, std::size_t total) {
+      std::cout << "  [" << done << "/" << total << "] " << cell.cell.name << ": "
+                << to_string(cell.cache) << ", "
+                << util::TextTable::format_double(cell.wall_s, 3) << " s\n";
+    };
+  }
+
+  const engine::sweep::SweepReport report = engine::sweep::run_sweep(grid, options);
+
+  util::TextTable table(
+      {"cell", "cache", "wall_s", "jobs", "mean_slowdown", "p90_tracking", "qos"});
+  for (const engine::sweep::SweepCellResult& cell : report.cells) {
+    util::RunningStats slowdowns;
+    for (const auto& job : cell.result.completed) slowdowns.add(job.slowdown());
+    table.add_row({cell.cell.name, std::string(cache_state(cell.cache)),
+                   util::TextTable::format_double(cell.wall_s, 3),
+                   std::to_string(cell.result.jobs_completed),
+                   util::TextTable::format_percent(slowdowns.mean()),
+                   cell.result.target_w.empty()
+                       ? "-"
+                       : util::TextTable::format_percent(cell.result.tracking.p90_error),
+                   cell.result.qos.satisfied() ? "ok" : "violated"});
+  }
+  table.print(std::cout);
+
+  const auto& stats = report.cache_stats;
+  std::cout << report.cells.size() << " cells in "
+            << util::TextTable::format_double(report.wall_s, 2) << " s: "
+            << report.cells_computed << " computed, " << report.cache_hits
+            << " cache hit(s) (" << stats.memory_hits << " memory, " << stats.disk_hits
+            << " disk, " << stats.invalidated << " invalidated)\n";
+
+  if (args.has("out")) {
+    util::save_json_file(args.str("out"), engine::sweep::sweep_report_json(report));
+    std::cout << "wrote sweep report to " << args.str("out") << "\n";
+  }
+  if (args.has("results-out")) {
+    util::save_json_file(args.str("results-out"),
+                         engine::sweep::sweep_results_deterministic_json(report));
+    std::cout << "wrote deterministic results to " << args.str("results-out") << "\n";
+  }
+
+  if (args.has("min-hit-rate")) {
+    const double min_rate = args.num("min-hit-rate", 0.0);
+    const double rate = stats.hit_rate();
+    if (rate + 1e-12 < min_rate) {
+      std::cerr << "sweep: cache hit rate " << util::TextTable::format_percent(rate)
+                << " below required " << util::TextTable::format_percent(min_rate)
+                << "\n";
+      return 1;
+    }
+    std::cout << "cache hit rate " << util::TextTable::format_percent(rate)
+              << " >= " << util::TextTable::format_percent(min_rate) << "\n";
+  }
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -937,7 +1028,7 @@ int cmd_selftest() {
 }
 
 void usage() {
-  std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|parity|simulate|"
+  std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|parity|sweep|simulate|"
                "profile|replay|chaos|metrics|trace|selftest> "
                "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
@@ -974,6 +1065,7 @@ int main(int argc, char** argv) {
     if (command == "gen-targets") return cmd_gen_targets(args);
     if (command == "run") return cmd_run(args);
     if (command == "parity") return cmd_parity(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "profile") return cmd_profile(args);
     if (command == "replay") return cmd_replay(args);

@@ -52,6 +52,32 @@ trap 'rm -rf "$profile_dir"' EXIT
   --check --trace-out "$profile_dir/profile_trace.json" \
   --metrics-out "$profile_dir/profile_metrics.prom"
 
+echo "== tier-1: sweep smoke (batch executor + result cache) =="
+# A 2x2 grid run twice against a scratch cache: the second invocation must
+# serve >= 90% of cells from the cache (--min-hit-rate exits nonzero
+# otherwise) and the deterministic results files must be byte-identical —
+# a cache hit that changed a single byte of a RunResult fails the gate.
+sweep_dir="$(mktemp -d)"
+cat > "$sweep_dir/grid.json" <<'EOF'
+{
+  "schema": "anor.sweep.v1",
+  "name": "tier1-smoke",
+  "base": {"backend": "tabular", "node_count": 32, "seed": 7},
+  "generate": {"duration_s": 120, "signal": "budget", "utilization": 0.6},
+  "axes": [
+    {"field": "policy", "values": ["uniform", "characterized"]},
+    {"field": "utilization", "values": [0.5, 0.8]}
+  ]
+}
+EOF
+"$build_dir/tools/anorctl" sweep --grid "$sweep_dir/grid.json" --quiet \
+  --cache-dir "$sweep_dir/cache" --results-out "$sweep_dir/first.json"
+"$build_dir/tools/anorctl" sweep --grid "$sweep_dir/grid.json" --quiet \
+  --cache-dir "$sweep_dir/cache" --results-out "$sweep_dir/second.json" \
+  --min-hit-rate 0.9
+cmp "$sweep_dir/first.json" "$sweep_dir/second.json"
+rm -rf "$sweep_dir"
+
 echo "== sanitizers: ASan/UBSan telemetry suite =="
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S . \
@@ -68,7 +94,7 @@ cmake -B "$tsan_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test budget_test
+cmake --build "$tsan_dir" -j"$jobs" --target sim_test util_test platform_test budget_test engine_test
 # Known false positives from the uninstrumented system libstdc++ (see
 # tools/tsan.supp); real races in our code are still reported.
 export TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp ${TSAN_OPTIONS:-}"
@@ -80,6 +106,9 @@ run_gtest "$tsan_dir/tests/sim_test" 'SimDeterminism.*'
 run_gtest "$tsan_dir/tests/util_test" 'ThreadPool.*:ParallelForEachIndex.*:ShardWorkers.*'
 run_gtest "$tsan_dir/tests/platform_test" 'ClusterHw.ShardedStepMatchesSerialBitForBit'
 run_gtest "$tsan_dir/tests/budget_test" 'EvenSlowdown.ShardedSolveIsBitIdenticalToSerial'
+# The sweep executor layers run-level workers (atomic cursor, shared
+# result cache, disjoint report slots) on top of the sharded stepping.
+run_gtest "$tsan_dir/tests/engine_test" 'SweepExecutorTest.*'
 
 echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
 # Closed-loop fault injection: the command itself exits non-zero unless

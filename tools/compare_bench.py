@@ -6,6 +6,11 @@ steps/sec table with the per-phase profile deltas that moved most, and
 exits nonzero if any case's steps_per_sec regressed by more than the
 threshold (default 10%).
 
+Cases carry a "cache" provenance field ("hit" | "miss" | "off").  A cached
+wall time measures a map lookup, not the simulator, so a case is only
+compared when BOTH sides were actually computed ("miss"/"off"/absent);
+any pair involving a "hit" is reported and skipped, never scored.
+
 Also prints a workers-vs-serial speedup column for the candidate: each
 sharded case against the serial case with the same (nodes, duration_s).
 With --require-parallel-win the script fails when any sharded case at
@@ -25,6 +30,12 @@ import sys
 
 def case_key(case):
     return (case["nodes"], case["duration_s"], case["step_workers"])
+
+
+def was_computed(case):
+    """True when the case's wall time timed an actual run (cache provenance
+    "miss"/"off", or a pre-provenance report with no field at all)."""
+    return case.get("cache", "off") in ("miss", "off")
 
 
 def fmt_key(key):
@@ -91,8 +102,16 @@ def main():
     print(header)
     print("-" * len(header))
     for key in sorted(shared):
-        base_sps = base_cases[key]["steps_per_sec"]
-        cand_sps = cand_cases[key]["steps_per_sec"]
+        base_case, cand_case = base_cases[key], cand_cases[key]
+        if not (was_computed(base_case) and was_computed(cand_case)):
+            # A cache hit's wall time measures the cache, not the code under
+            # test: never score it against a computed number.
+            print(f"{fmt_key(key):>16} {'cache: ' + base_case.get('cache', 'off'):>14} "
+                  f"{'cache: ' + cand_case.get('cache', 'off'):>14} "
+                  f"{'skipped':>8}")
+            continue
+        base_sps = base_case["steps_per_sec"]
+        cand_sps = cand_case["steps_per_sec"]
         change = cand_sps / base_sps - 1.0
         flag = ""
         if change < -args.threshold:
@@ -117,9 +136,11 @@ def main():
     # Workers-vs-serial speedup inside the candidate report: each sharded
     # case against the serial run of the same (nodes, duration_s).
     serial_ref = {(c["nodes"], c["duration_s"]): c["steps_per_sec"]
-                  for c in cand_cases.values() if c["step_workers"] <= 1}
+                  for c in cand_cases.values()
+                  if c["step_workers"] <= 1 and was_computed(c)}
     sharded = [c for c in cand_cases.values()
-               if c["step_workers"] > 1 and (c["nodes"], c["duration_s"]) in serial_ref]
+               if c["step_workers"] > 1 and was_computed(c)
+               and (c["nodes"], c["duration_s"]) in serial_ref]
     parallel_losses = []
     if sharded:
         print("\ncandidate workers-vs-serial speedup:")

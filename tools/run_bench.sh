@@ -4,7 +4,9 @@
 # a per-phase span-profiler summary ("profile": us_per_step + p50/p95/p99
 # per phase) next to the steps/sec numbers; the profiler-overhead gate
 # (bench_prof_overhead) runs afterwards so a regression in the profiler
-# itself fails the harness.  Compare two reports with
+# itself fails the harness.  The sweep-executor bench (bench_sweep) runs
+# last, writing BENCH_sweep.json and enforcing its own warm-start (>= 3x)
+# and result-cache (>= 10x) gates.  Compare two reports with
 # tools/compare_bench.py.
 #
 # Usage: tools/run_bench.sh [build_dir] [--quick]
@@ -23,7 +25,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_sim_scale bench_prof_overhead -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_sim_scale bench_prof_overhead bench_sweep -j "$(nproc)"
 
 # Stamp the report with the revision that produced it (dirty trees are
 # marked so a number from uncommitted code can't masquerade as HEAD's).
@@ -33,3 +35,4 @@ if [[ "$rev" != unknown ]] && ! git diff --quiet HEAD -- 2>/dev/null; then
 fi
 ANOR_GIT_REVISION="$rev" "$BUILD_DIR"/bench/bench_sim_scale BENCH_sim.json $QUICK
 "$BUILD_DIR"/bench/bench_prof_overhead $QUICK
+ANOR_GIT_REVISION="$rev" "$BUILD_DIR"/bench/bench_sweep BENCH_sweep.json $QUICK
