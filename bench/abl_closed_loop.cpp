@@ -22,7 +22,7 @@ util::TrackingErrorStats run_with_gain(bool closed_loop, double gain, double lim
   experiment.base.manager.integral_gain_per_s = gain;
   experiment.base.manager.correction_limit_w = limit_w;
   experiment.node_count = 16;
-  experiment.policy = core::PolicyKind::kCharacterized;
+  experiment.policy = core::PolicyRef("characterized");
   experiment.seed = 9;
 
   workload::PoissonScheduleConfig schedule_config;

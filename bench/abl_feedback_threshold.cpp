@@ -26,7 +26,7 @@ int main() {
       experiment.base.scheduler.power_aware_admission = false;
       experiment.base.endpoint.reclassifier.divergence_threshold = threshold;
       experiment.node_count = 4;
-      experiment.policy = core::PolicyKind::kAdjusted;
+      experiment.policy = core::PolicyRef("adjusted");
       experiment.seed = 100 + static_cast<std::uint64_t>(trial);
       workload::JobRequest bt_req{0, "bt.D.x", 0.0, 2, "is.D.x"};
       workload::JobRequest sp_req{1, "sp.D.x", 0.0, 2, ""};

@@ -17,7 +17,7 @@ namespace {
 
 using namespace anor;
 
-double run(core::PolicyKind policy, std::uint64_t seed) {
+double run(core::PolicyRef policy, std::uint64_t seed) {
   core::Experiment experiment;
   experiment.base = bench::paper_emulation_base();
   experiment.base.scheduler.power_aware_admission = false;
@@ -63,11 +63,11 @@ int main() {
 
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
   };
   const Row rows[] = {
-      {"Characterized (believes IS throughout)", core::PolicyKind::kCharacterized},
-      {"Adjusted (feedback re-detects at phase change)", core::PolicyKind::kAdjusted},
+      {"Characterized (believes IS throughout)", core::PolicyRef("characterized")},
+      {"Adjusted (feedback re-detects at phase change)", core::PolicyRef("adjusted")},
   };
   util::TextTable table({"policy", "phased_job_slowdown%", "sd"});
   std::vector<std::vector<double>> csv_rows;

@@ -36,7 +36,7 @@ struct StaticScenario {
   std::string misclassify_as;
   bool misclassify_all = false;
 
-  core::PolicyKind policy = core::PolicyKind::kCharacterized;
+  core::PolicyRef policy = core::PolicyRef("characterized");
   double budget_fraction_of_tdp = 0.75;
   int node_count = 4;
   std::uint64_t seed = 1;

@@ -20,17 +20,17 @@ int main() {
 
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
     const char* mis_type;
     const char* mis_as;
   };
   const Row rows[] = {
-      {"Performance Agnostic", core::PolicyKind::kUniform, "", ""},
-      {"Performance Aware", core::PolicyKind::kCharacterized, "", ""},
-      {"Under-estimate bt", core::PolicyKind::kMisclassified, "bt.D.x", "is.D.x"},
-      {"Under-estimate bt, with feedback", core::PolicyKind::kAdjusted, "bt.D.x", "is.D.x"},
-      {"Over-estimate sp", core::PolicyKind::kMisclassified, "sp.D.x", "ep.D.x"},
-      {"Over-estimate sp, with feedback", core::PolicyKind::kAdjusted, "sp.D.x", "ep.D.x"},
+      {"Performance Agnostic", core::PolicyRef("uniform"), "", ""},
+      {"Performance Aware", core::PolicyRef("characterized"), "", ""},
+      {"Under-estimate bt", core::PolicyRef("misclassified"), "bt.D.x", "is.D.x"},
+      {"Under-estimate bt, with feedback", core::PolicyRef("adjusted"), "bt.D.x", "is.D.x"},
+      {"Over-estimate sp", core::PolicyRef("misclassified"), "sp.D.x", "ep.D.x"},
+      {"Over-estimate sp, with feedback", core::PolicyRef("adjusted"), "sp.D.x", "ep.D.x"},
   };
 
   util::TextTable table({"policy", "bt_slowdown%", "bt_sd", "sp_slowdown%", "sp_sd"});

@@ -19,14 +19,14 @@ int main() {
 
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
     bool misclassify;
   };
   const Row rows[] = {
-      {"Performance Agnostic", core::PolicyKind::kUniform, false},
-      {"Performance Aware", core::PolicyKind::kCharacterized, false},
-      {"Under-estimate bt", core::PolicyKind::kMisclassified, true},
-      {"Under-estimate bt, with feedback", core::PolicyKind::kAdjusted, true},
+      {"Performance Agnostic", core::PolicyRef("uniform"), false},
+      {"Performance Aware", core::PolicyRef("characterized"), false},
+      {"Under-estimate bt", core::PolicyRef("misclassified"), true},
+      {"Under-estimate bt, with feedback", core::PolicyRef("adjusted"), true},
   };
 
   util::TextTable table({"policy", "bt%", "bt_sd", "bt=is%", "bt=is_sd"});

@@ -18,14 +18,14 @@ int main() {
 
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
     bool misclassify;
   };
   const Row rows[] = {
-      {"Performance Agnostic", core::PolicyKind::kUniform, false},
-      {"Performance Aware", core::PolicyKind::kCharacterized, false},
-      {"Over-estimate sp", core::PolicyKind::kMisclassified, true},
-      {"Over-estimate sp, with feedback", core::PolicyKind::kAdjusted, true},
+      {"Performance Agnostic", core::PolicyRef("uniform"), false},
+      {"Performance Aware", core::PolicyRef("characterized"), false},
+      {"Over-estimate sp", core::PolicyRef("misclassified"), true},
+      {"Over-estimate sp, with feedback", core::PolicyRef("adjusted"), true},
   };
 
   util::TextTable table({"policy", "sp%", "sp_sd", "sp=ep%", "sp=ep_sd"});

@@ -12,7 +12,7 @@ namespace {
 
 using namespace anor;
 
-core::Experiment make_experiment(core::PolicyKind policy, bool misclassify_bt,
+core::Experiment make_experiment(core::PolicyRef policy, bool misclassify_bt,
                                  std::uint64_t seed) {
   core::Experiment experiment;
   experiment.base = bench::paper_emulation_base();
@@ -57,7 +57,7 @@ int main() {
             << bid.average_power_w << ", reserve " << bid.reserve_w << ")\n\n";
 
   // --- the trace itself (characterized policy) ---
-  const auto experiment = make_experiment(core::PolicyKind::kCharacterized, false, 9);
+  const auto experiment = make_experiment(core::PolicyRef("characterized"), false, 9);
   const auto result = core::run_experiment(experiment);
 
   util::TextTable trace({"t_s", "target_kW", "measured_kW"});
@@ -76,14 +76,14 @@ int main() {
   // --- tracking error per policy (Sec. 6.3 text) ---
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
     bool misclassify;
   };
   const Row rows[] = {
-      {"Uniform", core::PolicyKind::kUniform, false},
-      {"Characterized", core::PolicyKind::kCharacterized, false},
-      {"Misclassified (bt=is)", core::PolicyKind::kMisclassified, true},
-      {"Adjusted (bt=is, feedback)", core::PolicyKind::kAdjusted, true},
+      {"Uniform", core::PolicyRef("uniform"), false},
+      {"Characterized", core::PolicyRef("characterized"), false},
+      {"Misclassified (bt=is)", core::PolicyRef("misclassified"), true},
+      {"Adjusted (bt=is, feedback)", core::PolicyRef("adjusted"), true},
   };
   util::TextTable errors(
       {"policy", "p90_error%", "mean_error%", "within_30%_of_time", "jobs_done"});

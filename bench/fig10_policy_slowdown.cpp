@@ -15,7 +15,7 @@ namespace {
 
 using namespace anor;
 
-std::map<std::string, util::RunningStats> run_policy(core::PolicyKind policy,
+std::map<std::string, util::RunningStats> run_policy(core::PolicyRef policy,
                                                      bool misclassify_bt,
                                                      std::uint64_t seed) {
   core::Experiment experiment;
@@ -52,14 +52,14 @@ int main() {
 
   struct Row {
     const char* label;
-    core::PolicyKind policy;
+    core::PolicyRef policy;
     bool misclassify;
   };
   const Row rows[] = {
-      {"Uniform", core::PolicyKind::kUniform, false},
-      {"Characterized", core::PolicyKind::kCharacterized, false},
-      {"Misclassified", core::PolicyKind::kMisclassified, true},
-      {"Adjusted", core::PolicyKind::kAdjusted, true},
+      {"Uniform", core::PolicyRef("uniform"), false},
+      {"Characterized", core::PolicyRef("characterized"), false},
+      {"Misclassified", core::PolicyRef("misclassified"), true},
+      {"Adjusted", core::PolicyRef("adjusted"), true},
   };
 
   std::vector<std::string> type_names;

@@ -17,7 +17,7 @@ cluster::EmulationResult run_with_targets(const util::TimeSeries& targets,
                                           const workload::Schedule& schedule) {
   core::Experiment experiment;
   experiment.node_count = 8;
-  experiment.policy = core::PolicyKind::kCharacterized;
+  experiment.policy = core::PolicyRef("characterized");
   experiment.base.scheduler.power_aware_admission = true;
   experiment.base.manager.control_period_s = 0.5;
   experiment.base.endpoint.period_s = 0.5;

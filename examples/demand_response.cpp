@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   // --- run the hour ---
   core::Experiment experiment;
   experiment.node_count = 16;
-  experiment.policy = core::PolicyKind::kCharacterized;
+  experiment.policy = core::PolicyRef("characterized");
   experiment.seed = seed;
   experiment.base.scheduler.power_aware_admission = true;
   experiment.schedule = workload::Schedule::load(dir + "/anor_schedule.json");

@@ -12,7 +12,7 @@ namespace {
 
 using namespace anor;
 
-double run(core::PolicyKind policy, bool lie) {
+double run(core::PolicyRef policy, bool lie) {
   core::Experiment experiment;
   experiment.node_count = 4;
   experiment.policy = policy;
@@ -38,16 +38,16 @@ int main() {
       "cluster capped at 75% of TDP.  The batch system believes BT is an IS\n"
       "job -- a type whose performance barely reacts to power.\n\n";
 
-  const double honest = run(core::PolicyKind::kCharacterized, false);
+  const double honest = run(core::PolicyRef("characterized"), false);
   std::cout << "1. correctly classified, performance-aware budgeter:\n"
             << "   BT slowdown " << util::TextTable::format_percent(honest) << "\n\n";
 
-  const double lied = run(core::PolicyKind::kMisclassified, true);
+  const double lied = run(core::PolicyRef("misclassified"), true);
   std::cout << "2. misclassified as IS, no feedback:\n"
             << "   the budgeter starves BT of power (IS 'wouldn't care')\n"
             << "   BT slowdown " << util::TextTable::format_percent(lied) << "\n\n";
 
-  const double recovered = run(core::PolicyKind::kAdjusted, true);
+  const double recovered = run(core::PolicyRef("adjusted"), true);
   std::cout << "3. misclassified as IS, with the ANOR feedback loop:\n"
             << "   the job-tier modeler sees epochs arriving ~5x slower than the\n"
             << "   IS curve predicts, reclassifies against the precharacterized\n"

@@ -28,7 +28,7 @@ int main() {
 
   // 3. Pick the policy: the performance-aware even-slowdown budgeter with
   //    correct precharacterized models.
-  experiment.policy = core::PolicyKind::kCharacterized;
+  experiment.policy = core::PolicyRef("characterized");
 
   // 4. Run.  The full two-tier stack executes: a cluster manager budgets
   //    power, per-job endpoints model performance, GEOPM-like agents

@@ -60,6 +60,10 @@ std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind) {
       inner = std::make_unique<EvenSlowdownBudgeter>();
       break;
   }
+  return instrument_budgeter(std::move(inner));
+}
+
+std::unique_ptr<Budgeter> instrument_budgeter(std::unique_ptr<Budgeter> inner) {
   if (inner == nullptr) return nullptr;
   return std::make_unique<InstrumentedBudgeter>(std::move(inner));
 }

@@ -62,6 +62,11 @@ enum class BudgeterKind { kEvenPower, kEvenSlowdown };
 std::string to_string(BudgeterKind kind);
 std::unique_ptr<Budgeter> make_budgeter(BudgeterKind kind);
 
+/// Wrap a budgeter in the telemetry decorator make_budgeter applies to
+/// the built-in kinds, so custom (policy-registry) budgeters report the
+/// same cluster.budget.* metrics and trace events.
+std::unique_ptr<Budgeter> instrument_budgeter(std::unique_ptr<Budgeter> inner);
+
 /// Feasible total-power envelope of a job set.
 double total_min_power_w(const std::vector<JobPowerProfile>& jobs);
 double total_max_power_w(const std::vector<JobPowerProfile>& jobs);

@@ -1,0 +1,40 @@
+// Expression-DSL budgeter: per-node caps computed by a policy expression.
+//
+// The scripted-policy counterpart of EvenPower/EvenSlowdown: each control
+// interval the expression is evaluated once per running job against its
+// fitted model terms and the cluster budgeting context (policy_dsl.hpp),
+// producing a raw per-node cap.  Raw caps are clamped into the job's
+// [p_min, p_max] envelope and, when their total exceeds the budget,
+// scaled back uniformly along each job's p_min→cap segment so the
+// allocation never over-commits.  The whole pipeline is a pure function
+// of (jobs, budget) — order-independent and bit-deterministic — which is
+// what the admission harness verifies before run_scenario will dispatch
+// a policy built on it.
+#pragma once
+
+#include <string>
+
+#include "budget/budgeter.hpp"
+#include "budget/policy_dsl.hpp"
+
+namespace anor::budget {
+
+class ExpressionBudgeter final : public Budgeter {
+ public:
+  /// `name` is the registry policy name (reported by name()); `expr` is
+  /// the parsed cap expression.
+  ExpressionBudgeter(std::string name, DslExpr expr);
+
+  std::string name() const override { return name_; }
+
+  BudgetResult distribute(const std::vector<JobPowerProfile>& jobs,
+                          double budget_w) const override;
+
+  const DslExpr& expr() const { return expr_; }
+
+ private:
+  std::string name_;
+  DslExpr expr_;
+};
+
+}  // namespace anor::budget

@@ -12,7 +12,9 @@
 namespace anor::cluster {
 
 ClusterManager::ClusterManager(ClusterManagerConfig config) : config_(config) {
-  budgeter_ = budget::make_budgeter(config_.budgeter);
+  budgeter_ = config_.budgeter_factory
+                  ? budget::instrument_budgeter(config_.budgeter_factory())
+                  : budget::make_budgeter(config_.budgeter);
 }
 
 void ClusterManager::load_power_targets(const std::string& path) {

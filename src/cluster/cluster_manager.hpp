@@ -18,6 +18,7 @@
 // job's liveness is in doubt, so a partition cannot wind it up.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -36,6 +37,10 @@ struct ClusterManagerConfig {
   /// Budget recompute / target refresh cadence, seconds.
   double control_period_s = 2.0;
   budget::BudgeterKind budgeter = budget::BudgeterKind::kEvenSlowdown;
+  /// When set, overrides `budgeter`: the policy registry's factory seam
+  /// for custom (e.g. expression-DSL) budgeters.  The manager wraps the
+  /// product in the same telemetry decorator make_budgeter applies.
+  std::function<std::unique_ptr<budget::Budgeter>()> budgeter_factory;
   /// Initial model for jobs whose classified type is unknown.
   model::DefaultModelPolicy default_model = model::DefaultModelPolicy::kLeastSensitive;
   /// Accept model updates from the job tier (the feedback path).  When

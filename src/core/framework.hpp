@@ -28,7 +28,7 @@ struct Experiment {
   /// workload::misclassify before running.
   workload::Schedule schedule;
 
-  PolicyKind policy = PolicyKind::kCharacterized;
+  PolicyRef policy;
 
   /// Static cluster power budget, watts.  Mutually exclusive with
   /// `targets`; leave both unset to run unconstrained.

@@ -1,18 +1,29 @@
-// The four cluster power-management policies the paper evaluates
-// (Fig. 6-10 legends).
+// Cluster power-management policies, resolved through the process-wide
+// policy registry.
 //
-// The enum and its helpers live in the shared scenario engine
-// (engine/scenario.hpp, engine/runner.hpp) since both backends consume
-// them; this header keeps the historical core:: names as aliases.
+// The four paper policies (Fig. 6-10 legends) are registry built-ins;
+// custom policies — including expression-DSL budgeters — register at
+// runtime and are admission-gated (engine/policy_admission.hpp) before
+// run_scenario dispatches them.  The machinery lives in the shared
+// scenario engine (engine/policy_registry.hpp, engine/runner.hpp) since
+// both backends consume it; this header keeps the historical core::
+// names as aliases.
 #pragma once
 
+#include "engine/policy_admission.hpp"
+#include "engine/policy_registry.hpp"
 #include "engine/runner.hpp"
 
 namespace anor::core {
 
-using PolicyKind = engine::PolicyKind;
+using PolicyRef = engine::PolicyRef;
+using PolicyDescriptor = engine::PolicyDescriptor;
+using PolicyRegistry = engine::PolicyRegistry;
+using engine::admit_policy;
 using engine::apply_policy;
 using engine::expects_misclassification;
+using engine::policy_from_string;
+using engine::resolve_policy;
 using engine::to_string;
 
 }  // namespace anor::core

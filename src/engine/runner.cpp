@@ -4,6 +4,8 @@
 #include <memory>
 #include <set>
 
+#include "engine/policy_admission.hpp"
+#include "engine/policy_registry.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/metrics.hpp"
@@ -12,34 +14,20 @@
 
 namespace anor::engine {
 
-void apply_policy(cluster::EmulationConfig& config, PolicyKind policy) {
-  switch (policy) {
-    case PolicyKind::kUniform:
-      config.manager.budgeter = budget::BudgeterKind::kEvenPower;
-      config.manager.accept_model_updates = false;
-      config.endpoint.feedback_enabled = false;
-      break;
-    case PolicyKind::kCharacterized:
-      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
-      config.manager.accept_model_updates = false;
-      config.endpoint.feedback_enabled = false;
-      break;
-    case PolicyKind::kMisclassified:
-      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
-      config.manager.accept_model_updates = false;
-      config.endpoint.feedback_enabled = false;
-      break;
-    case PolicyKind::kAdjusted:
-      config.manager.budgeter = budget::BudgeterKind::kEvenSlowdown;
-      config.manager.accept_model_updates = true;
-      config.endpoint.feedback_enabled = true;
-      break;
-  }
+void apply_policy(cluster::EmulationConfig& config, const PolicyRef& policy) {
+  const PolicyDescriptor descriptor = resolve_policy(policy);
+  config.manager.budgeter = descriptor.budgeter_kind;
+  config.manager.budgeter_factory = policy_budgeter_factory(descriptor);
+  config.manager.accept_model_updates = descriptor.feedback;
+  config.endpoint.feedback_enabled = descriptor.feedback;
+  if (descriptor.apply_emulated) descriptor.apply_emulated(config);
 }
 
-void apply_policy(sim::SimConfig& config, PolicyKind policy) {
-  config.budgeter = policy == PolicyKind::kUniform ? budget::BudgeterKind::kEvenPower
-                                                   : budget::BudgeterKind::kEvenSlowdown;
+void apply_policy(sim::SimConfig& config, const PolicyRef& policy) {
+  const PolicyDescriptor descriptor = resolve_policy(policy);
+  config.budgeter = descriptor.budgeter_kind;
+  config.budgeter_factory = policy_budgeter_factory(descriptor);
+  if (descriptor.apply_tabular) descriptor.apply_tabular(config);
 }
 
 util::TimeSeries constant_targets(double power_w, double horizon_s, double period_s) {
@@ -121,9 +109,9 @@ sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec) {
 sim::TabularSimulator make_tabular_simulator(const ScenarioSpec& spec, sim::WarmStart* warm) {
   const sim::SimConfig config = make_sim_config(spec);
   workload::Schedule schedule = spec.schedule;
-  if (spec.policy == PolicyKind::kAdjusted) {
-    // Converged feedback: the budgeter sees the true types (see
-    // run_scenario's tabular branch, which this mirrors).
+  if (resolve_policy(spec.policy).strip_labels_for_tabular) {
+    // Converged feedback (the built-in Adjusted policy): the budgeter
+    // sees the true types.
     for (workload::JobRequest& job : schedule.jobs) job.classified_as.clear();
   }
   return sim::TabularSimulator(config, std::move(schedule),
@@ -137,6 +125,9 @@ RunResult run_scenario(const ScenarioSpec& spec) {
 RunResult run_scenario(const ScenarioSpec& spec,
                        const cluster::EmulationConfig& emulated_base) {
   spec.validate();
+  // Non-built-in policies must have passed the admission harness (parity
+  // + chaos determinism) before the engine will dispatch them.
+  ensure_admitted(spec.policy);
   std::unique_ptr<telemetry::RunArtifactWriter> artifacts;
   if (!spec.artifact_dir.empty()) {
     telemetry::RunArtifactConfig artifact_config;
@@ -171,6 +162,7 @@ RunResult run_scenario(const ScenarioSpec& spec,
 
 RunResult run_scenario_warm(const ScenarioSpec& spec, sim::WarmStart& warm) {
   spec.validate();
+  ensure_admitted(spec.policy);
   if (spec.backend != Backend::kTabular || !spec.artifact_dir.empty()) {
     // Nothing to pool for the emulated tier, and artifact runs need the
     // writer wiring run_scenario owns; both stay on the cold path.

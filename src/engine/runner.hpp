@@ -16,16 +16,18 @@
 
 namespace anor::engine {
 
-/// Configure an emulation for a policy.  The schedule carries the
-/// misclassification labels (workload::misclassify); this sets the
-/// budgeter kind and the feedback switches.
-void apply_policy(cluster::EmulationConfig& config, PolicyKind policy);
+/// Configure an emulation for a policy, resolved through the registry
+/// (engine/policy_registry.hpp): the budgeter kind or factory, the
+/// feedback switches, and any custom apply_emulated hook.  The schedule
+/// carries the misclassification labels (workload::misclassify).
+void apply_policy(cluster::EmulationConfig& config, const PolicyRef& policy);
 
-/// Configure the tabular simulator for a policy: Uniform budgets
-/// even-power, the rest even-slowdown.  The Adjusted policy's converged
-/// feedback loop is modeled by budgeting with the true (not classified)
-/// models — run_scenario strips the labels before the run.
-void apply_policy(sim::SimConfig& config, PolicyKind policy);
+/// Configure the tabular simulator for a policy: the descriptor's
+/// budgeter kind or factory plus any apply_tabular hook.  The built-in
+/// Adjusted policy's converged feedback loop is modeled by budgeting with
+/// the true (not classified) models — run_scenario strips the labels
+/// before the run (descriptor.strip_labels_for_tabular).
+void apply_policy(sim::SimConfig& config, const PolicyRef& policy);
 
 /// A constant-power target series over a horizon (static budget runs are
 /// degenerate tracking runs, as on the real cluster).

@@ -20,28 +20,10 @@ Backend backend_from_string(const std::string& name) {
   throw util::ConfigError("unknown backend '" + name + "' (emulated|tabular)");
 }
 
-std::string to_string(PolicyKind policy) {
-  switch (policy) {
-    case PolicyKind::kUniform: return "uniform";
-    case PolicyKind::kCharacterized: return "characterized";
-    case PolicyKind::kMisclassified: return "misclassified";
-    case PolicyKind::kAdjusted: return "adjusted";
-  }
-  return "?";
-}
+std::string to_string(const PolicyRef& policy) { return policy.name; }
 
-PolicyKind policy_from_string(const std::string& name) {
-  if (name == "uniform") return PolicyKind::kUniform;
-  if (name == "characterized") return PolicyKind::kCharacterized;
-  if (name == "misclassified") return PolicyKind::kMisclassified;
-  if (name == "adjusted") return PolicyKind::kAdjusted;
-  throw util::ConfigError("unknown policy '" + name +
-                          "' (uniform|characterized|misclassified|adjusted)");
-}
-
-bool expects_misclassification(PolicyKind policy) {
-  return policy == PolicyKind::kMisclassified || policy == PolicyKind::kAdjusted;
-}
+// policy_from_string / expects_misclassification / policy_ref_from_json
+// live in policy_registry.cpp — they resolve through the registry.
 
 std::map<std::string, util::RunningStats> RunResult::slowdown_by_type() const {
   std::map<std::string, util::RunningStats> by_type;
@@ -111,7 +93,7 @@ util::Json scenario_spec_to_json(const ScenarioSpec& spec) {
   obj["name"] = util::Json(spec.name);
   obj["backend"] = util::Json(to_string(spec.backend));
   obj["schedule"] = spec.schedule.to_json();
-  obj["policy"] = util::Json(to_string(spec.policy));
+  obj["policy"] = policy_ref_to_json(spec.policy);
   if (spec.static_budget_w) obj["static_budget_w"] = util::Json(*spec.static_budget_w);
   if (!spec.targets.empty()) obj["targets"] = series_to_json(spec.targets);
   obj["node_count"] = util::Json(spec.node_count);
@@ -135,7 +117,7 @@ ScenarioSpec scenario_spec_from_json(const util::Json& json) {
   if (json.contains("schedule")) {
     spec.schedule = workload::Schedule::from_json(json.at("schedule"));
   }
-  spec.policy = policy_from_string(json.string_or("policy", "characterized"));
+  if (json.contains("policy")) spec.policy = policy_ref_from_json(json.at("policy"));
   if (json.contains("static_budget_w")) {
     spec.static_budget_w = json.at("static_budget_w").as_number();
   }

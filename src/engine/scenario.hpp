@@ -32,24 +32,60 @@ enum class Backend { kEmulated, kTabular };
 std::string to_string(Backend backend);
 Backend backend_from_string(const std::string& name);
 
-/// The four cluster power-management policies the paper evaluates
-/// (Fig. 6-10 legends).
+/// Reference to a policy in the process-wide PolicyRegistry
+/// (engine/policy_registry.hpp).  The four paper policies (Fig. 6-10
+/// legends) are registered as built-ins:
 ///
-///   Uniform        — performance-agnostic even-power budgeter.
-///   Characterized  — performance-aware even-slowdown budgeter with
+///   uniform        — performance-agnostic even-power budgeter.
+///   characterized  — performance-aware even-slowdown budgeter with
 ///                    correct precharacterized models.
-///   Misclassified  — even-slowdown, but (some) jobs carry a wrong
+///   misclassified  — even-slowdown, but (some) jobs carry a wrong
 ///                    classification and feedback is disabled.
-///   Adjusted       — misclassified, with the job-tier feedback loop
+///   adjusted       — misclassified, with the job-tier feedback loop
 ///                    enabled so the cluster tier recovers.
-enum class PolicyKind { kUniform, kCharacterized, kMisclassified, kAdjusted };
+///
+/// Any other name must be registered (natively or as an expression-DSL
+/// policy) before dispatch.  A non-empty `dsl` makes the reference
+/// self-contained: run_scenario auto-registers `name` with that
+/// expression, so specs and sweep grids can carry custom policies as
+/// data.  Implicitly constructible from a string so call sites read
+/// `spec.policy = "uniform"`.
+struct PolicyRef {
+  std::string name = "characterized";
+  /// Expression-DSL source (budget/policy_dsl.hpp); empty for built-in
+  /// or natively registered policies.
+  std::string dsl;
 
-std::string to_string(PolicyKind policy);
-PolicyKind policy_from_string(const std::string& name);
+  PolicyRef() = default;
+  PolicyRef(std::string name_in) : name(std::move(name_in)) {}  // NOLINT(google-explicit-constructor)
+  PolicyRef(const char* name_in) : name(name_in) {}             // NOLINT(google-explicit-constructor)
+  PolicyRef(std::string name_in, std::string dsl_in)
+      : name(std::move(name_in)), dsl(std::move(dsl_in)) {}
+
+  friend bool operator==(const PolicyRef& a, const PolicyRef& b) {
+    return a.name == b.name && a.dsl == b.dsl;
+  }
+  friend bool operator!=(const PolicyRef& a, const PolicyRef& b) { return !(a == b); }
+};
+
+/// The policy's registry name.
+std::string to_string(const PolicyRef& policy);
+
+/// Validate `name` against the registry and return a reference to it.
+/// Throws util::ConfigError naming the available entries when unknown.
+PolicyRef policy_from_string(const std::string& name);
 
 /// Whether the policy expects the schedule to carry misclassification
-/// labels.
-bool expects_misclassification(PolicyKind policy);
+/// labels (resolves through the registry; defined in policy_registry.cpp).
+bool expects_misclassification(const PolicyRef& policy);
+
+/// Parse a spec/grid "policy" value: either a registry name string or an
+/// object {"name": ..., "expr": ...} carrying an inline expression-DSL
+/// definition (the expression is parse-checked here).
+PolicyRef policy_ref_from_json(const util::Json& json);
+/// Inverse: a bare string for plain references, the object form when the
+/// reference carries an inline expression.
+util::Json policy_ref_to_json(const PolicyRef& policy);
 
 /// One finished job, as both backends record it.  The tabular backend
 /// fills the report with what its linear model knows (runtime, nodes,
@@ -95,7 +131,7 @@ struct ScenarioSpec {
   /// workload::misclassify before running.
   workload::Schedule schedule;
 
-  PolicyKind policy = PolicyKind::kCharacterized;
+  PolicyRef policy;
 
   /// Static cluster power budget, watts.  Mutually exclusive with
   /// `targets`; leave both unset to run unconstrained.

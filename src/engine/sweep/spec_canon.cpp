@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "budget/policy_dsl.hpp"
+#include "engine/policy_registry.hpp"
+
 namespace anor::engine::sweep {
 
 namespace {
@@ -58,10 +61,33 @@ std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t size) {
 
 }  // namespace
 
+/// Full identity of a non-built-in policy ("" for built-ins): the
+/// registry name plus, for expression policies, the DSL source hash.
+/// Two custom policies sharing a name but not a definition must never
+/// alias one cache entry; built-ins contribute only their name so the
+/// canonical bytes (and every pre-registry cache key) are unchanged.
+std::string policy_identity_for_cache(const PolicyRef& policy) {
+  if (!policy.dsl.empty()) {
+    // Inline definitions carry their own identity whether or not they
+    // have been registered yet — the key must not depend on process
+    // registration state.
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(budget::dsl_source_hash(policy.dsl)));
+    return policy.name + "#" + buf;
+  }
+  PolicyRegistry& registry = PolicyRegistry::global();
+  if (!registry.contains(policy.name)) return policy.name + "#unregistered";
+  const PolicyDescriptor descriptor = registry.get(policy.name);
+  return descriptor.builtin ? std::string() : descriptor.identity();
+}
+
 util::Json canonical_spec_json(const ScenarioSpec& spec) {
   util::JsonObject obj;
   obj["backend"] = util::Json(to_string(spec.backend));
   obj["policy"] = util::Json(to_string(spec.policy));
+  const std::string identity = policy_identity_for_cache(spec.policy);
+  if (!identity.empty()) obj["policy_identity"] = util::Json(identity);
   obj["schedule"] = canon_schedule(spec.schedule);
   obj["static_budget_w"] = spec.static_budget_w
                                ? util::Json(canon_num(*spec.static_budget_w))

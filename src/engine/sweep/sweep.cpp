@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "engine/policy_registry.hpp"
 #include "util/error.hpp"
 #include "workload/grid_signals.hpp"
 #include "workload/job_type.hpp"
@@ -28,7 +29,7 @@ ScenarioSpec base_from_json(const util::Json& json) {
   if (json.contains("schedule")) {
     spec.schedule = workload::Schedule::from_json(json.at("schedule"));
   }
-  spec.policy = policy_from_string(json.string_or("policy", "characterized"));
+  if (json.contains("policy")) spec.policy = policy_ref_from_json(json.at("policy"));
   if (json.contains("static_budget_w")) {
     spec.static_budget_w = json.at("static_budget_w").as_number();
   }
@@ -46,6 +47,10 @@ ScenarioSpec base_from_json(const util::Json& json) {
 
 std::string value_label(const util::Json& value) {
   if (value.is_string()) return value.as_string();
+  if (value.is_object() && value.contains("name")) {
+    // Object-valued policy axis entries ({"name", "expr"}) label by name.
+    return value.at("name").as_string();
+  }
   if (value.is_number()) {
     // Short %g labels (0.6, not 0.59999999999999998): cell names are
     // display-only and excluded from canonical cache keys.
@@ -72,6 +77,20 @@ SweepGrid SweepGrid::from_json(const util::Json& json) {
   }
   SweepGrid grid;
   grid.name = json.string_or("name", grid.name);
+
+  // Register grid-defined policies before the base/axes parse so axis
+  // values and the base spec can reference them by bare name.
+  if (json.contains("policies")) {
+    for (const util::Json& item : json.at("policies").as_array()) {
+      SweepPolicyDef def;
+      def.name = item.at("name").as_string();
+      def.expr = item.at("expr").as_string();
+      def.summary = item.string_or("summary", "");
+      PolicyRegistry::global().register_expression_policy(def.name, def.expr, def.summary);
+      grid.policies.push_back(std::move(def));
+    }
+  }
+
   if (json.contains("base")) grid.base = base_from_json(json.at("base"));
 
   if (json.contains("generate")) {
@@ -153,7 +172,7 @@ ScenarioSpec SweepMaterializer::materialize(const SweepCell& cell) {
 
   for (const auto& [field, value] : cell.assignment) {
     if (field == "policy") {
-      spec.policy = policy_from_string(value.as_string());
+      spec.policy = policy_ref_from_json(value);
     } else if (field == "backend") {
       spec.backend = backend_from_string(value.as_string());
     } else if (field == "signal") {

@@ -64,15 +64,27 @@ struct SweepCell {
   std::vector<std::pair<std::string, util::Json>> assignment;
 };
 
+/// A custom policy defined by the grid document itself (grid "policies"
+/// array): registered in the global PolicyRegistry before the base spec
+/// and axes are parsed, so axis values can reference it by name.
+struct SweepPolicyDef {
+  std::string name;
+  std::string expr;  // expression-DSL source (budget/policy_dsl.hpp)
+  std::string summary;
+};
+
 struct SweepGrid {
   std::string name = "sweep";
   ScenarioSpec base;
   SweepGenerate generate;
+  std::vector<SweepPolicyDef> policies;
   std::vector<SweepAxis> axes;
 
-  /// Parse `anor.sweep.v1`: {schema, name, base: <anor.scenario.v1
-  /// fields>, generate: {...}, axes: [{field, values: [...]}]}.  The base
-  /// object may omit the schedule when generation is enabled.  Throws
+  /// Parse `anor.sweep.v1`: {schema, name, policies: [{name, expr,
+  /// summary}], base: <anor.scenario.v1 fields>, generate: {...},
+  /// axes: [{field, values: [...]}]}.  The base object may omit the
+  /// schedule when generation is enabled.  Policy definitions are
+  /// registered (idempotently) as a side effect.  Throws
   /// util::ConfigError on unknown axis fields or malformed values.
   static SweepGrid from_json(const util::Json& json);
 

@@ -7,6 +7,8 @@
 // per node and execution time at either end.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,12 @@ struct SimConfig {
   std::vector<SimJobType> job_types;
 
   budget::BudgeterKind budgeter = budget::BudgeterKind::kEvenSlowdown;
+  /// When set, overrides `budgeter`: the policy registry's factory seam
+  /// for custom (e.g. expression-DSL) budgeters.  The simulator wraps the
+  /// product in the same telemetry decorator make_budgeter applies.
+  /// Excluded from JSON round-trips — custom policies travel by name
+  /// through ScenarioSpec, not through raw SimConfig documents.
+  std::function<std::unique_ptr<budget::Budgeter>()> budgeter_factory;
   bool power_aware_admission = true;
   /// EASY backfill within queues (see sched::SchedulerConfig::backfill).
   bool backfill = false;

@@ -79,7 +79,9 @@ TabularSimulator::TabularSimulator(SimConfig config, workload::Schedule schedule
       }()) {
   if (config_.job_types.empty()) throw util::ConfigError("TabularSimulator: no job types");
   nodes_.reset(config_.node_count);
-  budgeter_ = budget::make_budgeter(config_.budgeter);
+  budgeter_ = config_.budgeter_factory
+                  ? budget::instrument_budgeter(config_.budgeter_factory())
+                  : budget::make_budgeter(config_.budgeter);
 
   for (std::size_t i = 0; i < config_.job_types.size(); ++i) {
     type_index_by_name_.emplace(config_.job_types[i].name, static_cast<int>(i));

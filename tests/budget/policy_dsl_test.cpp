@@ -1,0 +1,111 @@
+// Expression-DSL parser/evaluator (budget/policy_dsl.hpp).
+#include "budget/policy_dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace anor::budget {
+namespace {
+
+DslContext context() {
+  DslContext ctx;
+  ctx.model = nullptr;
+  ctx.nodes = 4.0;
+  ctx.jobs = 3.0;
+  ctx.budget_w = 1200.0;
+  ctx.total_nodes = 8.0;
+  ctx.fair_w = 150.0;
+  return ctx;
+}
+
+double eval(const std::string& source) {
+  return DslExpr::parse(source).eval(context());
+}
+
+TEST(PolicyDsl, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("10 - 4 - 3"), 3.0);  // left-assoc
+  EXPECT_DOUBLE_EQ(eval("2 ^ 3 ^ 2"), 512.0);  // right-assoc
+  EXPECT_DOUBLE_EQ(eval("-2 ^ 2"), -4.0);      // unary minus binds looser than ^
+  EXPECT_DOUBLE_EQ(eval("6 / 3 / 2"), 1.0);
+}
+
+TEST(PolicyDsl, VariablesReadTheContext) {
+  EXPECT_DOUBLE_EQ(eval("nodes"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("jobs"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("budget_w / total_nodes"), 150.0);
+  EXPECT_DOUBLE_EQ(eval("fair_w * nodes"), 600.0);
+}
+
+TEST(PolicyDsl, Functions) {
+  EXPECT_DOUBLE_EQ(eval("min(3, 2)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("max(3, 2)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("clamp(5, 1, 3)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("clamp(0, 1, 3)"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("clamp(2, 1, 3)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("abs(0 - 4)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(9)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("ceil(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("pow(2, 10)"), 1024.0);
+}
+
+TEST(PolicyDsl, DomainErrorsAreTotal) {
+  // The evaluator must never produce NaN/Inf from well-formed programs:
+  // division and sqrt are totalized to 0 on domain errors.
+  EXPECT_DOUBLE_EQ(eval("1 / 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(0 - 1)"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("pow(10, 400)"), 0.0);  // overflow totalizes to 0 too
+  EXPECT_DOUBLE_EQ(eval("2 ^ -1"), 0.5);        // '-' allowed in the exponent
+}
+
+TEST(PolicyDsl, ParseErrorsNamePositionAndCandidates) {
+  EXPECT_THROW(DslExpr::parse(""), util::ConfigError);
+  EXPECT_THROW(DslExpr::parse("1 +"), util::ConfigError);
+  EXPECT_THROW(DslExpr::parse("(1 + 2"), util::ConfigError);
+  EXPECT_THROW(DslExpr::parse("min(1)"), util::ConfigError);   // arity
+  EXPECT_THROW(DslExpr::parse("1 2"), util::ConfigError);      // trailing junk
+  try {
+    DslExpr::parse("boguses + 1");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("boguses"), std::string::npos) << what;
+    EXPECT_NE(what.find("p_min"), std::string::npos)
+        << "error should list the known names: " << what;
+  }
+}
+
+TEST(PolicyDsl, NoiseIsDetectedStatically) {
+  EXPECT_FALSE(DslExpr::parse("p_min + 1").uses_noise());
+  EXPECT_TRUE(DslExpr::parse("p_min + noise()").uses_noise());
+}
+
+TEST(PolicyDsl, NoiseActuallyVaries) {
+  // noise() exists so the admission harness has something real to catch.
+  const DslExpr expr = DslExpr::parse("noise()");
+  const double a = expr.eval(context());
+  const double b = expr.eval(context());
+  EXPECT_NE(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+}
+
+TEST(PolicyDsl, SourceHashIsStableAndSourceSensitive) {
+  const std::string src = "clamp(budget_w / total_nodes, p_min, p_max)";
+  EXPECT_EQ(dsl_source_hash(src), dsl_source_hash(src));
+  EXPECT_NE(dsl_source_hash(src), dsl_source_hash(src + " "));
+  EXPECT_NE(dsl_source_hash("p_min"), dsl_source_hash("p_max"));
+}
+
+TEST(PolicyDsl, SourceIsPreserved) {
+  const std::string src = "max(p_min, fair_w)";
+  EXPECT_EQ(DslExpr::parse(src).source(), src);
+}
+
+}  // namespace
+}  // namespace anor::budget

@@ -116,9 +116,9 @@ TEST(EmulationInvariants, PowerSeriesMatchesHardwareScale) {
 }
 
 TEST(EmulationInvariants, PoliciesAllDrainTheSameSchedule) {
-  for (const auto policy :
-       {core::PolicyKind::kUniform, core::PolicyKind::kCharacterized,
-        core::PolicyKind::kMisclassified, core::PolicyKind::kAdjusted}) {
+  for (const core::PolicyRef policy :
+       {core::PolicyRef("uniform"), core::PolicyRef("characterized"),
+        core::PolicyRef("misclassified"), core::PolicyRef("adjusted")}) {
     core::Experiment experiment;
     experiment.base = invariant_config();
     experiment.node_count = 6;

@@ -62,11 +62,11 @@ TEST(EndToEnd, PerformanceAwareBeatsAgnosticForSensitiveJob) {
   agnostic.base = fast_base();
   agnostic.node_count = 4;
   agnostic.schedule = bt_sp_schedule();
-  agnostic.policy = PolicyKind::kUniform;
+  agnostic.policy = PolicyRef("uniform");
   agnostic.static_budget_w = fig6_budget(agnostic.base, 4, 4);
 
   Experiment aware = agnostic;
-  aware.policy = PolicyKind::kCharacterized;
+  aware.policy = PolicyRef("characterized");
 
   const auto agnostic_result = run_experiment(agnostic);
   const auto aware_result = run_experiment(aware);
@@ -91,15 +91,15 @@ TEST(EndToEnd, MisclassificationHurtsAndFeedbackRecovers) {
   characterized.base = fast_base();
   characterized.node_count = 4;
   characterized.schedule = bt_sp_schedule();
-  characterized.policy = PolicyKind::kCharacterized;
+  characterized.policy = PolicyRef("characterized");
   characterized.static_budget_w = fig6_budget(characterized.base, 4, 4);
 
   Experiment misclassified = characterized;
-  misclassified.policy = PolicyKind::kMisclassified;
+  misclassified.policy = PolicyRef("misclassified");
   workload::misclassify(misclassified.schedule, "bt.D.x", "is.D.x");
 
   Experiment adjusted = misclassified;
-  adjusted.policy = PolicyKind::kAdjusted;
+  adjusted.policy = PolicyRef("adjusted");
 
   const double bt_good = slowdown_of(run_experiment(characterized), "bt.D.x");
   const double bt_bad = slowdown_of(run_experiment(misclassified), "bt.D.x");
@@ -133,7 +133,7 @@ TEST(EndToEnd, TimeVaryingTargetTrackedWithinReserveBand) {
   }
   schedule.duration_s = 240.0;
   experiment.schedule = schedule;
-  experiment.policy = PolicyKind::kCharacterized;
+  experiment.policy = PolicyRef("characterized");
 
   // Targets: 4-node bid scaled from the paper's 16-node range.
   const workload::DemandResponseBid bid{4 * 195.0 + 0.0, 4 * 40.0};

@@ -9,6 +9,9 @@
 #include <cmath>
 #include <map>
 
+#include <string>
+
+#include "engine/policy_registry.hpp"
 #include "engine/runner.hpp"
 #include "util/stats.hpp"
 #include "workload/job_type.hpp"
@@ -38,7 +41,7 @@ workload::Schedule parity_schedule() {
                                              util::Rng(7));
 }
 
-Outcome run_one(PolicyKind policy, Backend backend) {
+Outcome run_one(const PolicyRef& policy, Backend backend) {
   workload::Schedule schedule = parity_schedule();
   if (expects_misclassification(policy)) {
     workload::misclassify(schedule, "bt.D.x", "is.D.x");
@@ -66,14 +69,12 @@ Outcome run_one(PolicyKind policy, Backend backend) {
 
 class ParityTest : public ::testing::Test {
  protected:
-  static const std::map<PolicyKind, std::map<Backend, Outcome>>& grid() {
+  static const std::map<std::string, std::map<Backend, Outcome>>& grid() {
     static const auto* grid = [] {
-      auto* g = new std::map<PolicyKind, std::map<Backend, Outcome>>();
-      for (PolicyKind policy :
-           {PolicyKind::kUniform, PolicyKind::kCharacterized,
-            PolicyKind::kMisclassified, PolicyKind::kAdjusted}) {
+      auto* g = new std::map<std::string, std::map<Backend, Outcome>>();
+      for (const std::string& policy : PolicyRegistry::builtin_names()) {
         for (Backend backend : {Backend::kEmulated, Backend::kTabular}) {
-          (*g)[policy][backend] = run_one(policy, backend);
+          (*g)[policy][backend] = run_one(PolicyRef(policy), backend);
         }
       }
       return g;
@@ -88,7 +89,7 @@ TEST_F(ParityTest, BothBackendsCompleteEveryJob) {
   for (const auto& [policy, backends] : grid()) {
     for (const auto& [backend, outcome] : backends) {
       EXPECT_EQ(outcome.completed, submitted)
-          << to_string(policy) << " on " << to_string(backend);
+          << policy << " on " << to_string(backend);
     }
   }
 }
@@ -97,10 +98,10 @@ TEST_F(ParityTest, TrackingErrorAgreesWithinTolerance) {
   for (const auto& [policy, backends] : grid()) {
     const Outcome& emu = backends.at(Backend::kEmulated);
     const Outcome& tab = backends.at(Backend::kTabular);
-    EXPECT_GT(emu.p90_tracking, 0.0) << to_string(policy);
-    EXPECT_GT(tab.p90_tracking, 0.0) << to_string(policy);
+    EXPECT_GT(emu.p90_tracking, 0.0) << policy;
+    EXPECT_GT(tab.p90_tracking, 0.0) << policy;
     EXPECT_LT(std::abs(emu.p90_tracking - tab.p90_tracking), kTrackingTol)
-        << to_string(policy) << ": " << emu.p90_tracking << " vs " << tab.p90_tracking;
+        << policy << ": " << emu.p90_tracking << " vs " << tab.p90_tracking;
   }
 }
 
@@ -109,8 +110,7 @@ TEST_F(ParityTest, MeanSlowdownAgreesWithinTolerance) {
     const Outcome& emu = backends.at(Backend::kEmulated);
     const Outcome& tab = backends.at(Backend::kTabular);
     EXPECT_LT(std::abs(emu.mean_slowdown - tab.mean_slowdown), kSlowdownTol)
-        << to_string(policy) << ": " << emu.mean_slowdown << " vs "
-        << tab.mean_slowdown;
+        << policy << ": " << emu.mean_slowdown << " vs " << tab.mean_slowdown;
   }
 }
 
@@ -118,7 +118,7 @@ TEST_F(ParityTest, QosVerdictsAgree) {
   for (const auto& [policy, backends] : grid()) {
     EXPECT_EQ(backends.at(Backend::kEmulated).qos_ok,
               backends.at(Backend::kTabular).qos_ok)
-        << to_string(policy);
+        << policy;
   }
 }
 
@@ -128,8 +128,8 @@ TEST_F(ParityTest, PolicyOrderingConsistentAcrossBackends) {
   // either backend.
   for (Backend backend : {Backend::kEmulated, Backend::kTabular}) {
     const double characterized =
-        grid().at(PolicyKind::kCharacterized).at(backend).mean_slowdown;
-    const double uniform = grid().at(PolicyKind::kUniform).at(backend).mean_slowdown;
+        grid().at("characterized").at(backend).mean_slowdown;
+    const double uniform = grid().at("uniform").at(backend).mean_slowdown;
     EXPECT_LE(characterized, uniform + 1e-9) << to_string(backend);
   }
 }
@@ -140,7 +140,7 @@ TEST_F(ParityTest, EmulatedScenarioMatchesLegacyExperimentPath) {
   // schedule, same policy => same power trace.
   ScenarioSpec spec;
   spec.schedule = parity_schedule();
-  spec.policy = PolicyKind::kCharacterized;
+  spec.policy = PolicyRef("characterized");
   spec.static_budget_w = kBudgetW;
   spec.node_count = kNodes;
   spec.seed = 7;

@@ -46,7 +46,7 @@ ScenarioSpec small_spec(std::uint64_t seed = 11) {
   ScenarioSpec spec;
   spec.name = "cache-test";
   spec.backend = Backend::kTabular;
-  spec.policy = PolicyKind::kCharacterized;
+  spec.policy = PolicyRef("characterized");
   spec.node_count = 8;
   spec.seed = seed;
 

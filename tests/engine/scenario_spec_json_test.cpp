@@ -30,7 +30,7 @@ TEST(ScenarioSpecJson, RoundTripPreservesEverything) {
   original.name = "fig9-repro";
   original.backend = Backend::kTabular;
   original.schedule = small_schedule();
-  original.policy = PolicyKind::kAdjusted;
+  original.policy = PolicyRef("adjusted");
   original.targets.add(0.0, 3000.0);
   original.targets.add(4.0, 3100.0);
   original.targets.add(8.0, 2950.0);
@@ -45,7 +45,7 @@ TEST(ScenarioSpecJson, RoundTripPreservesEverything) {
   const ScenarioSpec parsed = scenario_spec_from_json(scenario_spec_to_json(original));
   EXPECT_EQ(parsed.name, "fig9-repro");
   EXPECT_EQ(parsed.backend, Backend::kTabular);
-  EXPECT_EQ(parsed.policy, PolicyKind::kAdjusted);
+  EXPECT_EQ(parsed.policy, PolicyRef("adjusted"));
   ASSERT_EQ(parsed.schedule.jobs.size(), 2u);
   EXPECT_EQ(parsed.schedule.jobs[0].type_name, "bt.D.x");
   EXPECT_EQ(parsed.schedule.jobs[0].nodes, 4);
@@ -66,11 +66,11 @@ TEST(ScenarioSpecJson, RoundTripPreservesEverything) {
 TEST(ScenarioSpecJson, MisclassificationLabelsSurviveTheRoundTrip) {
   ScenarioSpec original;
   original.schedule = small_schedule();
-  original.policy = PolicyKind::kMisclassified;
+  original.policy = PolicyRef("misclassified");
   workload::misclassify(original.schedule, "bt.D.x", "is.D.x");
 
   const ScenarioSpec parsed = scenario_spec_from_json(scenario_spec_to_json(original));
-  EXPECT_EQ(parsed.policy, PolicyKind::kMisclassified);
+  EXPECT_EQ(parsed.policy, PolicyRef("misclassified"));
   ASSERT_EQ(parsed.schedule.jobs.size(), 2u);
   EXPECT_EQ(parsed.schedule.jobs[0].classified_as, "is.D.x");
   EXPECT_EQ(parsed.schedule.jobs[0].effective_class(), "is.D.x");
@@ -102,11 +102,56 @@ TEST(ScenarioSpecJson, DefaultsApplyForMissingKeys) {
   const ScenarioSpec parsed = scenario_spec_from_json(util::Json::parse("{}"));
   const ScenarioSpec defaults;
   EXPECT_EQ(parsed.backend, Backend::kEmulated);
-  EXPECT_EQ(parsed.policy, PolicyKind::kCharacterized);
+  EXPECT_EQ(parsed.policy, PolicyRef("characterized"));
   EXPECT_EQ(parsed.node_count, defaults.node_count);
   EXPECT_EQ(parsed.seed, 1u);
   EXPECT_TRUE(parsed.schedule.jobs.empty());
   EXPECT_TRUE(parsed.artifact_dir.empty());
+}
+
+TEST(ScenarioSpecJson, UnknownPolicyNamesTheAvailableEntries) {
+  try {
+    policy_from_string("power-yolo");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("power-yolo"), std::string::npos) << what;
+    EXPECT_NE(what.find("available"), std::string::npos) << what;
+    // The four built-ins are always registered, so the candidate list
+    // must mention them.
+    EXPECT_NE(what.find("characterized"), std::string::npos) << what;
+    EXPECT_NE(what.find("uniform"), std::string::npos) << what;
+  }
+
+  // The spec JSON path reports the same error.
+  EXPECT_THROW(
+      scenario_spec_from_json(util::Json::parse(R"({"policy": "power-yolo"})")),
+      util::ConfigError);
+}
+
+TEST(ScenarioSpecJson, ExpressionPolicyRoundTripsAsObject) {
+  ScenarioSpec original;
+  original.schedule = small_schedule();
+  original.policy = PolicyRef("json-rt-expr", "clamp(budget_w / total_nodes, p_min, p_max)");
+
+  const util::Json json = scenario_spec_to_json(original);
+  // Built-in (and plain named) policies stay plain strings; inline DSL
+  // policies serialize as {"name", "expr"} objects.
+  EXPECT_TRUE(json.at("policy").is_object());
+  const ScenarioSpec parsed = scenario_spec_from_json(json);
+  EXPECT_EQ(parsed.policy, original.policy);
+  EXPECT_EQ(parsed.policy.dsl, "clamp(budget_w / total_nodes, p_min, p_max)");
+
+  ScenarioSpec builtin;
+  builtin.schedule = small_schedule();
+  builtin.policy = PolicyRef("uniform");
+  EXPECT_TRUE(scenario_spec_to_json(builtin).at("policy").is_string());
+}
+
+TEST(ScenarioSpecJson, MalformedExpressionPolicyIsRejectedAtParse) {
+  EXPECT_THROW(scenario_spec_from_json(util::Json::parse(
+                   R"({"policy": {"name": "bad", "expr": "p_min + "}})")),
+               util::ConfigError);
 }
 
 TEST(ScenarioSpecJson, ValidateRejectsContradictions) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "engine/policy_registry.hpp"
 #include "engine/scenario.hpp"
 #include "engine/sweep/spec_canon.hpp"
 #include "util/json.hpp"
@@ -40,7 +41,7 @@ ScenarioSpec base_spec() {
   spec.name = "canon-test";
   spec.backend = Backend::kTabular;
   spec.schedule = tiny_schedule();
-  spec.policy = PolicyKind::kCharacterized;
+  spec.policy = PolicyRef("characterized");
   spec.node_count = 8;
   spec.seed = 7;
   return spec;
@@ -113,7 +114,7 @@ TEST(SpecCanon, SemanticChangesProduceDistinctKeys) {
   const std::uint64_t reference = canonical_spec_hash(base_spec());
 
   ScenarioSpec changed = base_spec();
-  changed.policy = PolicyKind::kUniform;
+  changed.policy = PolicyRef("uniform");
   EXPECT_NE(canonical_spec_hash(changed), reference) << "policy";
 
   changed = base_spec();
@@ -144,6 +145,55 @@ TEST(SpecCanon, SemanticChangesProduceDistinctKeys) {
   changed.targets.add(0.0, 1000.0);
   changed.targets.add(60.0, 900.0);
   EXPECT_NE(canonical_spec_hash(changed), reference) << "targets";
+}
+
+TEST(SpecCanon, ExpressionPolicyIdentityIsFoldedIntoTheKey) {
+  // Regression: before the registry refactor the cache key held only the
+  // policy *name*, so two custom policies sharing a name but computing
+  // different caps would alias to one cache entry.
+  ScenarioSpec a = base_spec();
+  ScenarioSpec b = base_spec();
+  a.policy = PolicyRef("custom", "p_min + 10");
+  b.policy = PolicyRef("custom", "p_min + 20");
+  EXPECT_NE(canonical_spec_hash(a), canonical_spec_hash(b))
+      << "same policy name with different DSL sources must not alias";
+
+  ScenarioSpec c = base_spec();
+  c.policy = PolicyRef("custom", "p_min + 10");
+  EXPECT_EQ(canonical_spec_hash(a), canonical_spec_hash(c))
+      << "identical DSL sources must still share a key";
+
+  // Two different registered names over the same source differ too (the
+  // identity is name#hash, not hash alone).
+  ScenarioSpec d = base_spec();
+  d.policy = PolicyRef("custom2", "p_min + 10");
+  EXPECT_NE(canonical_spec_hash(a), canonical_spec_hash(d));
+}
+
+TEST(SpecCanon, RegisteredPolicyIdentityDiffersFromUnregisteredName) {
+  // A bare non-builtin name resolves through the registry at key time:
+  // registering an expression under that name must move the key.
+  ScenarioSpec bare = base_spec();
+  bare.policy = PolicyRef("canon-reg-expr");
+  const std::uint64_t unregistered = canonical_spec_hash(bare);
+  PolicyRegistry::global().register_expression_policy("canon-reg-expr", "p_max - 5");
+  const std::uint64_t registered = canonical_spec_hash(bare);
+  PolicyRegistry::global().unregister("canon-reg-expr");
+  EXPECT_NE(unregistered, registered);
+}
+
+TEST(SpecCanon, BuiltinCanonicalBytesCarryNoPolicyIdentity) {
+  // The four paper policies predate the registry; their canonical form
+  // (and therefore every existing on-disk cache entry) must be
+  // byte-identical to the enum era.
+  const std::string canon = canonical_spec_string(base_spec());
+  EXPECT_EQ(canon.find("policy_identity"), std::string::npos)
+      << "built-ins must keep their pre-registry canonical bytes";
+  EXPECT_NE(canon.find("\"policy\":\"characterized\""), std::string::npos) << canon;
+
+  ScenarioSpec custom = base_spec();
+  custom.policy = PolicyRef("custom", "p_min");
+  EXPECT_NE(canonical_spec_string(custom).find("policy_identity"), std::string::npos);
 }
 
 TEST(SpecCanon, BudgetZeroDiffersFromBudgetUnset) {

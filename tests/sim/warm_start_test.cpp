@@ -26,7 +26,7 @@ engine::ScenarioSpec warm_spec(std::uint64_t seed, int nodes = 12,
   engine::ScenarioSpec spec;
   spec.name = "warm-test";
   spec.backend = engine::Backend::kTabular;
-  spec.policy = engine::PolicyKind::kCharacterized;
+  spec.policy = engine::PolicyRef("characterized");
   spec.node_count = nodes;
   spec.seed = seed;
 

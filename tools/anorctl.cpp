@@ -9,15 +9,31 @@
 //       [--period S] [--seed K]
 //       Generate a demand-response power-target file.
 //   anorctl run --schedule FILE [--backend emulated|tabular] [--targets FILE]
-//       [--budget W] [--policy uniform|characterized|misclassified|adjusted]
+//       [--budget W] [--policy NAME] [--policy-expr EXPR | --policy-file FILE]
 //       [--misclassify TRUE=AS] [--nodes N] [--seed K]
 //       Run a scenario on either backend and print reports + tracking.
+//       --policy accepts any registered policy name (see `anorctl policy
+//       list`); --policy-expr/--policy-file define an expression-DSL
+//       policy inline (named by --policy, default "custom") — it must
+//       pass admission (`anorctl policy admit`) before it will run.
 //       Alternatively `--scenario FILE` loads a full ScenarioSpec JSON
 //       (anor.scenario.v1); --backend still overrides its backend field.
 //       Both backends emit the same anor.run_result.v1 report (--out).
+//   anorctl policy list|show|validate|admit
+//       Inspect and extend the policy registry.  `list` tabulates the
+//       registered policies and their admission state; `show --name N`
+//       prints one descriptor; `validate --expr E|--file F` parse-checks
+//       an expression and prints its source hash; `admit --name N
+//       [--expr E|--file F] [--duration S] [--nodes N] [--seed K]
+//       [--no-chaos]` registers (if an expression is given) and runs the
+//       admission harness — budget-envelope, tabular determinism,
+//       cross-backend parity, chaos determinism — exiting nonzero on
+//       rejection.
 //   anorctl parity [--duration S] [--nodes N] [--budget W] [--seed K]
+//       [--extra-policy NAME[,NAME...]]
 //       Run the same scenario through the emulated cluster AND the tabular
-//       simulator under all four policies and check the backends agree:
+//       simulator under all four built-in policies (plus any admitted
+//       --extra-policy entries) and check the backends agree:
 //       tracking errors within tolerance, per-policy slowdown ordering
 //       consistent, QoS verdicts identical.  Exits nonzero on divergence.
 //   anorctl sweep --grid FILE [--out FILE] [--results-out FILE]
@@ -82,10 +98,12 @@
 #include <thread>
 #include <vector>
 
+#include "budget/policy_dsl.hpp"
 #include "cluster/metrics_service.hpp"
 #include "core/anor.hpp"
 #include "telemetry/prof/prof.hpp"
 #include "telemetry/prof_export.hpp"
+#include "util/table.hpp"
 #include "workload/grid_signals.hpp"
 
 namespace {
@@ -223,7 +241,26 @@ int cmd_run(const Args& args) {
   } else {
     spec.name = "run";
     spec.schedule = workload::Schedule::load(args.require("schedule"));
-    spec.policy = engine::policy_from_string(args.str("policy", "characterized"));
+    // --policy accepts any registry name (built-in or registered custom);
+    // --policy-expr/--policy-file define an inline expression-DSL policy
+    // under that name (admission-gated on first dispatch).
+    std::string expr;
+    if (args.has("policy-expr")) {
+      expr = args.str("policy-expr");
+    } else if (args.has("policy-file")) {
+      std::ifstream in(args.str("policy-file"));
+      if (!in) {
+        std::cerr << "cannot read --policy-file " << args.str("policy-file") << "\n";
+        return 2;
+      }
+      std::string line;
+      while (std::getline(in, line)) expr += line + " ";
+    }
+    if (expr.empty()) {
+      spec.policy = engine::policy_from_string(args.str("policy", "characterized"));
+    } else {
+      spec.policy = engine::PolicyRef(args.str("policy", "custom"), expr);
+    }
     spec.node_count = static_cast<int>(args.num("nodes", 16));
     spec.seed = args.seed();
 
@@ -304,9 +341,24 @@ int cmd_parity(const Args& args) {
   std::cout << "parity: " << base_schedule.jobs.size() << " jobs on " << nodes
             << " nodes, " << budget_w << " W budget, both backends x four policies\n";
 
-  const engine::PolicyKind policies[] = {
-      engine::PolicyKind::kUniform, engine::PolicyKind::kCharacterized,
-      engine::PolicyKind::kMisclassified, engine::PolicyKind::kAdjusted};
+  // The four paper built-ins, plus any extra registry policies the caller
+  // names (--extra-policy NAME, repeatable via comma separation).
+  std::vector<engine::PolicyRef> policies;
+  for (const std::string& name : engine::PolicyRegistry::builtin_names()) {
+    policies.push_back(engine::PolicyRef(name));
+  }
+  if (args.has("extra-policy")) {
+    std::string list = args.str("extra-policy");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string name = list.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!name.empty()) policies.push_back(engine::policy_from_string(name));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
 
   struct Cell {
     double mean_slowdown = 0.0;
@@ -317,7 +369,7 @@ int cmd_parity(const Args& args) {
 
   util::TextTable table(
       {"policy", "backend", "jobs", "mean_slowdown", "p90_tracking", "qos"});
-  for (const engine::PolicyKind policy : policies) {
+  for (const engine::PolicyRef& policy : policies) {
     workload::Schedule schedule = base_schedule;
     if (engine::expects_misclassification(policy)) {
       workload::misclassify(schedule, "bt.D.x", "is.D.x");
@@ -592,7 +644,7 @@ engine::ScenarioSpec profile_spec(const Args& args) {
   engine::ScenarioSpec spec;
   spec.name = "profile";
   spec.backend = engine::Backend::kTabular;
-  spec.policy = engine::PolicyKind::kCharacterized;
+  spec.policy = engine::PolicyRef("characterized");
   spec.node_count = static_cast<int>(args.num("nodes", 1000));
   spec.seed = args.seed();
   const double duration = args.num("duration", 3600.0);
@@ -1027,9 +1079,109 @@ int cmd_selftest() {
   return 0;
 }
 
+/// Read an expression from --expr or --file (one expression, newlines
+/// folded to spaces).  Empty string when neither flag is present.
+std::string policy_expr_arg(const Args& args) {
+  if (args.has("expr")) return args.str("expr");
+  if (args.has("file")) {
+    std::ifstream in(args.str("file"));
+    if (!in) throw util::ConfigError("cannot read --file " + args.str("file"));
+    std::string expr;
+    std::string line;
+    while (std::getline(in, line)) expr += line + " ";
+    return expr;
+  }
+  return "";
+}
+
+int cmd_policy_list() {
+  engine::PolicyRegistry& registry = engine::PolicyRegistry::global();
+  util::TextTable table({"policy", "kind", "budgeter", "admitted", "labels", "summary"});
+  for (const std::string& name : registry.names()) {
+    const engine::PolicyDescriptor d = registry.get(name);
+    const std::string kind = d.builtin ? "builtin"
+                             : !d.dsl_source.empty() ? "expression"
+                                                     : "native";
+    const std::string budgeter = !d.dsl_source.empty() || d.budgeter_factory
+                                     ? "custom"
+                                     : budget::to_string(d.budgeter_kind);
+    table.add_row({name, kind, budgeter, registry.is_admitted(name) ? "yes" : "no",
+                   d.expects_misclassification ? "expected" : "-", d.summary});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_policy_show(const Args& args) {
+  const engine::PolicyDescriptor d =
+      engine::PolicyRegistry::global().get(args.require("name"));
+  std::cout << "policy:    " << d.name << "\n"
+            << "identity:  " << d.identity() << "\n"
+            << "kind:      "
+            << (d.builtin ? "builtin" : !d.dsl_source.empty() ? "expression" : "native")
+            << "\n"
+            << "budgeter:  "
+            << (!d.dsl_source.empty() || d.budgeter_factory
+                    ? "custom"
+                    : budget::to_string(d.budgeter_kind))
+            << "\n"
+            << "feedback:  " << (d.feedback ? "on" : "off") << "\n"
+            << "labels:    "
+            << (d.expects_misclassification ? "expects misclassification" : "none")
+            << (d.strip_labels_for_tabular ? " (stripped for tabular)" : "") << "\n"
+            << "admitted:  "
+            << (engine::PolicyRegistry::global().is_admitted(d.name) ? "yes" : "no")
+            << "\n";
+  if (!d.dsl_source.empty()) std::cout << "expr:      " << d.dsl_source << "\n";
+  if (!d.summary.empty()) std::cout << "summary:   " << d.summary << "\n";
+  return 0;
+}
+
+int cmd_policy_validate(const Args& args) {
+  const std::string expr = policy_expr_arg(args);
+  if (expr.empty()) {
+    std::cerr << "policy validate: provide --expr EXPR or --file FILE\n";
+    return 2;
+  }
+  const budget::DslExpr parsed = budget::DslExpr::parse(expr);  // throws on error
+  char identity[17];
+  std::snprintf(identity, sizeof(identity), "%016llx",
+                static_cast<unsigned long long>(budget::dsl_source_hash(expr)));
+  std::cout << "expression OK (source hash " << identity << ")\n";
+  if (parsed.uses_noise()) {
+    std::cout << "warning: expression calls noise() — it will FAIL the admission "
+                 "determinism gates\n";
+  }
+  return 0;
+}
+
+int cmd_policy_admit(const Args& args) {
+  const std::string name = args.require("name");
+  const std::string expr = policy_expr_arg(args);
+  if (!expr.empty()) {
+    engine::PolicyRegistry::global().register_expression_policy(
+        name, expr, args.str("summary", ""));
+  }
+  engine::AdmissionOptions options;
+  options.duration_s = args.num("duration", options.duration_s);
+  options.node_count = static_cast<int>(args.num("nodes", options.node_count));
+  options.utilization = args.num("utilization", options.utilization);
+  options.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  if (args.has("no-chaos")) options.chaos_gate = false;
+  options.chaos_duration_s = args.num("chaos-duration", options.chaos_duration_s);
+
+  std::cout << "admitting policy '" << name << "'...\n";
+  const engine::AdmissionReport report =
+      engine::admit_policy(engine::PolicyRef(name), options);
+  std::cout << report.describe();
+  std::cout << "policy '" << report.policy << "' (" << report.identity << "): "
+            << (report.passed() ? "ADMITTED" : "REJECTED") << "\n";
+  return report.passed() ? 0 : 1;
+}
+
 void usage() {
   std::cerr << "usage: anorctl <types|gen-schedule|gen-targets|run|parity|sweep|simulate|"
-               "profile|replay|chaos|metrics|trace|selftest> "
+               "profile|replay|chaos|policy|metrics|trace|selftest> "
                "[--flags]\n(see the header comment in tools/anorctl.cpp)\n";
 }
 
@@ -1041,7 +1193,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  // `metrics` and `trace` take a subcommand word before the flags.
+  // `policy`, `metrics`, and `trace` take a subcommand word before the flags.
+  if (command == "policy") {
+    const std::string sub = argc > 2 ? argv[2] : "";
+    const Args sub_args(argc, argv, 3);
+    try {
+      if (sub == "list") return cmd_policy_list();
+      if (sub == "show") return cmd_policy_show(sub_args);
+      if (sub == "validate") return cmd_policy_validate(sub_args);
+      if (sub == "admit") return cmd_policy_admit(sub_args);
+    } catch (const std::exception& error) {
+      std::cerr << "anorctl: " << error.what() << "\n";
+      return 1;
+    }
+    std::cerr << "usage: anorctl policy <list|show|validate|admit> [--flags]\n";
+    return 2;
+  }
   if (command == "metrics" || command == "trace") {
     const std::string sub = argc > 2 ? argv[2] : "";
     const Args sub_args(argc, argv, 3);

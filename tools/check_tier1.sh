@@ -78,6 +78,47 @@ EOF
 cmp "$sweep_dir/first.json" "$sweep_dir/second.json"
 rm -rf "$sweep_dir"
 
+echo "== policy smoke: registry, admission harness, DSL sweep =="
+# The open policy set end to end: the registry lists the built-ins, the
+# example expression policy passes the full admission harness (envelope,
+# tabular determinism, cross-backend parity, chaos determinism), a noisy
+# policy is rejected, and a grid-registered DSL policy sweeps with
+# non-aliasing cache keys (second pass must hit the cache).
+policy_dir="$(mktemp -d)"
+"$build_dir/tools/anorctl" policy list
+"$build_dir/tools/anorctl" policy admit --name dsl-fairshare \
+  --expr "clamp(budget_w / total_nodes, p_min, p_max)" \
+  --duration 360 --nodes 4 --chaos-duration 120
+if "$build_dir/tools/anorctl" policy admit --name dsl-noisy \
+  --expr "fair_w * noise()" --no-chaos --duration 300 --nodes 4; then
+  echo "error: non-deterministic policy was admitted" >&2
+  exit 1
+fi
+cat > "$policy_dir/grid.json" <<'EOF'
+{
+  "schema": "anor.sweep.v1",
+  "name": "tier1-policy-smoke",
+  "policies": [
+    {"name": "dsl-fairshare",
+     "expr": "clamp(budget_w / total_nodes, p_min, p_max)",
+     "summary": "equal per-node budget slice"}
+  ],
+  "base": {"backend": "tabular", "node_count": 4, "seed": 7},
+  "generate": {"duration_s": 300, "signal": "budget", "utilization": 0.6},
+  "axes": [
+    {"field": "policy", "values": ["characterized", "dsl-fairshare"]},
+    {"field": "utilization", "values": [0.5, 0.8]}
+  ]
+}
+EOF
+"$build_dir/tools/anorctl" sweep --grid "$policy_dir/grid.json" --quiet \
+  --cache-dir "$policy_dir/cache" --results-out "$policy_dir/first.json"
+"$build_dir/tools/anorctl" sweep --grid "$policy_dir/grid.json" --quiet \
+  --cache-dir "$policy_dir/cache" --results-out "$policy_dir/second.json" \
+  --min-hit-rate 0.9
+cmp "$policy_dir/first.json" "$policy_dir/second.json"
+rm -rf "$policy_dir"
+
 echo "== sanitizers: ASan/UBSan telemetry suite =="
 asan_dir="${build_dir}-asan"
 cmake -B "$asan_dir" -S . \
@@ -107,8 +148,11 @@ run_gtest "$tsan_dir/tests/util_test" 'ThreadPool.*:ParallelForEachIndex.*:Shard
 run_gtest "$tsan_dir/tests/platform_test" 'ClusterHw.ShardedStepMatchesSerialBitForBit'
 run_gtest "$tsan_dir/tests/budget_test" 'EvenSlowdown.ShardedSolveIsBitIdenticalToSerial'
 # The sweep executor layers run-level workers (atomic cursor, shared
-# result cache, disjoint report slots) on top of the sharded stepping.
-run_gtest "$tsan_dir/tests/engine_test" 'SweepExecutorTest.*'
+# result cache, disjoint report slots) on top of the sharded stepping;
+# the registry filter drives concurrent policy dispatch (run_scenario
+# resolving built-ins under sharded workers) against concurrent
+# register/get/unregister of custom names.
+run_gtest "$tsan_dir/tests/engine_test" 'SweepExecutorTest.*:PolicyRegistry.Concurrent*'
 
 echo "== chaos smoke: drop+delay+crash plan under ASan/UBSan =="
 # Closed-loop fault injection: the command itself exits non-zero unless
